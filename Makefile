@@ -1,0 +1,45 @@
+# Development entry points. Everything is stdlib Go; no tools beyond the
+# toolchain are required.
+
+GO ?= go
+
+.PHONY: all build test race vet fuzz bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the wire-format and parser fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzParsePrefix -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzParseAddr -fuzztime=10s ./internal/packet/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Regenerate every paper table/figure at full size (results/full_run.txt).
+experiments:
+	$(GO) run ./cmd/ddosim -all | tee results/full_run.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/reflector_defense
+	$(GO) run ./examples/distributed_firewall
+	$(GO) run ./examples/traceback_forensics
+	$(GO) run ./examples/network_debugging
+	$(GO) run ./examples/forensic_replay
+	$(GO) run ./examples/live_control_plane
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,203 @@
+package dtc_test
+
+// Benchmark harness: one benchmark per reproduced figure/claim (see
+// DESIGN.md §4 for the experiment index). Each benchmark drives the same
+// runner as `cmd/ddosim -exp <id>`, in Quick mode, and reports simulator
+// work as custom metrics where meaningful. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full-size tables with `go run ./cmd/ddosim -all`.
+
+import (
+	"testing"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/experiment"
+	"dtc/internal/netsim"
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+	"dtc/internal/routing"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiment.Options{Quick: true, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiment.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// Figure reproductions.
+
+func BenchmarkF1ReflectorAnatomy(b *testing.B) { benchExperiment(b, "f1") }
+func BenchmarkF2Redirection(b *testing.B)      { benchExperiment(b, "f2") }
+func BenchmarkF3EndToEnd(b *testing.B)         { benchExperiment(b, "f3") }
+func BenchmarkF4Registration(b *testing.B)     { benchExperiment(b, "f4") }
+func BenchmarkF5Deployment(b *testing.B)       { benchExperiment(b, "f5") }
+func BenchmarkF6TwoStagePipeline(b *testing.B) { benchExperiment(b, "f6") }
+
+// Claim reproductions.
+
+func BenchmarkE1IngressSweep(b *testing.B)      { benchExperiment(b, "e1") }
+func BenchmarkE2ReflectorShootout(b *testing.B) { benchExperiment(b, "e2") }
+func BenchmarkE3PushbackFailure(b *testing.B)   { benchExperiment(b, "e3") }
+func BenchmarkE4ByteHops(b *testing.B)          { benchExperiment(b, "e4") }
+func BenchmarkE5Scalability(b *testing.B)       { benchExperiment(b, "e5") }
+func BenchmarkE6SafetyAudit(b *testing.B)       { benchExperiment(b, "e6") }
+func BenchmarkE7Traceback(b *testing.B)         { benchExperiment(b, "e7") }
+func BenchmarkE8ProtocolMisuse(b *testing.B)    { benchExperiment(b, "e8") }
+func BenchmarkE9AutoReaction(b *testing.B)      { benchExperiment(b, "e9") }
+
+// Micro-benchmarks for the hot paths the experiments lean on.
+
+// BenchmarkDeviceFastPath measures the per-packet cost for traffic that is
+// not redirected — the overwhelmingly common case (Figure 2).
+func BenchmarkDeviceFastPath(b *testing.B) {
+	dev := device.New(0, modules.NewRegistry(), sim.NewRNG(1))
+	if err := dev.BindOwner(packet.MustParsePrefix("10.0.0.0/8"), "acme"); err != nil {
+		b.Fatal(err)
+	}
+	p := &packet.Packet{Src: packet.MustParseAddr("30.0.0.1"), Dst: packet.MustParseAddr("40.0.0.1"), TTL: 60, Size: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Process(0, p, -1)
+	}
+}
+
+// BenchmarkDeviceTwoStage measures a redirected packet running both owner
+// stages under the safety monitor.
+func BenchmarkDeviceTwoStage(b *testing.B) {
+	dev := device.New(0, modules.NewRegistry(), sim.NewRNG(1))
+	if err := dev.BindOwner(packet.MustParsePrefix("10.0.0.0/8"), "src-owner"); err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.BindOwner(packet.MustParsePrefix("20.0.0.0/8"), "dst-owner"); err != nil {
+		b.Fatal(err)
+	}
+	mk := func() *device.Graph {
+		return device.Chain("fw", &modules.Filter{Label: "f", Rules: []modules.Match{{DstPort: 666}}})
+	}
+	if err := dev.Install("src-owner", device.StageSource, mk()); err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.Install("dst-owner", device.StageDest, mk()); err != nil {
+		b.Fatal(err)
+	}
+	p := &packet.Packet{Src: packet.MustParseAddr("10.0.0.1"), Dst: packet.MustParseAddr("20.0.0.1"), TTL: 60, Size: 100, DstPort: 80}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Process(0, p, -1)
+	}
+}
+
+// BenchmarkTrieLookup measures owner dispatch with 10k bound prefixes.
+func BenchmarkTrieLookup(b *testing.B) {
+	var tr ownership.Trie[int]
+	for i := 0; i < 10000; i++ {
+		tr.Insert(packet.MakePrefix(packet.Addr(uint32(i)<<12), 20), i)
+	}
+	rng := sim.NewRNG(7)
+	addrs := make([]packet.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = packet.Addr(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkSPIEObserve measures traceback digest insertion.
+func BenchmarkSPIEObserve(b *testing.B) {
+	sp := modules.NewSPIE("spie", sim.Second, 16, 1<<20, 42)
+	env := &device.Env{Now: 0}
+	p := &packet.Packet{Src: 1, Dst: 2, Proto: packet.TCP, Size: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seq = uint32(i)
+		sp.Process(p, env)
+	}
+}
+
+// BenchmarkPacketForwarding measures the end-to-end simulator cost per
+// delivered packet over a 6-hop path.
+func BenchmarkPacketForwarding(b *testing.B) {
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(7), netsim.DefaultLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(s.Now(), &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100})
+		if _, err := s.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if dst.Delivered[packet.KindLegit] != uint64(b.N) {
+		b.Fatalf("delivered %d of %d", dst.Delivered[packet.KindLegit], b.N)
+	}
+}
+
+// BenchmarkRoutingTreeBuild measures Dijkstra on a 4000-node power-law
+// graph — the per-destination routing cost of the big E1 sweeps.
+func BenchmarkRoutingTreeBuild(b *testing.B) {
+	g, err := topology.BarabasiAlbert(4000, 2, sim.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.BuildTree(g, i%g.Len(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventQueue measures raw simulator event throughput.
+func BenchmarkEventQueue(b *testing.B) {
+	s := sim.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterFunc(sim.Time(i%1000)*sim.Microsecond, func(sim.Time) {})
+		if i%1024 == 1023 {
+			if _, err := s.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Ablation benchmarks (DESIGN.md §5).
+
+func BenchmarkA1StageAblation(b *testing.B)      { benchExperiment(b, "a1") }
+func BenchmarkA2DispatchAblation(b *testing.B)   { benchExperiment(b, "a2") }
+func BenchmarkA3StrictnessAblation(b *testing.B) { benchExperiment(b, "a3") }
+
+// BenchmarkE10InternetScale runs the flow-model deployment sweep.
+func BenchmarkE10InternetScale(b *testing.B) { benchExperiment(b, "e10") }
+
+// BenchmarkE11SYNFlood runs the SYN-flood mitigation experiment.
+func BenchmarkE11SYNFlood(b *testing.B) { benchExperiment(b, "e11") }

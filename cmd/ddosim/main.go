@@ -1,0 +1,71 @@
+// Command ddosim runs the paper-reproduction experiments and prints their
+// tables (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// recorded results).
+//
+// Usage:
+//
+//	ddosim -list                 # show all experiment IDs
+//	ddosim -exp e2               # run one experiment at full size
+//	ddosim -all                  # run everything
+//	ddosim -all -quick -seed 7   # fast versions, custom seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dtc/internal/experiment"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "", "experiment ID to run (e.g. f1, e2)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "shrink workloads (CI-sized runs)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 1, "worker goroutines for -all (wall-clock-measuring experiments prefer 1)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.List() {
+			fmt.Printf("%-4s %s\n", id, experiment.Describe(id))
+		}
+		return
+	}
+	opts := experiment.Options{Quick: *quick, Seed: *seed}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiment.List()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	tables, errs := experiment.RunMany(ids, opts, *parallel)
+	failed := false
+	for i, id := range ids {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "ddosim: %s: %v\n", id, errs[i])
+			failed = true
+			continue
+		}
+		fmt.Printf("== %s: %s\n", id, experiment.Describe(id))
+		if *csv {
+			fmt.Println(tables[i].CSV())
+		} else {
+			fmt.Println(tables[i])
+		}
+	}
+	fmt.Printf("(%d experiments in %v)\n", len(ids), time.Since(start).Round(time.Millisecond))
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,287 @@
+// Package dtc is the public facade of the Adaptive Distributed Traffic
+// Control Service reproduction: it assembles the paper's four roles
+// (Internet number authority, TCSP, ISPs with adaptive devices, network
+// users) over a simulated Internet and exposes the workflow of Figures 4
+// and 5 — register, prove ownership, deploy services, control them — in a
+// few calls.
+//
+// A minimal session:
+//
+//	w, _ := dtc.NewWorld(dtc.WorldConfig{Topology: topology.Line(4), Seed: 1})
+//	user, _ := w.NewUser("acme", netsim.NodePrefix(3))
+//	_ = user.Deploy(service.FirewallDrop("fw", service.MatchSpec{DstPort: 666}),
+//		nil, nms.Scope{})
+//	w.Sim.RunAll()
+//
+// Everything deeper — the simulator, the device model, the baselines — is
+// importable from the internal packages by code in this module (examples,
+// benchmarks, the CLI tools).
+package dtc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dtc/internal/auth"
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/tcsp"
+	"dtc/internal/topology"
+)
+
+// WorldConfig configures NewWorld.
+type WorldConfig struct {
+	// Topology is the AS/router graph (required).
+	Topology *topology.Graph
+	// Link applies to every link; zero value means netsim.DefaultLink.
+	Link netsim.LinkConfig
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// ISPPartition assigns router nodes to ISPs ("isp1", "isp2", …).
+	// Nil means a single ISP operating every router.
+	ISPPartition [][]int
+}
+
+// World is a fully wired instance of the paper's role model.
+type World struct {
+	Sim       *sim.Simulation
+	Net       *netsim.Network
+	Authority *ownership.Registry
+	TCSP      *tcsp.TCSP
+	ISPs      map[string]*nms.NMS
+
+	ispNames []string
+}
+
+// NewWorld builds the simulation, network, number authority, TCSP and ISP
+// management systems.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("dtc: WorldConfig.Topology is required")
+	}
+	link := cfg.Link
+	if link == (netsim.LinkConfig{}) {
+		link = netsim.DefaultLink
+	}
+	s := sim.New(cfg.Seed)
+	net, err := netsim.New(s, cfg.Topology, link)
+	if err != nil {
+		return nil, err
+	}
+	caID, err := auth.NewIdentity("tcsp", deriveSeed(cfg.Seed, 0xca))
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Sim:       s,
+		Net:       net,
+		Authority: ownership.NewRegistry(),
+		ISPs:      make(map[string]*nms.NMS),
+	}
+	clock := func() int64 { return int64(s.Now() / sim.Second) }
+	w.TCSP = tcsp.New(caID, w.Authority, clock)
+
+	partition := cfg.ISPPartition
+	if partition == nil {
+		all := make([]int, cfg.Topology.Len())
+		for i := range all {
+			all[i] = i
+		}
+		partition = [][]int{all}
+	}
+	for i, nodes := range partition {
+		name := fmt.Sprintf("isp%d", i+1)
+		m, err := nms.New(name, net, nodes, w.TCSP.PublicKey(), clock)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.TCSP.AddISP(name, m); err != nil {
+			return nil, err
+		}
+		w.ISPs[name] = m
+		w.ispNames = append(w.ispNames, name)
+	}
+	return w, nil
+}
+
+// deriveSeed produces a deterministic 32-byte key seed from the world seed.
+func deriveSeed(seed uint64, salt byte) []byte {
+	out := make([]byte, 32)
+	x := seed ^ uint64(salt)*0x9e3779b97f4a7c15
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}
+
+// ISPNames returns the participating ISP names in creation order.
+func (w *World) ISPNames() []string { return append([]string(nil), w.ispNames...) }
+
+// User is a registered network user: identity, TCSP certificate and the
+// plumbing to sign deployment/control requests.
+type User struct {
+	ID   *auth.Identity
+	Cert *auth.Certificate
+
+	world    *World
+	prefixes []packet.Prefix
+	nonce    uint64
+}
+
+// NewUser allocates the prefixes to name in the number authority, then
+// performs Figure-4 registration (identity proof + ownership verification
+// + certificate issuance).
+func (w *World) NewUser(name string, prefixes ...packet.Prefix) (*User, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("dtc: user %q needs at least one prefix", name)
+	}
+	id, err := auth.NewIdentity(name, deriveSeed(uint64(len(w.ispNames))<<32|uint64(len(name)+1)*uint64(w.Sim.RNG().Uint32()), 0x01))
+	if err != nil {
+		return nil, err
+	}
+	ss := make([]string, len(prefixes))
+	for i, p := range prefixes {
+		if err := w.Authority.Allocate(p, ownership.OwnerID(name)); err != nil {
+			return nil, err
+		}
+		ss[i] = p.String()
+	}
+	sig := id.Sign(tcsp.RegistrationBytes(name, id.Pub, ss))
+	cert, err := w.TCSP.Register(name, id.Pub, ss, sig)
+	if err != nil {
+		return nil, err
+	}
+	return &User{ID: id, Cert: cert, world: w, prefixes: prefixes}, nil
+}
+
+// Prefixes returns the user's certified prefixes as strings.
+func (u *User) Prefixes() []string {
+	ss := make([]string, len(u.prefixes))
+	for i, p := range u.prefixes {
+		ss[i] = p.String()
+	}
+	return ss
+}
+
+// sign wraps a request body in a signed envelope.
+func (u *User) sign(body any) (*auth.SignedRequest, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	u.nonce++
+	return auth.SignRequest(u.ID, u.Cert.Serial, u.nonce, data), nil
+}
+
+// Deploy installs spec through the TCSP on the named ISPs (none = all),
+// binding the given prefixes (nil = all certified prefixes).
+func (u *User) Deploy(spec *service.Spec, prefixes []string, scope nms.Scope, isps ...string) ([]*nms.DeployResult, error) {
+	if prefixes == nil {
+		prefixes = u.Prefixes()
+	}
+	sreq, err := u.sign(&nms.DeployRequest{
+		Owner: u.ID.Name, Prefixes: prefixes, Spec: *spec, Scope: scope,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return u.world.TCSP.Deploy(sreq, isps)
+}
+
+// DeployDirect bypasses the TCSP and contacts one ISP's management system
+// directly, optionally relaying to its peers — the paper's fallback for a
+// TCSP made unreachable by the attack itself.
+func (u *User) DeployDirect(ispName string, relay bool, spec *service.Spec, prefixes []string, scope nms.Scope) ([]*nms.DeployResult, error) {
+	m, ok := u.world.ISPs[ispName]
+	if !ok {
+		return nil, fmt.Errorf("dtc: unknown ISP %q", ispName)
+	}
+	if prefixes == nil {
+		prefixes = u.Prefixes()
+	}
+	sreq, err := u.sign(&nms.DeployRequest{
+		Owner: u.ID.Name, Prefixes: prefixes, Spec: *spec, Scope: scope,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if relay {
+		results, errs := m.DeployWithRelay(u.Cert, sreq)
+		if len(errs) > 0 {
+			return results, errs[0]
+		}
+		return results, nil
+	}
+	r, err := m.Deploy(u.Cert, sreq)
+	if err != nil {
+		return nil, err
+	}
+	return []*nms.DeployResult{r}, nil
+}
+
+// Control sends a control operation through the TCSP.
+func (u *User) Control(req *nms.ControlRequest, isps ...string) ([]*nms.ControlResult, error) {
+	req.Owner = u.ID.Name
+	sreq, err := u.sign(req)
+	if err != nil {
+		return nil, err
+	}
+	return u.world.TCSP.Control(sreq, isps)
+}
+
+// Activate enables the user's service at the given stage on all ISPs.
+func (u *User) Activate(stage string) error {
+	_, err := u.Control(&nms.ControlRequest{Op: "activate", Stage: stage})
+	return err
+}
+
+// Deactivate disables the user's service at the given stage on all ISPs.
+func (u *User) Deactivate(stage string) error {
+	_, err := u.Control(&nms.ControlRequest{Op: "deactivate", Stage: stage})
+	return err
+}
+
+// UpdateParams changes a live component's parameters on every ISP — the
+// paper's "modify specific parameters" operation (Figure 5).
+func (u *User) UpdateParams(stage, component string, update *nms.ParamUpdate, isps ...string) error {
+	_, err := u.Control(&nms.ControlRequest{
+		Op: "update", Stage: stage, Component: component, Update: update,
+	}, isps...)
+	return err
+}
+
+// Counters aggregates processed/discarded counts across all ISPs.
+func (u *User) Counters(stage string) (processed, discarded uint64, err error) {
+	results, err := u.Control(&nms.ControlRequest{Op: "counters", Stage: stage})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range results {
+		for _, c := range r.Counters {
+			processed += c.Processed
+			discarded += c.Discarded
+		}
+	}
+	return processed, discarded, nil
+}
+
+// Events returns the control-plane events emitted for this user across
+// all ISPs.
+func (u *User) Events() ([]nms.EventRecord, error) {
+	results, err := u.Control(&nms.ControlRequest{Op: "events"})
+	if err != nil {
+		return nil, err
+	}
+	var out []nms.EventRecord
+	for _, r := range results {
+		out = append(out, r.Events...)
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package dtc
+
+import (
+	"testing"
+
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+func lineWorld(t *testing.T, n int, partition [][]int) *World {
+	t.Helper()
+	w, err := NewWorld(WorldConfig{Topology: topology.Line(n), Seed: 1, ISPPartition: partition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(WorldConfig{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	w := lineWorld(t, 4, nil)
+	if len(w.ISPNames()) != 1 || w.ISPNames()[0] != "isp1" {
+		t.Errorf("ISPs = %v", w.ISPNames())
+	}
+	w2 := lineWorld(t, 4, [][]int{{0, 1}, {2, 3}})
+	if len(w2.ISPNames()) != 2 {
+		t.Errorf("ISPs = %v", w2.ISPNames())
+	}
+}
+
+func TestNewUserRegistersAndCertifies(t *testing.T) {
+	w := lineWorld(t, 4, nil)
+	u, err := w.NewUser("acme", netsim.NodePrefix(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cert.Owner != "acme" {
+		t.Errorf("cert owner = %q", u.Cert.Owner)
+	}
+	if err := u.Cert.Verify(w.TCSP.PublicKey(), 0); err != nil {
+		t.Error(err)
+	}
+	// Prefix conflicts propagate.
+	if _, err := w.NewUser("other", netsim.NodePrefix(3)); err == nil {
+		t.Error("double allocation accepted")
+	}
+	if _, err := w.NewUser("empty"); err == nil {
+		t.Error("user without prefixes accepted")
+	}
+}
+
+func TestEndToEndDeployAndFilter(t *testing.T) {
+	w := lineWorld(t, 4, [][]int{{0, 1}, {2, 3}})
+	u, err := w.NewUser("acme", netsim.NodePrefix(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := u.Deploy(service.FirewallDrop("fw", service.MatchSpec{DstPort: 666}), nil, nms.Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	src, _ := w.Net.AttachHost(0)
+	dst, _ := w.Net.AttachHost(3)
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, DstPort: 666, Size: 100})
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, DstPort: 80, Size: 100})
+	if _, err := w.Sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Delivered[packet.KindLegit] != 1 {
+		t.Errorf("delivered = %d", dst.Delivered[packet.KindLegit])
+	}
+	p, d, err := u.Counters("dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 || p < 2 {
+		t.Errorf("counters processed=%d discarded=%d", p, d)
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	w := lineWorld(t, 3, nil)
+	u, err := w.NewUser("acme", netsim.NodePrefix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Deploy(service.FirewallDrop("fw", service.MatchSpec{}), nil, nms.Scope{}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := w.Net.AttachHost(0)
+	dst, _ := w.Net.AttachHost(2)
+
+	if err := u.Deactivate("dest"); err != nil {
+		t.Fatal(err)
+	}
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100})
+	if _, err := w.Sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Delivered[packet.KindLegit] != 1 {
+		t.Error("deactivated drop-all filtered traffic")
+	}
+	if err := u.Activate("dest"); err != nil {
+		t.Fatal(err)
+	}
+	src.Send(w.Sim.Now(), &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100})
+	if _, err := w.Sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Delivered[packet.KindLegit] != 1 {
+		t.Error("activated drop-all did not filter")
+	}
+}
+
+func TestDeployDirectWithRelay(t *testing.T) {
+	w := lineWorld(t, 4, [][]int{{0, 1}, {2, 3}})
+	w.ISPs["isp1"].AddPeer(w.ISPs["isp2"])
+	u, err := w.NewUser("acme", netsim.NodePrefix(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := u.DeployDirect("isp1", true, service.FirewallDrop("fw", service.MatchSpec{DstPort: 666}), nil, nms.Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("relay results = %v", results)
+	}
+	if _, err := u.DeployDirect("nope", false, service.FirewallDrop("fw", service.MatchSpec{}), nil, nms.Scope{}); err == nil {
+		t.Error("unknown ISP accepted")
+	}
+}
+
+func TestEventsSurface(t *testing.T) {
+	w := lineWorld(t, 3, nil)
+	u, err := w.NewUser("acme", netsim.NodePrefix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := service.AutoRateLimit("auto", service.MatchSpec{}, 100, 3, 10000, 1000)
+	if _, err := u.Deploy(spec, nil, nms.Scope{Nodes: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := w.Net.AttachHost(0)
+	dst, _ := w.Net.AttachHost(2)
+	for i := 0; i < 10; i++ {
+		src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100})
+	}
+	if _, err := w.Sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := u.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("no events after trigger fire")
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	run := func() uint64 {
+		w := lineWorld(t, 4, nil)
+		u, err := w.NewUser("acme", netsim.NodePrefix(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.Deploy(service.RateLimit("rl", service.MatchSpec{}, 100, 10), nil, nms.Scope{}); err != nil {
+			t.Fatal(err)
+		}
+		src, _ := w.Net.AttachHost(0)
+		dst, _ := w.Net.AttachHost(3)
+		s := src.StartPoisson(0, 1000, func(i uint64) *packet.Packet {
+			return &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100}
+		})
+		w.Sim.AfterFunc(sim.Second, func(sim.Time) { s.Stop(); w.Sim.Stop() })
+		if _, err := w.Sim.Run(2 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return dst.Delivered[packet.KindLegit]
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical worlds diverged: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+func TestUpdateParamsThroughFacade(t *testing.T) {
+	w := lineWorld(t, 3, nil)
+	u, err := w.NewUser("acme", netsim.NodePrefix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Deploy(service.RateLimit("rl", service.MatchSpec{}, 100, 10), nil, nms.Scope{Nodes: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	rate := 9999.0
+	if err := u.UpdateParams("dest", "limit", &nms.ParamUpdate{Rate: &rate}); err != nil {
+		t.Fatal(err)
+	}
+	// Verify through the read op.
+	res, err := u.Control(&nms.ControlRequest{Op: "read", Stage: "dest", Component: "limit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || len(res[0].Reads) == 0 {
+		t.Fatal("no reads")
+	}
+	// Bad update surfaces an error.
+	bad := -5.0
+	if err := u.UpdateParams("dest", "limit", &nms.ParamUpdate{Rate: &bad}); err == nil {
+		t.Error("negative rate accepted through facade")
+	}
+}

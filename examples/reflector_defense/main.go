@@ -1,0 +1,160 @@
+// Reflector defense: the paper's headline scenario (Figure 1 + §4.3).
+//
+// A botnet aims DNS reflectors at a web service by spoofing the victim's
+// address on its requests. The example runs the attack three times —
+// undefended, with a naive reflector blacklist (what a traceback-driven
+// reaction would install), and with the paper's source-stage anti-spoofing
+// service — and prints the victim's goodput and the collateral damage on
+// the reflectors' legitimate DNS service.
+//
+//	go run ./examples/reflector_defense
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dtc "dtc"
+	"dtc/internal/attack"
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+type outcome struct {
+	defense       string
+	webGoodput    float64
+	dnsGoodput    float64
+	backscatter   uint64
+	attackDropped uint64
+}
+
+func run(defense string) (outcome, error) {
+	seed := uint64(7)
+	s := sim.New(seed)
+	g, err := topology.TransitStub(6, 5, 0.2, s.RNG())
+	if err != nil {
+		return outcome{}, err
+	}
+	world, err := dtc.NewWorld(dtc.WorldConfig{Topology: g, Seed: seed})
+	if err != nil {
+		return outcome{}, err
+	}
+	stubs := g.Stubs()
+	victimNode := stubs[0]
+	owner, err := world.NewUser("victim.example", netsim.NodePrefix(victimNode))
+	if err != nil {
+		return outcome{}, err
+	}
+
+	// The victim's web service and the innocent DNS reflectors.
+	web, err := attack.NewVictimService(world.Net, victimNode, 200*sim.Microsecond, 64, 800)
+	if err != nil {
+		return outcome{}, err
+	}
+	reflectors, err := attack.NewReflectorFleet(world.Net, stubs[1:6], attack.ReflectDNS, 20*sim.Microsecond, 4096)
+	if err != nil {
+		return outcome{}, err
+	}
+
+	switch defense {
+	case "blacklist reflectors":
+		bl := service.BlacklistSources("block-reflectors")
+		for _, r := range reflectors {
+			bl.Components[0].Addrs = append(bl.Components[0].Addrs, r.Server.Host.Addr.String())
+		}
+		if _, err := owner.Deploy(bl, nil, nms.Scope{Nodes: []int{victimNode}}); err != nil {
+			return outcome{}, err
+		}
+	case "TCS anti-spoofing":
+		// Source-stage ingress filtering bound to the victim's prefix:
+		// any packet claiming the victim's address dies where it enters
+		// the Internet.
+		if _, err := owner.Deploy(service.AntiSpoofing("as"), nil, nms.Scope{}); err != nil {
+			return outcome{}, err
+		}
+	}
+
+	// Legitimate workload: web clients, plus DNS lookups against the
+	// reflectors from hosts in the victim's own network.
+	clients, err := attack.NewClients(world.Net, stubs[6:11])
+	if err != nil {
+		return outcome{}, err
+	}
+	for _, c := range clients {
+		c.Start(0, web.Server.Host.Addr, 150, 200)
+	}
+	var dnsSent, dnsOK uint64
+	dnsHost, err := world.Net.AttachHost(victimNode)
+	if err != nil {
+		return outcome{}, err
+	}
+	dnsHost.Recv = func(_ sim.Time, p *packet.Packet) {
+		if p.Kind == packet.KindLegit && p.Proto == packet.UDP {
+			dnsOK++
+		}
+	}
+	dnsSrc := dnsHost.StartCBR(0, 200, func(i uint64) *packet.Packet {
+		dnsSent++
+		r := reflectors[i%uint64(len(reflectors))]
+		return &packet.Packet{Src: dnsHost.Addr, Dst: r.Server.Host.Addr,
+			Proto: packet.UDP, DstPort: 53, SrcPort: uint16(4000 + i%100),
+			Size: 60, Kind: packet.KindLegit}
+	})
+
+	// The botnet (Figure 1): attacker -> masters -> agents -> reflectors.
+	botnet, err := attack.NewBotnet(world.Net, stubs[11], []int{stubs[12]}, stubs[13:19], 6)
+	if err != nil {
+		return outcome{}, err
+	}
+	dur := 500 * sim.Millisecond
+	if err := botnet.LaunchReflectorAttack(10*sim.Millisecond, reflectors, attack.ReflectDNS,
+		web.Server.Host.Addr, 1500, dur); err != nil {
+		return outcome{}, err
+	}
+
+	world.Sim.AfterFunc(dur, func(sim.Time) {
+		for _, c := range clients {
+			c.Stop()
+		}
+		dnsSrc.Stop()
+		world.Sim.Stop()
+	})
+	if _, err := world.Sim.Run(2 * dur); err != nil {
+		return outcome{}, err
+	}
+
+	var req, rep uint64
+	for _, c := range clients {
+		req += c.Requested()
+		rep += c.Replies
+	}
+	// Counters exist only when a service was deployed; errors mean zero.
+	_, discarded, _ := owner.Counters("source")
+	return outcome{
+		defense:       defense,
+		webGoodput:    100 * float64(rep) / float64(req),
+		dnsGoodput:    100 * float64(dnsOK) / float64(dnsSent),
+		backscatter:   web.Server.Host.Delivered[packet.KindReflect],
+		attackDropped: discarded,
+	}, nil
+}
+
+func main() {
+	fmt.Println("DDoS reflector attack: 36 agents spoof the victim's address at 5 DNS reflectors")
+	fmt.Println()
+	fmt.Printf("%-22s  %12s  %12s  %12s\n", "defense", "web goodput", "DNS goodput", "backscatter")
+	for _, defense := range []string{"none", "blacklist reflectors", "TCS anti-spoofing"} {
+		o, err := run(defense)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s  %11.1f%%  %11.1f%%  %9d pkt\n", o.defense, o.webGoodput, o.dnsGoodput, o.backscatter)
+	}
+	fmt.Println()
+	fmt.Println("blacklisting the reflectors restores the web server but cuts off DNS —")
+	fmt.Println("the paper's collateral-damage argument; anti-spoofing near the agents fixes both.")
+}

@@ -1,0 +1,3 @@
+module dtc
+
+go 1.22

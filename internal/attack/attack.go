@@ -1,0 +1,213 @@
+// Package attack builds the DDoS scenarios of the paper's Section 2 on a
+// simulated network: the attacker→master→agent amplification tree
+// (Figure 1), direct spoofed floods, SYN floods, reflector attacks against
+// innocent servers, and protocol-misuse attacks (forged RST / ICMP
+// teardown). It also provides the legitimate client/server workload that
+// experiments measure collateral damage against.
+package attack
+
+import (
+	"fmt"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// SpoofMode selects how flood agents forge source addresses.
+type SpoofMode uint8
+
+// Spoofing strategies.
+const (
+	SpoofNone   SpoofMode = iota // agent's own address
+	SpoofRandom                  // uniformly random 32-bit sources
+	SpoofSubnet                  // random host inside the agent's own /16
+	SpoofVictim                  // the victim's address (reflector attacks)
+)
+
+// String implements fmt.Stringer.
+func (m SpoofMode) String() string {
+	switch m {
+	case SpoofNone:
+		return "none"
+	case SpoofRandom:
+		return "random"
+	case SpoofSubnet:
+		return "subnet"
+	case SpoofVictim:
+		return "victim"
+	default:
+		return fmt.Sprintf("spoof(%d)", uint8(m))
+	}
+}
+
+// FloodSpec parameterizes one agent's flood.
+type FloodSpec struct {
+	Rate    float64 // packets per second per agent
+	Size    int     // bytes per packet
+	Spoof   SpoofMode
+	Proto   packet.Proto
+	DstPort uint16
+	Flags   uint8 // TCP flags or ICMP type
+	Victim  packet.Addr
+}
+
+// Botnet is the paper's amplifying network: one attacker controlling
+// masters, each controlling agents (Figure 1).
+type Botnet struct {
+	net      *netsim.Network
+	Attacker *netsim.Host
+	Masters  []*netsim.Host
+	Agents   []*netsim.Host
+
+	agentsOf map[packet.Addr][]*netsim.Host // master addr -> its agents
+	sources  []*netsim.Source
+
+	// ControlSent counts C&C packets (attacker->masters->agents); the F1
+	// experiment divides attack packets by this to get the rate
+	// amplification factor.
+	ControlSent uint64
+}
+
+// controlPacketSize is the size of command packets in the C&C tree.
+const controlPacketSize = 64
+
+// NewBotnet attaches the attacker, masters and agents to the given nodes.
+// Agents are distributed round-robin over agentNodes.
+func NewBotnet(net *netsim.Network, attackerNode int, masterNodes []int, agentNodes []int, agentsPerMaster int) (*Botnet, error) {
+	if len(masterNodes) == 0 || len(agentNodes) == 0 || agentsPerMaster < 1 {
+		return nil, fmt.Errorf("attack: empty botnet configuration")
+	}
+	b := &Botnet{net: net, agentsOf: make(map[packet.Addr][]*netsim.Host)}
+	var err error
+	if b.Attacker, err = net.AttachHost(attackerNode); err != nil {
+		return nil, err
+	}
+	agentIdx := 0
+	for _, mn := range masterNodes {
+		m, err := net.AttachHost(mn)
+		if err != nil {
+			return nil, err
+		}
+		b.Masters = append(b.Masters, m)
+		for i := 0; i < agentsPerMaster; i++ {
+			a, err := net.AttachHost(agentNodes[agentIdx%len(agentNodes)])
+			agentIdx++
+			if err != nil {
+				return nil, err
+			}
+			b.Agents = append(b.Agents, a)
+			b.agentsOf[m.Addr] = append(b.agentsOf[m.Addr], a)
+		}
+	}
+	return b, nil
+}
+
+// Launch wires the C&C tree and schedules the attack command at `at`:
+// the attacker sends one control packet per master; each master, on
+// receiving it, sends one control packet per agent; each agent, on
+// receiving its command, starts flooding per spec until stop (0 = forever).
+func (b *Botnet) Launch(at sim.Time, spec FloodSpec, stop sim.Time) {
+	for _, m := range b.Masters {
+		master := m
+		master.Recv = func(now sim.Time, pkt *packet.Packet) {
+			if pkt.Kind != packet.KindControl {
+				return
+			}
+			for _, a := range b.agentsOf[master.Addr] {
+				b.ControlSent++
+				master.Send(now, &packet.Packet{
+					Src: master.Addr, Dst: a.Addr,
+					Proto: packet.TCP, DstPort: 31337,
+					Size: controlPacketSize, Kind: packet.KindControl,
+				})
+			}
+		}
+	}
+	for _, a := range b.Agents {
+		agent := a
+		agent.Recv = func(now sim.Time, pkt *packet.Packet) {
+			if pkt.Kind != packet.KindControl {
+				return
+			}
+			src := b.startFlood(now, agent, spec)
+			if stop > 0 {
+				b.net.Sim.At(stop, sim.EventFunc(func(sim.Time) { src.Stop() }))
+			}
+		}
+	}
+	b.net.Sim.At(at, sim.EventFunc(func(now sim.Time) {
+		for _, m := range b.Masters {
+			b.ControlSent++
+			b.Attacker.Send(now, &packet.Packet{
+				Src: b.Attacker.Addr, Dst: m.Addr,
+				Proto: packet.TCP, DstPort: 31337,
+				Size: controlPacketSize, Kind: packet.KindControl,
+			})
+		}
+	}))
+}
+
+// LaunchDirect skips the C&C tree and starts all agents flooding at `at`
+// (for experiments that do not care about the control phase).
+func (b *Botnet) LaunchDirect(at sim.Time, spec FloodSpec, stop sim.Time) {
+	for _, a := range b.Agents {
+		agent := a
+		b.net.Sim.At(at, sim.EventFunc(func(now sim.Time) {
+			src := b.startFlood(now, agent, spec)
+			if stop > 0 {
+				b.net.Sim.At(stop, sim.EventFunc(func(sim.Time) { src.Stop() }))
+			}
+		}))
+	}
+}
+
+// startFlood begins one agent's flood and returns its source.
+func (b *Botnet) startFlood(now sim.Time, agent *netsim.Host, spec FloodSpec) *netsim.Source {
+	rng := b.net.Sim.RNG().Fork()
+	proto := spec.Proto
+	if proto == 0 {
+		proto = packet.UDP
+	}
+	size := spec.Size
+	if size == 0 {
+		size = 100
+	}
+	mk := func(i uint64) *packet.Packet {
+		p := &packet.Packet{
+			Dst: spec.Victim, Proto: proto, DstPort: spec.DstPort,
+			Flags: spec.Flags, Size: size, Kind: packet.KindAttack,
+			SrcPort: uint16(1024 + i%60000), Seq: uint32(i),
+		}
+		switch spec.Spoof {
+		case SpoofNone:
+			p.Src = agent.Addr
+		case SpoofRandom:
+			p.Src = packet.Addr(rng.Uint32())
+		case SpoofSubnet:
+			p.Src = netsim.NodePrefix(agent.Node).Nth(uint64(rng.Intn(65536)))
+		case SpoofVictim:
+			p.Src = spec.Victim
+		}
+		return p
+	}
+	src := agent.StartCBR(now, spec.Rate, mk)
+	b.sources = append(b.sources, src)
+	return src
+}
+
+// StopAll halts every flood source.
+func (b *Botnet) StopAll() {
+	for _, s := range b.sources {
+		s.Stop()
+	}
+}
+
+// AttackSent sums the packets emitted by all flood sources.
+func (b *Botnet) AttackSent() uint64 {
+	var t uint64
+	for _, s := range b.sources {
+		t += s.Sent()
+	}
+	return t
+}

@@ -1,0 +1,331 @@
+package attack
+
+import (
+	"testing"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// star builds a star network: hub 0, leaves 1..n.
+func star(t *testing.T, leaves int) (*sim.Simulation, *netsim.Network) {
+	t.Helper()
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Star(leaves), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, net
+}
+
+func TestBotnetConstruction(t *testing.T) {
+	_, net := star(t, 8)
+	b, err := NewBotnet(net, 1, []int{2, 3}, []int{4, 5, 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Masters) != 2 || len(b.Agents) != 6 {
+		t.Fatalf("masters=%d agents=%d", len(b.Masters), len(b.Agents))
+	}
+	if _, err := NewBotnet(net, 1, nil, []int{2}, 1); err == nil {
+		t.Error("empty masters accepted")
+	}
+	if _, err := NewBotnet(net, 1, []int{2}, []int{3}, 0); err == nil {
+		t.Error("zero agents accepted")
+	}
+}
+
+func TestCommandAndControlChain(t *testing.T) {
+	s, net := star(t, 8)
+	victim, _ := net.AttachHost(8)
+	b, err := NewBotnet(net, 1, []int{2, 3}, []int{4, 5, 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Launch(10*sim.Millisecond, FloodSpec{Rate: 1000, Size: 100, Victim: victim.Addr}, 110*sim.Millisecond)
+	if _, err := s.Run(300 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// C&C: 2 to masters + 6 to agents.
+	if b.ControlSent != 8 {
+		t.Errorf("control packets = %d, want 8", b.ControlSent)
+	}
+	// 6 agents at 1000pps for ~100ms => ~600 attack packets.
+	if sent := b.AttackSent(); sent < 400 || sent > 800 {
+		t.Errorf("attack packets = %d, want ~600", sent)
+	}
+	// Amplification: attack volume >> control volume.
+	if b.AttackSent() < 10*b.ControlSent {
+		t.Error("no rate amplification through the C&C tree")
+	}
+	if victim.Delivered[packet.KindAttack] == 0 {
+		t.Error("no attack traffic delivered to victim")
+	}
+}
+
+func TestSpoofModes(t *testing.T) {
+	for _, mode := range []SpoofMode{SpoofNone, SpoofRandom, SpoofSubnet, SpoofVictim} {
+		s, net := star(t, 4)
+		victim, _ := net.AttachHost(2)
+		var srcs []packet.Addr
+		victim.Recv = func(_ sim.Time, p *packet.Packet) { srcs = append(srcs, p.Src) }
+		b, err := NewBotnet(net, 1, []int{3}, []int{4}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.LaunchDirect(0, FloodSpec{Rate: 1000, Size: 100, Spoof: mode, Victim: victim.Addr}, 20*sim.Millisecond)
+		if _, err := s.Run(100 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if len(srcs) == 0 {
+			t.Fatalf("mode %v: no packets", mode)
+		}
+		agent := b.Agents[0]
+		switch mode {
+		case SpoofNone:
+			for _, a := range srcs {
+				if a != agent.Addr {
+					t.Errorf("SpoofNone produced %v", a)
+				}
+			}
+		case SpoofVictim:
+			for _, a := range srcs {
+				if a != victim.Addr {
+					t.Errorf("SpoofVictim produced %v", a)
+				}
+			}
+		case SpoofSubnet:
+			pfx := netsim.NodePrefix(agent.Node)
+			for _, a := range srcs {
+				if !pfx.Contains(a) {
+					t.Errorf("SpoofSubnet produced %v outside %v", a, pfx)
+				}
+			}
+		case SpoofRandom:
+			distinct := map[packet.Addr]bool{}
+			for _, a := range srcs {
+				distinct[a] = true
+			}
+			if len(distinct) < len(srcs)/2 {
+				t.Errorf("SpoofRandom produced only %d distinct sources in %d", len(distinct), len(srcs))
+			}
+		}
+		if mode.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+}
+
+func TestReflectorReply(t *testing.T) {
+	s, net := star(t, 4)
+	victim, _ := net.AttachHost(1)
+	refl, err := NewReflector(net, 2, ReflectWeb, 10*sim.Microsecond, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, _ := net.AttachHost(3)
+	// Agent sends a SYN to the reflector with the victim's spoofed source.
+	agent.SendBurst(0, 5, func(i uint64) *packet.Packet {
+		return &packet.Packet{
+			Src: victim.Addr, Dst: refl.Server.Host.Addr,
+			Proto: packet.TCP, Flags: packet.FlagSYN, DstPort: 80,
+			Size: 40, Kind: packet.KindAttack, Seq: uint32(i),
+		}
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if refl.Reflected != 5 {
+		t.Errorf("Reflected = %d", refl.Reflected)
+	}
+	// Victim receives SYN-ACKs with the reflector's (legitimate) source.
+	if victim.Delivered[packet.KindReflect] != 5 {
+		t.Errorf("victim got %d reflected packets", victim.Delivered[packet.KindReflect])
+	}
+}
+
+func TestReflectorKinds(t *testing.T) {
+	for _, kind := range []ReflectorKind{ReflectWeb, ReflectDNS, ReflectICMP} {
+		s, net := star(t, 3)
+		victim, _ := net.AttachHost(1)
+		var got *packet.Packet
+		victim.Recv = func(_ sim.Time, p *packet.Packet) { got = p }
+		refl, err := NewReflector(net, 2, kind, sim.Microsecond, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, _ := net.AttachHost(2)
+		spec := ReflectorSpec(victim.Addr, kind, 1)
+		agent.SendBurst(0, 1, func(uint64) *packet.Packet {
+			return &packet.Packet{
+				Src: victim.Addr, Dst: refl.Server.Host.Addr,
+				Proto: spec.Proto, Flags: spec.Flags, DstPort: spec.DstPort,
+				Size: spec.Size, Kind: packet.KindAttack,
+			}
+		})
+		if _, err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			t.Fatalf("kind %v: no reflection", kind)
+		}
+		switch kind {
+		case ReflectWeb:
+			if got.Proto != packet.TCP || got.Flags != packet.FlagSYN|packet.FlagACK {
+				t.Errorf("web reflection = %v", got)
+			}
+		case ReflectDNS:
+			if got.Proto != packet.UDP || got.Size != spec.Size*DNSAmplification {
+				t.Errorf("dns reflection size = %d, want %d", got.Size, spec.Size*DNSAmplification)
+			}
+		case ReflectICMP:
+			if got.Proto != packet.ICMP || got.Flags != packet.ICMPUnreachable {
+				t.Errorf("icmp reflection = %v", got)
+			}
+		}
+		if kind.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+}
+
+func TestReflectorLegitTraffic(t *testing.T) {
+	s, net := star(t, 3)
+	client, _ := net.AttachHost(1)
+	replies := 0
+	client.Recv = func(_ sim.Time, p *packet.Packet) {
+		if p.Kind == packet.KindLegit {
+			replies++
+		}
+	}
+	refl, err := NewReflector(net, 2, ReflectWeb, sim.Microsecond, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SendBurst(0, 3, func(i uint64) *packet.Packet {
+		return &packet.Packet{
+			Src: client.Addr, Dst: refl.Server.Host.Addr,
+			Proto: packet.TCP, Flags: packet.FlagSYN, DstPort: 80,
+			Size: 40, Kind: packet.KindLegit, Seq: uint32(i),
+		}
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if refl.Replied != 3 || refl.Reflected != 0 {
+		t.Errorf("replied=%d reflected=%d", refl.Replied, refl.Reflected)
+	}
+	if replies != 3 {
+		t.Errorf("client got %d replies", replies)
+	}
+}
+
+func TestFullReflectorAttack(t *testing.T) {
+	s, net := star(t, 10)
+	victim, _ := net.AttachHost(1)
+	reflectors, err := NewReflectorFleet(net, []int{2, 3, 4}, ReflectWeb, 10*sim.Microsecond, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBotnet(net, 5, []int{6}, []int{7, 8, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LaunchReflectorAttack(0, reflectors, ReflectWeb, victim.Addr, 2000, 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(300 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Delivered[packet.KindReflect] == 0 {
+		t.Fatal("victim received no reflected traffic")
+	}
+	// The traffic hitting the victim has *legitimate* reflector sources.
+	var fromReflectors uint64
+	for _, r := range reflectors {
+		fromReflectors += r.Reflected
+	}
+	if fromReflectors == 0 {
+		t.Error("reflectors reflected nothing")
+	}
+	if err := b.LaunchReflectorAttack(0, nil, ReflectWeb, victim.Addr, 1, 0); err == nil {
+		t.Error("empty reflector list accepted")
+	}
+}
+
+func TestClientsAndVictimService(t *testing.T) {
+	s, net := star(t, 4)
+	v, err := NewVictimService(net, 1, 50*sim.Microsecond, 64, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := NewClients(net, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		c.Start(0, v.Server.Host.Addr, 200, 200)
+	}
+	s.AfterFunc(500*sim.Millisecond, func(sim.Time) {
+		for _, c := range clients {
+			c.Stop()
+		}
+		s.Stop()
+	})
+	if _, err := s.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		if c.Requested() == 0 {
+			t.Fatalf("client %d sent nothing", i)
+		}
+		ratio := float64(c.Replies) / float64(c.Requested())
+		if ratio < 0.9 {
+			t.Errorf("client %d goodput ratio = %.2f under no attack", i, ratio)
+		}
+	}
+}
+
+func TestTCPSessionTeardown(t *testing.T) {
+	for _, useICMP := range []bool{false, true} {
+		s, net := star(t, 3)
+		sess, err := NewTCPSession(net, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := sess.StartData(0, 1000)
+		agent, _ := net.AttachHost(3)
+		ForgeTeardown(agent, sess, 50*sim.Millisecond, useICMP)
+		s.AfterFunc(100*sim.Millisecond, func(sim.Time) { src.Stop(); s.Stop() })
+		if _, err := s.Run(200 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if !sess.TornDown {
+			t.Errorf("useICMP=%v: forged teardown did not kill the session", useICMP)
+		}
+		if sess.DataRecvd == 0 {
+			t.Error("no data flowed before teardown")
+		}
+	}
+}
+
+func TestTCPSessionSurvivesWithoutAttack(t *testing.T) {
+	s, net := star(t, 2)
+	sess, err := NewTCPSession(net, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sess.StartData(0, 100)
+	s.AfterFunc(100*sim.Millisecond, func(sim.Time) { src.Stop(); s.Stop() })
+	if _, err := s.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sess.TornDown {
+		t.Error("session torn down without attack")
+	}
+	if sess.DataRecvd < 8 {
+		t.Errorf("data received = %d", sess.DataRecvd)
+	}
+}

@@ -1,0 +1,203 @@
+package attack
+
+import (
+	"fmt"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// Reflector is an innocent, uncompromised server that replies to requests —
+// and thereby can be misused to bounce attack traffic at a spoofed victim
+// (paper §2.2). Kind models which service it runs, which determines the
+// reply it reflects.
+type Reflector struct {
+	Server *netsim.Server
+	Kind   ReflectorKind
+
+	// Reflected counts replies sent in response to attack packets; Replied
+	// counts legitimate replies.
+	Reflected uint64
+	Replied   uint64
+}
+
+// ReflectorKind is the service a reflector host runs.
+type ReflectorKind uint8
+
+// Reflector services from the paper's list (web, DNS, FTP/Gnutella-style
+// servers, routers answering with ICMP).
+const (
+	ReflectWeb  ReflectorKind = iota // TCP SYN -> SYN-ACK
+	ReflectDNS                       // UDP query -> larger response
+	ReflectICMP                      // any IP packet -> ICMP host unreachable
+)
+
+// String implements fmt.Stringer.
+func (k ReflectorKind) String() string {
+	switch k {
+	case ReflectWeb:
+		return "web"
+	case ReflectDNS:
+		return "dns"
+	case ReflectICMP:
+		return "icmp"
+	default:
+		return fmt.Sprintf("reflector(%d)", uint8(k))
+	}
+}
+
+// DNSAmplification is the response/request size ratio of the DNS
+// reflector, modelling the packet-size amplification the paper describes.
+const DNSAmplification = 4
+
+// NewReflector attaches a reflector server to node. Service time and queue
+// depth describe the real service the host runs; reflection happens at the
+// same capacity (the server is not compromised, merely answering).
+func NewReflector(net *netsim.Network, node int, kind ReflectorKind, serviceTime sim.Time, queueCap int) (*Reflector, error) {
+	srv, err := net.NewServer(node, serviceTime, queueCap)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reflector{Server: srv, Kind: kind}
+	srv.OnServe = r.reply
+	return r, nil
+}
+
+// reply sends the service's response to the packet's claimed source.
+// The reflector cannot know the source is spoofed — that is the whole
+// attack. Replies to attack traffic are tagged KindReflect so experiments
+// can attribute the backscatter, and keep the true Origin for traceback
+// ground truth.
+func (r *Reflector) reply(now sim.Time, req *packet.Packet) {
+	kind := packet.KindLegit
+	if req.Kind == packet.KindAttack {
+		kind = packet.KindReflect
+		r.Reflected++
+	} else {
+		r.Replied++
+	}
+	resp := &packet.Packet{
+		Src: r.Server.Host.Addr, Dst: req.Src,
+		SrcPort: req.DstPort, DstPort: req.SrcPort,
+		Seq: req.Seq + 1, Kind: kind,
+	}
+	switch r.Kind {
+	case ReflectWeb:
+		resp.Proto = packet.TCP
+		resp.Flags = packet.FlagSYN | packet.FlagACK
+		resp.Size = packet.MinHeaderBytes + 12
+	case ReflectDNS:
+		resp.Proto = packet.UDP
+		resp.Size = req.Size * DNSAmplification
+	case ReflectICMP:
+		resp.Proto = packet.ICMP
+		resp.Flags = packet.ICMPUnreachable
+		resp.ICMPCode = packet.ICMPHostUnreachSub
+		resp.Size = packet.MinHeaderBytes + 8
+	}
+	r.Server.Host.Send(now, resp)
+}
+
+// NewReflectorFleet attaches one reflector per node.
+func NewReflectorFleet(net *netsim.Network, nodes []int, kind ReflectorKind, serviceTime sim.Time, queueCap int) ([]*Reflector, error) {
+	out := make([]*Reflector, 0, len(nodes))
+	for _, n := range nodes {
+		r, err := NewReflector(net, n, kind, serviceTime, queueCap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReflectorSpec returns the FloodSpec agents use to drive a reflector
+// attack: requests to the reflectors' service with the victim's address as
+// the spoofed source. Aim each agent at one reflector address.
+func ReflectorSpec(victim packet.Addr, kind ReflectorKind, rate float64) FloodSpec {
+	spec := FloodSpec{Rate: rate, Spoof: SpoofVictim, Victim: victim}
+	switch kind {
+	case ReflectWeb:
+		spec.Proto = packet.TCP
+		spec.Flags = packet.FlagSYN
+		spec.DstPort = 80
+		spec.Size = packet.MinHeaderBytes + 12
+	case ReflectDNS:
+		spec.Proto = packet.UDP
+		spec.DstPort = 53
+		spec.Size = packet.MinHeaderBytes + 32
+	case ReflectICMP:
+		spec.Proto = packet.ICMP
+		spec.Flags = packet.ICMPEchoRequest
+		spec.Size = packet.MinHeaderBytes + 8
+	}
+	return spec
+}
+
+// LaunchReflectorAttack points each agent at a reflector (round robin) and
+// launches through the C&C tree at `at`: agents send service requests with
+// the victim's spoofed source, and the reflectors' replies converge on the
+// victim.
+func (b *Botnet) LaunchReflectorAttack(at sim.Time, reflectors []*Reflector, kind ReflectorKind, victim packet.Addr, ratePerAgent float64, stop sim.Time) error {
+	if len(reflectors) == 0 {
+		return fmt.Errorf("attack: no reflectors")
+	}
+	base := ReflectorSpec(victim, kind, ratePerAgent)
+	for i, a := range b.Agents {
+		agent := a
+		refl := reflectors[i%len(reflectors)]
+		spec := base
+		// The "victim" of the agent's flood is the reflector; the spoofed
+		// source is the real victim.
+		spec.Victim = refl.Server.Host.Addr
+		agent.Recv = func(now sim.Time, pkt *packet.Packet) {
+			if pkt.Kind != packet.KindControl {
+				return
+			}
+			rng := b.net.Sim.RNG().Fork()
+			mk := func(j uint64) *packet.Packet {
+				return &packet.Packet{
+					Src: victim, Dst: refl.Server.Host.Addr,
+					Proto: spec.Proto, Flags: spec.Flags, DstPort: spec.DstPort,
+					SrcPort: uint16(1024 + rng.Intn(60000)), Seq: uint32(j),
+					Size: spec.Size, Kind: packet.KindAttack,
+				}
+			}
+			src := agent.StartCBR(now, ratePerAgent, mk)
+			b.sources = append(b.sources, src)
+			if stop > 0 {
+				b.net.Sim.At(stop, sim.EventFunc(func(sim.Time) { src.Stop() }))
+			}
+		}
+	}
+	// Kick off the C&C tree.
+	b.net.Sim.At(at, sim.EventFunc(func(now sim.Time) {
+		for _, m := range b.Masters {
+			b.ControlSent++
+			b.Attacker.Send(now, &packet.Packet{
+				Src: b.Attacker.Addr, Dst: m.Addr,
+				Proto: packet.TCP, DstPort: 31337,
+				Size: controlPacketSize, Kind: packet.KindControl,
+			})
+		}
+	}))
+	// Masters relay as in Launch.
+	for _, m := range b.Masters {
+		master := m
+		master.Recv = func(now sim.Time, pkt *packet.Packet) {
+			if pkt.Kind != packet.KindControl {
+				return
+			}
+			for _, a := range b.agentsOf[master.Addr] {
+				b.ControlSent++
+				master.Send(now, &packet.Packet{
+					Src: master.Addr, Dst: a.Addr,
+					Proto: packet.TCP, DstPort: 31337,
+					Size: controlPacketSize, Kind: packet.KindControl,
+				})
+			}
+		}
+	}
+	return nil
+}

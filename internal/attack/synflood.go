@@ -1,0 +1,142 @@
+package attack
+
+import (
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// SYNServer models TCP connection establishment with a finite half-open
+// connection table — the resource a SYN flood exhausts (paper §2.1).
+// A SYN occupies a table slot until the handshake's final ACK arrives or
+// the slot times out; a full table refuses new connections, legitimate
+// ones included.
+type SYNServer struct {
+	Host    *netsim.Host
+	Cap     int
+	Timeout sim.Time
+
+	halfOpen map[packet.FlowKey]sim.Time // flow -> expiry
+
+	Established uint64 // completed handshakes
+	Refused     uint64 // SYNs dropped because the table was full
+	TimedOut    uint64 // half-open slots reclaimed by timeout
+}
+
+// NewSYNServer attaches a listening server to node.
+func NewSYNServer(net *netsim.Network, node int, capacity int, timeout sim.Time) (*SYNServer, error) {
+	h, err := net.AttachHost(node)
+	if err != nil {
+		return nil, err
+	}
+	s := &SYNServer{Host: h, Cap: capacity, Timeout: timeout, halfOpen: make(map[packet.FlowKey]sim.Time)}
+	h.Recv = s.recv
+	return s, nil
+}
+
+// HalfOpen returns the current half-open table occupancy.
+func (s *SYNServer) HalfOpen() int { return len(s.halfOpen) }
+
+func (s *SYNServer) recv(now sim.Time, pkt *packet.Packet) {
+	if pkt.Proto != packet.TCP {
+		return
+	}
+	key := pkt.Flow()
+	switch {
+	case pkt.Flags&packet.FlagSYN != 0 && pkt.Flags&packet.FlagACK == 0:
+		if _, dup := s.halfOpen[key]; dup {
+			return // retransmitted SYN
+		}
+		if len(s.halfOpen) >= s.Cap {
+			s.Refused++
+			return
+		}
+		s.halfOpen[key] = now + s.Timeout
+		// SYN-ACK back to the claimed source.
+		s.Host.Send(now, &packet.Packet{
+			Src: s.Host.Addr, Dst: pkt.Src,
+			Proto: packet.TCP, Flags: packet.FlagSYN | packet.FlagACK,
+			SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+			Seq: pkt.Seq + 1, Size: packet.MinHeaderBytes + 12, Kind: pkt.Kind,
+		})
+		expiry := key
+		s.Host.Sim().AfterFunc(s.Timeout, func(t sim.Time) {
+			if exp, ok := s.halfOpen[expiry]; ok && t >= exp {
+				delete(s.halfOpen, expiry)
+				s.TimedOut++
+			}
+		})
+	case pkt.Flags&packet.FlagACK != 0 && pkt.Flags&packet.FlagSYN == 0:
+		if _, ok := s.halfOpen[key]; ok {
+			delete(s.halfOpen, key)
+			s.Established++
+		}
+	case pkt.Flags&packet.FlagRST != 0:
+		delete(s.halfOpen, key)
+	}
+}
+
+// SYNClient completes handshakes against a SYNServer: it sends a SYN and
+// answers the SYN-ACK with an ACK.
+type SYNClient struct {
+	Host      *netsim.Host
+	Completed uint64
+	source    *netsim.Source
+}
+
+// NewSYNClient attaches a handshaking client to node.
+func NewSYNClient(net *netsim.Network, node int) (*SYNClient, error) {
+	h, err := net.AttachHost(node)
+	if err != nil {
+		return nil, err
+	}
+	c := &SYNClient{Host: h}
+	h.Recv = func(now sim.Time, pkt *packet.Packet) {
+		if pkt.Proto == packet.TCP && pkt.Flags == packet.FlagSYN|packet.FlagACK {
+			c.Completed++
+			h.Send(now, &packet.Packet{
+				Src: h.Addr, Dst: pkt.Src,
+				Proto: packet.TCP, Flags: packet.FlagACK,
+				SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+				Seq: pkt.Seq + 1, Size: packet.MinHeaderBytes, Kind: packet.KindLegit,
+			})
+		}
+	}
+	return c, nil
+}
+
+// Start opens rate connections per second against server port 80.
+func (c *SYNClient) Start(at sim.Time, server packet.Addr, rate float64) {
+	c.source = c.Host.StartPoisson(at, rate, func(i uint64) *packet.Packet {
+		return &packet.Packet{
+			Src: c.Host.Addr, Dst: server,
+			Proto: packet.TCP, Flags: packet.FlagSYN,
+			SrcPort: uint16(1024 + i%50000), DstPort: 80,
+			Seq: uint32(i), Size: packet.MinHeaderBytes + 12, Kind: packet.KindLegit,
+		}
+	})
+}
+
+// Stop halts connection attempts.
+func (c *SYNClient) Stop() {
+	if c.source != nil {
+		c.source.Stop()
+	}
+}
+
+// Attempted returns the number of SYNs sent.
+func (c *SYNClient) Attempted() uint64 {
+	if c.source == nil {
+		return 0
+	}
+	return c.source.Sent()
+}
+
+// SYNFloodSpec returns the FloodSpec of a classic spoofed SYN flood.
+func SYNFloodSpec(victim packet.Addr, rate float64) FloodSpec {
+	return FloodSpec{
+		Rate: rate, Size: packet.MinHeaderBytes + 12,
+		Spoof: SpoofRandom, Proto: packet.TCP,
+		Flags: packet.FlagSYN, DstPort: 80, Victim: victim,
+	}
+}

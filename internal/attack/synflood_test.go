@@ -1,0 +1,192 @@
+package attack
+
+import (
+	"testing"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+func TestSYNHandshake(t *testing.T) {
+	s, net := star(t, 2)
+	srv, err := NewSYNServer(net, 1, 128, 500*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewSYNClient(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start(0, srv.Host.Addr, 100)
+	s.AfterFunc(200*sim.Millisecond, func(sim.Time) { cl.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Attempted() == 0 {
+		t.Fatal("no attempts")
+	}
+	if srv.Established != cl.Completed || srv.Established != cl.Attempted() {
+		t.Errorf("attempted=%d completed=%d established=%d", cl.Attempted(), cl.Completed, srv.Established)
+	}
+	if srv.Refused != 0 || srv.HalfOpen() != 0 {
+		t.Errorf("refused=%d halfopen=%d under normal load", srv.Refused, srv.HalfOpen())
+	}
+}
+
+func TestSYNFloodExhaustsTable(t *testing.T) {
+	s, net := star(t, 3)
+	srv, err := NewSYNServer(net, 1, 64, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewSYNClient(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spoofed flood: SYN-ACKs go to random nonexistent hosts, so the
+	// half-open slots only clear by timeout.
+	b, err := NewBotnet(net, 3, []int{3}, []int{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.LaunchDirect(0, SYNFloodSpec(srv.Host.Addr, 2000), 300*sim.Millisecond)
+	cl.Start(50*sim.Millisecond, srv.Host.Addr, 100)
+	s.AfterFunc(300*sim.Millisecond, func(sim.Time) { cl.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if srv.HalfOpen() != srv.Cap {
+		t.Errorf("half-open table = %d, want full (%d)", srv.HalfOpen(), srv.Cap)
+	}
+	if srv.Refused == 0 {
+		t.Error("no refusals despite flood")
+	}
+	// Legitimate clients are starved: most handshakes refused.
+	ratio := float64(cl.Completed) / float64(cl.Attempted())
+	if ratio > 0.5 {
+		t.Errorf("legit completion ratio %.2f under flood, expected starvation", ratio)
+	}
+}
+
+func TestSYNTableTimeoutReclaims(t *testing.T) {
+	s, net := star(t, 2)
+	srv, err := NewSYNServer(net, 1, 8, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, _ := net.AttachHost(2)
+	agent.SendBurst(0, 8, func(i uint64) *packet.Packet {
+		return &packet.Packet{
+			Src: packet.Addr(0xF0000000 + uint32(i)), Dst: srv.Host.Addr,
+			Proto: packet.TCP, Flags: packet.FlagSYN,
+			SrcPort: uint16(i), DstPort: 80, Size: 40, Kind: packet.KindAttack,
+		}
+	})
+	if _, err := s.Run(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.HalfOpen() != 8 {
+		t.Fatalf("half-open = %d after burst", srv.HalfOpen())
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.HalfOpen() != 0 || srv.TimedOut != 8 {
+		t.Errorf("halfopen=%d timedout=%d after timeout", srv.HalfOpen(), srv.TimedOut)
+	}
+}
+
+func TestSYNServerIgnoresNonTCPAndRST(t *testing.T) {
+	s, net := star(t, 2)
+	srv, err := NewSYNServer(net, 1, 8, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := net.AttachHost(2)
+	// UDP is ignored.
+	h.Send(0, &packet.Packet{Src: h.Addr, Dst: srv.Host.Addr, Proto: packet.UDP, Size: 40})
+	// SYN then RST clears the slot. Run with bounded horizons so the
+	// half-open timeout (1s) does not fire between checks.
+	h.Send(0, &packet.Packet{Src: h.Addr, Dst: srv.Host.Addr, Proto: packet.TCP, Flags: packet.FlagSYN, SrcPort: 5, DstPort: 80, Size: 40})
+	if _, err := s.Run(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.HalfOpen() != 1 {
+		t.Fatalf("half-open = %d", srv.HalfOpen())
+	}
+	h.Send(s.Now(), &packet.Packet{Src: h.Addr, Dst: srv.Host.Addr, Proto: packet.TCP, Flags: packet.FlagRST, SrcPort: 5, DstPort: 80, Size: 40})
+	if _, err := s.Run(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.HalfOpen() != 0 {
+		t.Errorf("RST did not clear the slot")
+	}
+	// Duplicate SYNs occupy one slot.
+	for i := 0; i < 3; i++ {
+		h.Send(s.Now(), &packet.Packet{Src: h.Addr, Dst: srv.Host.Addr, Proto: packet.TCP, Flags: packet.FlagSYN, SrcPort: 9, DstPort: 80, Size: 40})
+	}
+	if _, err := s.Run(30 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.HalfOpen() != 1 {
+		t.Errorf("duplicate SYNs created %d slots", srv.HalfOpen())
+	}
+}
+
+// TestSYNFloodMitigatedByAntiSpoof wires the full story: the spoofed SYN
+// flood dies at an ingress filter, so the table stays available.
+func TestSYNFloodMitigatedByAntiSpoof(t *testing.T) {
+	s := sim.New(1)
+	net := mustNet(t, s)
+	srv, err := NewSYNServer(net, 3, 64, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hook emulating a strict ingress filter at the agents' edge (node 0):
+	// unallocated sources die immediately.
+	net.AddHook(0, netsim.HookFunc{Label: "ingress", Fn: func(_ sim.Time, p *packet.Packet, ctx netsim.HookContext) netsim.Verdict {
+		if _, ok := ctx.Net.NodeOfAddr(p.Src); !ok {
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}})
+	b, err := NewBotnet(net, 0, []int{0}, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.LaunchDirect(0, SYNFloodSpec(srv.Host.Addr, 2000), 200*sim.Millisecond)
+	cl, err := NewSYNClient(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start(0, srv.Host.Addr, 100)
+	s.AfterFunc(200*sim.Millisecond, func(sim.Time) { cl.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Refused != 0 {
+		t.Errorf("refused %d legit connections despite filtering", srv.Refused)
+	}
+	if cl.Completed != cl.Attempted() {
+		t.Errorf("completed %d/%d with defense up", cl.Completed, cl.Attempted())
+	}
+}
+
+func mustNet(t *testing.T, s *sim.Simulation) *netsim.Network {
+	t.Helper()
+	net, err := netsim.New(s, lineGraph(4), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func lineGraph(n int) *topology.Graph { return topology.Line(n) }

@@ -1,0 +1,169 @@
+package attack
+
+import (
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// Client is a legitimate user of the victim's service: it issues Poisson
+// requests and counts the replies it gets back. Client goodput is the
+// primary collateral-damage metric in the mitigation experiments.
+type Client struct {
+	Host    *netsim.Host
+	Replies uint64
+	source  *netsim.Source
+}
+
+// NewClients attaches one legitimate client per node.
+func NewClients(net *netsim.Network, nodes []int) ([]*Client, error) {
+	out := make([]*Client, 0, len(nodes))
+	for _, n := range nodes {
+		h, err := net.AttachHost(n)
+		if err != nil {
+			return nil, err
+		}
+		c := &Client{Host: h}
+		h.Recv = func(_ sim.Time, pkt *packet.Packet) {
+			if pkt.Kind == packet.KindLegit {
+				c.Replies++
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Start begins issuing requests to server at the given mean rate.
+func (c *Client) Start(at sim.Time, server packet.Addr, rate float64, reqSize int) {
+	if reqSize == 0 {
+		reqSize = 200
+	}
+	c.source = c.Host.StartPoisson(at, rate, func(i uint64) *packet.Packet {
+		return &packet.Packet{
+			Src: c.Host.Addr, Dst: server,
+			Proto: packet.TCP, DstPort: 80, SrcPort: uint16(2000 + i%1000),
+			Flags: packet.FlagPSH | packet.FlagACK,
+			Size:  reqSize, Kind: packet.KindLegit, Seq: uint32(i),
+		}
+	})
+}
+
+// Stop halts request generation.
+func (c *Client) Stop() {
+	if c.source != nil {
+		c.source.Stop()
+	}
+}
+
+// Requested returns the number of requests issued.
+func (c *Client) Requested() uint64 {
+	if c.source == nil {
+		return 0
+	}
+	return c.source.Sent()
+}
+
+// VictimService is the attacked server plus its reply behaviour: every
+// served request generates a response to the requester.
+type VictimService struct {
+	Server *netsim.Server
+}
+
+// NewVictimService attaches a replying server to node.
+func NewVictimService(net *netsim.Network, node int, serviceTime sim.Time, queueCap int, respSize int) (*VictimService, error) {
+	srv, err := net.NewServer(node, serviceTime, queueCap)
+	if err != nil {
+		return nil, err
+	}
+	if respSize == 0 {
+		respSize = 800
+	}
+	v := &VictimService{Server: srv}
+	srv.OnServe = func(now sim.Time, req *packet.Packet) {
+		// Replies go to whoever the request claimed to be. Replies to
+		// legitimate clients are goodput; replies to spoofed sources are
+		// backscatter and die as noroute/nohost drops.
+		resp := &packet.Packet{
+			Src: srv.Host.Addr, Dst: req.Src,
+			Proto: packet.TCP, SrcPort: req.DstPort, DstPort: req.SrcPort,
+			Flags: packet.FlagPSH | packet.FlagACK,
+			Size:  respSize, Kind: req.Kind, Seq: req.Seq + 1,
+		}
+		srv.Host.Send(now, resp)
+	}
+	return v, nil
+}
+
+// TCPSession models an established long-lived TCP connection between two
+// hosts for the protocol-misuse experiment (E8): forged RST or ICMP
+// unreachable packets tear it down.
+type TCPSession struct {
+	A, B      *netsim.Host
+	TornDown  bool
+	DataRecvd uint64
+}
+
+// NewTCPSession wires two fresh hosts into a session; B tears the session
+// down when it receives a bare RST or an ICMP unreachable claiming to be
+// from A.
+func NewTCPSession(net *netsim.Network, nodeA, nodeB int) (*TCPSession, error) {
+	a, err := net.AttachHost(nodeA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := net.AttachHost(nodeB)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPSession{A: a, B: b}
+	b.Recv = func(_ sim.Time, pkt *packet.Packet) {
+		if pkt.Src != a.Addr {
+			return
+		}
+		switch {
+		case pkt.Proto == packet.TCP && pkt.Flags&packet.FlagRST != 0:
+			s.TornDown = true
+		case pkt.Proto == packet.ICMP && pkt.Flags == packet.ICMPUnreachable:
+			s.TornDown = true
+		case pkt.Proto == packet.TCP:
+			if !s.TornDown {
+				s.DataRecvd++
+			}
+		}
+	}
+	return s, nil
+}
+
+// StartData begins a steady data stream A->B at rate packets/second.
+func (s *TCPSession) StartData(at sim.Time, rate float64) *netsim.Source {
+	return s.A.StartCBR(at, rate, func(i uint64) *packet.Packet {
+		return &packet.Packet{
+			Src: s.A.Addr, Dst: s.B.Addr,
+			Proto: packet.TCP, SrcPort: 5000, DstPort: 5001,
+			Flags: packet.FlagACK | packet.FlagPSH,
+			Size:  512, Kind: packet.KindLegit, Seq: uint32(i),
+		}
+	})
+}
+
+// ForgeTeardown sends a forged teardown packet from the given agent,
+// claiming to come from session endpoint A.
+func ForgeTeardown(agent *netsim.Host, s *TCPSession, at sim.Time, useICMP bool) {
+	agent.SendBurst(at, 1, func(uint64) *packet.Packet {
+		p := &packet.Packet{
+			Src: s.A.Addr, Dst: s.B.Addr, // spoofed!
+			Size: packet.MinHeaderBytes, Kind: packet.KindAttack,
+		}
+		if useICMP {
+			p.Proto = packet.ICMP
+			p.Flags = packet.ICMPUnreachable
+			p.ICMPCode = packet.ICMPHostUnreachSub
+		} else {
+			p.Proto = packet.TCP
+			p.SrcPort, p.DstPort = 5000, 5001
+			p.Flags = packet.FlagRST
+		}
+		return p
+	})
+}

@@ -1,0 +1,198 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+
+	"dtc/internal/packet"
+)
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func TestNewIdentity(t *testing.T) {
+	id, err := NewIdentity("alice", seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Name != "alice" || len(id.Pub) == 0 {
+		t.Error("identity incomplete")
+	}
+	id2, err := NewIdentity("alice", seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(id.Pub, id2.Pub) {
+		t.Error("same seed produced different keys")
+	}
+	if _, err := NewIdentity("", seed(1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewIdentity("x", []byte{1, 2}); err == nil {
+		t.Error("short seed accepted")
+	}
+	random, err := NewIdentity("r", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(random.Pub, id.Pub) {
+		t.Error("random identity equals seeded identity")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	id, _ := NewIdentity("a", seed(2))
+	msg := []byte("hello")
+	sig := id.Sign(msg)
+	if !Verify(id.Pub, msg, sig) {
+		t.Error("valid signature rejected")
+	}
+	if Verify(id.Pub, []byte("tampered"), sig) {
+		t.Error("tampered message verified")
+	}
+	other, _ := NewIdentity("b", seed(3))
+	if Verify(other.Pub, msg, sig) {
+		t.Error("wrong key verified")
+	}
+	if Verify(nil, msg, sig) {
+		t.Error("nil key verified")
+	}
+}
+
+func issue(t *testing.T) (*Identity, *Identity, *Certificate) {
+	t.Helper()
+	ca, _ := NewIdentity("tcsp", seed(10))
+	owner, _ := NewIdentity("acme", seed(11))
+	cert, err := IssueCertificate(ca, owner,
+		[]packet.Prefix{packet.MustParsePrefix("10.0.0.0/16"), packet.MustParsePrefix("192.168.0.0/24")},
+		1, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, owner, cert
+}
+
+func TestCertificateVerify(t *testing.T) {
+	ca, _, cert := issue(t)
+	if err := cert.Verify(ca.Pub, 500); err != nil {
+		t.Errorf("valid certificate rejected: %v", err)
+	}
+	if err := cert.Verify(ca.Pub, 50); err == nil {
+		t.Error("not-yet-valid certificate accepted")
+	}
+	if err := cert.Verify(ca.Pub, 1000); err == nil {
+		t.Error("expired certificate accepted")
+	}
+	mallory, _ := NewIdentity("mallory", seed(12))
+	if err := cert.Verify(mallory.Pub, 500); err == nil {
+		t.Error("certificate verified under wrong CA key")
+	}
+}
+
+func TestCertificateTamperDetection(t *testing.T) {
+	ca, _, cert := issue(t)
+	mutations := []func(*Certificate){
+		func(c *Certificate) { c.Owner = "evil" },
+		func(c *Certificate) { c.Prefixes = append(c.Prefixes, "0.0.0.0/0") },
+		func(c *Certificate) { c.Prefixes[0] = "10.0.0.0/8" },
+		func(c *Certificate) { c.Serial++ },
+		func(c *Certificate) { c.NotAfter += 100000 },
+		func(c *Certificate) { c.PublicKey[0] ^= 1 },
+		func(c *Certificate) { c.Issuer = "other" },
+	}
+	for i, mutate := range mutations {
+		cp := *cert
+		cp.Prefixes = append([]string(nil), cert.Prefixes...)
+		cp.PublicKey = append([]byte(nil), cert.PublicKey...)
+		mutate(&cp)
+		if err := cp.Verify(ca.Pub, 500); err == nil {
+			t.Errorf("mutation %d not detected", i)
+		}
+	}
+}
+
+func TestCertificateCovers(t *testing.T) {
+	_, _, cert := issue(t)
+	cases := []struct {
+		p    string
+		want bool
+	}{
+		{"10.0.0.0/16", true},
+		{"10.0.5.0/24", true},
+		{"10.0.5.5/32", true},
+		{"10.1.0.0/16", false},
+		{"10.0.0.0/8", false}, // wider than certified
+		{"192.168.0.0/24", true},
+		{"192.168.1.0/24", false},
+		{"0.0.0.0/0", false},
+	}
+	for _, c := range cases {
+		if got := cert.Covers(packet.MustParsePrefix(c.p)); got != c.want {
+			t.Errorf("Covers(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCertificateMarshalRoundTrip(t *testing.T) {
+	ca, _, cert := issue(t)
+	data, err := cert.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(ca.Pub, 500); err != nil {
+		t.Errorf("round-tripped certificate invalid: %v", err)
+	}
+	if _, err := UnmarshalCertificate([]byte("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestIssueCertificateValidation(t *testing.T) {
+	ca, _ := NewIdentity("tcsp", seed(10))
+	owner, _ := NewIdentity("acme", seed(11))
+	if _, err := IssueCertificate(ca, owner, nil, 1, 100, 100); err == nil {
+		t.Error("empty validity window accepted")
+	}
+}
+
+func TestSignedRequest(t *testing.T) {
+	_, owner, cert := issue(t)
+	body := []byte(`{"action":"deploy"}`)
+	req := SignRequest(owner, cert.Serial, 42, body)
+	if err := VerifyRequest(cert, req); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	// Tampered body.
+	bad := *req
+	bad.Body = []byte(`{"action":"destroy"}`)
+	if err := VerifyRequest(cert, &bad); err == nil {
+		t.Error("tampered body accepted")
+	}
+	// Wrong serial.
+	bad2 := *req
+	bad2.CertSerial = 99
+	if err := VerifyRequest(cert, &bad2); err == nil {
+		t.Error("serial mismatch accepted")
+	}
+	// Signed by somebody else's key.
+	mallory, _ := NewIdentity("mallory", seed(13))
+	forged := SignRequest(mallory, cert.Serial, 42, body)
+	if err := VerifyRequest(cert, forged); err == nil {
+		t.Error("forged request accepted")
+	}
+	// Nonce is covered by the signature.
+	bad3 := *req
+	bad3.Nonce = 43
+	if err := VerifyRequest(cert, &bad3); err == nil {
+		t.Error("nonce mutation accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package auth_test
+
+import (
+	"fmt"
+
+	"dtc/internal/auth"
+	"dtc/internal/packet"
+)
+
+// Example walks the trust chain of the traffic control service: the TCSP
+// certifies a user's key for verified prefixes, the user signs a request,
+// and an ISP validates both before acting.
+func Example() {
+	seed := func(b byte) []byte {
+		s := make([]byte, 32)
+		for i := range s {
+			s[i] = b
+		}
+		return s
+	}
+	tcspID, _ := auth.NewIdentity("tcsp", seed(1))
+	userID, _ := auth.NewIdentity("acme", seed(2))
+
+	cert, _ := auth.IssueCertificate(tcspID, userID,
+		[]packet.Prefix{packet.MustParsePrefix("192.0.2.0/24")}, 1, 0, 1000)
+
+	// The ISP checks the certificate chain…
+	fmt.Println("cert valid:", cert.Verify(tcspID.Pub, 500) == nil)
+	// …that it covers the addresses being controlled…
+	fmt.Println("covers /26:", cert.Covers(packet.MustParsePrefix("192.0.2.64/26")))
+	fmt.Println("covers foreign:", cert.Covers(packet.MustParsePrefix("198.51.100.0/24")))
+
+	// …and that the request was really signed by the certified key.
+	req := auth.SignRequest(userID, cert.Serial, 1, []byte(`{"op":"deploy"}`))
+	fmt.Println("request valid:", auth.VerifyRequest(cert, req) == nil)
+
+	mallory, _ := auth.NewIdentity("mallory", seed(3))
+	forged := auth.SignRequest(mallory, cert.Serial, 2, []byte(`{"op":"deploy"}`))
+	fmt.Println("forgery valid:", auth.VerifyRequest(cert, forged) == nil)
+	// Output:
+	// cert valid: true
+	// covers /26: true
+	// covers foreign: false
+	// request valid: true
+	// forgery valid: false
+}

@@ -1,0 +1,337 @@
+package baseline
+
+import (
+	"testing"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+func lineNet(t *testing.T, n int) (*sim.Simulation, *netsim.Network) {
+	t.Helper()
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(n), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, net
+}
+
+func TestIngressFilterDropsSpoofed(t *testing.T) {
+	s, net := lineNet(t, 4)
+	f := DeployIngress(net, []int{0})
+	agent, _ := net.AttachHost(0)
+	victim, _ := net.AttachHost(3)
+
+	// Spoofed packet (foreign source) from a local host: dropped.
+	agent.Send(0, &packet.Packet{Src: packet.MustParseAddr("99.9.9.9"), Dst: victim.Addr, Size: 100, Kind: packet.KindAttack})
+	// Legitimate packet: passes.
+	agent.Send(0, &packet.Packet{Src: agent.Addr, Dst: victim.Addr, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Dropped != 1 {
+		t.Errorf("Dropped = %d", f.Dropped)
+	}
+	if victim.Delivered[packet.KindLegit] != 1 || victim.Delivered[packet.KindAttack] != 0 {
+		t.Errorf("delivered legit=%d attack=%d", victim.Delivered[packet.KindLegit], victim.Delivered[packet.KindAttack])
+	}
+}
+
+func TestIngressFilterSparesTransit(t *testing.T) {
+	s, net := lineNet(t, 4)
+	// Filter at node 1 (transit): traffic from node 0 arriving at 1 comes
+	// from a stub neighbor, so uRPF applies; traffic from node 2 (transit
+	// neighbor) is exempt even with a bogus source.
+	DeployIngress(net, []int{1})
+	h0, _ := net.AttachHost(0)
+	h3, _ := net.AttachHost(3)
+	v, _ := net.AttachHost(1)
+	// From stub side with correct source: passes.
+	h0.Send(0, &packet.Packet{Src: h0.Addr, Dst: v.Addr, Size: 100})
+	// From transit side (node 2 toward 1) with spoofed source: passes
+	// because interface is transit. Host at 3 sends spoofed packet which
+	// traverses transit node 2 then arrives at 1 from a transit neighbor.
+	h3.Send(0, &packet.Packet{Src: packet.MustParseAddr("99.9.9.9"), Dst: v.Addr, Size: 100, Kind: packet.KindAttack})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Delivered[packet.KindLegit] != 1 {
+		t.Error("legit from stub not delivered")
+	}
+	if v.Delivered[packet.KindAttack] != 1 {
+		t.Error("spoofed transit traffic filtered at transit interface")
+	}
+}
+
+func TestIngressFilterAtSourceStubCatchesSpoof(t *testing.T) {
+	s, net := lineNet(t, 4)
+	DeployIngress(net, []int{3})
+	agent, _ := net.AttachHost(3)
+	victim, _ := net.AttachHost(0)
+	agent.Send(0, &packet.Packet{Src: packet.MustParseAddr("5.5.5.5"), Dst: victim.Addr, Size: 100, Kind: packet.KindAttack})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Delivered[packet.KindAttack] != 0 {
+		t.Error("spoofed packet escaped its source stub")
+	}
+}
+
+// pushbackScenario: many agents at node 0 flood a victim at node 3 through
+// a thin link 2->3, overflowing its queue.
+func TestPushbackEngagesOnCongestion(t *testing.T) {
+	s, net := lineNet(t, 4)
+	// Thin last link.
+	if err := net.SetDuplexLinkConfig(2, 3, netsim.LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond, QueueCap: 16}); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := net.AttachHost(3)
+	agent, _ := net.AttachHost(0)
+	pb := NewPushback(net, DefaultPushbackConfig())
+
+	src := agent.StartCBR(0, 5000, func(i uint64) *packet.Packet {
+		return &packet.Packet{Src: agent.Addr, Dst: victim.Addr, Size: 500, Kind: packet.KindAttack}
+	})
+	s.AfterFunc(sim.Second, func(sim.Time) { src.Stop(); pb.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if pb.Activations == 0 {
+		t.Fatal("pushback never engaged under congestion")
+	}
+	if pb.LimitsInstalled == 0 {
+		t.Fatal("no limits installed")
+	}
+	// The limited aggregate is the agent's /16.
+	want := packet.MakePrefix(agent.Addr, 16)
+	found := false
+	for node := 0; node < 4; node++ {
+		for _, agg := range pb.LimitedAggregates(node) {
+			if agg == want {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("agent aggregate not limited")
+	}
+	// Upstream propagation: node 2 (head of congested link) and nodes
+	// toward the source should carry limits.
+	if len(pb.LimitedAggregates(2)) == 0 {
+		t.Error("no limit at congested node")
+	}
+	if len(pb.LimitedAggregates(0)) == 0 && len(pb.LimitedAggregates(1)) == 0 {
+		t.Error("limit not pushed upstream")
+	}
+}
+
+func TestPushbackSilentWithoutCongestion(t *testing.T) {
+	s, net := lineNet(t, 4)
+	victim, _ := net.AttachHost(3)
+	agent, _ := net.AttachHost(0)
+	pb := NewPushback(net, DefaultPushbackConfig())
+	// Modest traffic on fat links: no queue drops, no pushback. This is
+	// the server-farm failure mode: the host may be dying, pushback
+	// watches links.
+	src := agent.StartCBR(0, 500, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: agent.Addr, Dst: victim.Addr, Size: 100, Kind: packet.KindAttack}
+	})
+	s.AfterFunc(sim.Second, func(sim.Time) { src.Stop(); pb.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if pb.Activations != 0 || pb.LimitsInstalled != 0 {
+		t.Errorf("pushback engaged without congestion: %d activations", pb.Activations)
+	}
+}
+
+func TestPushbackStopsAtNonParticipant(t *testing.T) {
+	s, net := lineNet(t, 4)
+	if err := net.SetDuplexLinkConfig(2, 3, netsim.LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond, QueueCap: 16}); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := net.AttachHost(3)
+	agent, _ := net.AttachHost(0)
+	cfg := DefaultPushbackConfig()
+	cfg.Participates = func(node int) bool { return node != 1 } // node 1 mute
+	pb := NewPushback(net, cfg)
+	src := agent.StartCBR(0, 5000, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: agent.Addr, Dst: victim.Addr, Size: 500, Kind: packet.KindAttack}
+	})
+	s.AfterFunc(sim.Second, func(sim.Time) { src.Stop(); pb.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.LimitedAggregates(2)) == 0 {
+		t.Error("no limit at congested node")
+	}
+	// Propagation must stop at node 1: node 0 never gets the limit.
+	if len(pb.LimitedAggregates(1)) != 0 {
+		t.Error("non-participant installed a limit")
+	}
+	if len(pb.LimitedAggregates(0)) != 0 {
+		t.Error("limit crossed a non-participating router")
+	}
+}
+
+func TestPushbackCollateralOnSpoofedSources(t *testing.T) {
+	s, net := lineNet(t, 4)
+	if err := net.SetDuplexLinkConfig(2, 3, netsim.LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond, QueueCap: 16}); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := net.AttachHost(3)
+	agent, _ := net.AttachHost(0)
+	legit, _ := net.AttachHost(0) // legitimate client in the same /16!
+	pb := NewPushback(net, DefaultPushbackConfig())
+
+	rng := s.RNG().Fork()
+	atk := agent.StartCBR(0, 5000, func(uint64) *packet.Packet {
+		// Spoof inside own subnet: aggregate = the shared /16.
+		return &packet.Packet{
+			Src: netsim.NodePrefix(0).Nth(uint64(rng.Intn(60000))),
+			Dst: victim.Addr, Size: 500, Kind: packet.KindAttack,
+		}
+	})
+	lg := legit.StartCBR(0, 200, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Size: 200, Kind: packet.KindLegit}
+	})
+	s.AfterFunc(sim.Second, func(sim.Time) { atk.Stop(); lg.Stop(); pb.Stop(); s.Stop() })
+	if _, err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if pb.LimitsInstalled == 0 {
+		t.Fatal("pushback did not engage")
+	}
+	// Collateral: the legit client shares the limited aggregate, so a
+	// large share of its traffic dies in the limiter.
+	rate := float64(victim.Delivered[packet.KindLegit]) / float64(lg.Sent())
+	if rate > 0.8 {
+		t.Errorf("legit delivery rate %.2f — expected heavy collateral from aggregate limiting", rate)
+	}
+}
+
+func TestSPIEInfrastructureTrace(t *testing.T) {
+	s, net := lineNet(t, 5)
+	infra := NewSPIEInfrastructure(net, nil, 100*sim.Millisecond, 16, 1<<16)
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(4)
+	var captured *packet.Packet
+	dst.Recv = func(_ sim.Time, p *packet.Packet) { captured = p.Clone() }
+	src.Send(0, &packet.Packet{Src: packet.MustParseAddr("7.7.7.7"), Dst: dst.Addr, Size: 100, Seq: 42, Kind: packet.KindAttack})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("packet not delivered")
+	}
+	nodes := infra.Trace(captured, 0)
+	if len(nodes) < 5 {
+		t.Errorf("trace saw nodes %v, want all 5", nodes)
+	}
+	origin, path, ok := infra.TraceOrigin(captured, 0, 4)
+	if !ok {
+		t.Fatal("victim node has no record")
+	}
+	if origin != 0 {
+		t.Errorf("origin = %d, want 0 (true entry point despite spoofed source)", origin)
+	}
+	if len(path) != 5 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestSPIETraceUnknownPacket(t *testing.T) {
+	s, net := lineNet(t, 3)
+	infra := NewSPIEInfrastructure(net, nil, 100*sim.Millisecond, 4, 1<<16)
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(2)
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ghost := &packet.Packet{Src: 1, Dst: 2, Seq: 999999, Size: 77}
+	if _, _, ok := infra.TraceOrigin(ghost, 0, 2); ok {
+		t.Error("traced a packet that never existed")
+	}
+}
+
+func TestOverlayAdmitsMembersOnly(t *testing.T) {
+	s, net := lineNet(t, 4)
+	victim, _ := net.AttachHost(3)
+	member, _ := net.AttachHost(0)
+	stranger, _ := net.AttachHost(0)
+	o := NewOverlay(net, victim.Addr, []int{2}) // perimeter at node 2
+	o.Authorize(member.Addr)
+
+	member.Send(0, &packet.Packet{Src: member.Addr, Dst: victim.Addr, Size: 100})
+	stranger.Send(0, &packet.Packet{Src: stranger.Addr, Dst: victim.Addr, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Delivered[packet.KindLegit] != 1 {
+		t.Errorf("delivered = %d, want 1", victim.Delivered[packet.KindLegit])
+	}
+	if o.Admitted != 1 || o.Rejected != 1 {
+		t.Errorf("admitted=%d rejected=%d", o.Admitted, o.Rejected)
+	}
+	// Traffic to other destinations is untouched.
+	other, _ := net.AttachHost(2)
+	stranger.Send(s.Now(), &packet.Packet{Src: stranger.Addr, Dst: other.Addr, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Delivered[packet.KindLegit] != 1 {
+		t.Error("overlay filtered unrelated traffic")
+	}
+	o.Revoke(member.Addr)
+	if o.Members() != 0 {
+		t.Error("revoke failed")
+	}
+}
+
+func TestPushbackReliefAfterAttackSubsides(t *testing.T) {
+	s, net := lineNet(t, 4)
+	if err := net.SetDuplexLinkConfig(2, 3, netsim.LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond, QueueCap: 16}); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := net.AttachHost(3)
+	agent, _ := net.AttachHost(0)
+	cfg := DefaultPushbackConfig()
+	cfg.ReliefWindows = 3
+	pb := NewPushback(net, cfg)
+	// Attack for 1s, then silence for 2s.
+	src := agent.StartCBR(0, 5000, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: agent.Addr, Dst: victim.Addr, Size: 500, Kind: packet.KindAttack}
+	})
+	s.AfterFunc(sim.Second, func(sim.Time) { src.Stop() })
+	s.AfterFunc(3*sim.Second, func(sim.Time) { pb.Stop(); s.Stop() })
+	if _, err := s.Run(4 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if pb.LimitsInstalled == 0 {
+		t.Fatal("pushback never engaged")
+	}
+	if pb.Relieved == 0 {
+		t.Error("no limiters relieved after the attack subsided (phase 3)")
+	}
+	for node := 0; node < 4; node++ {
+		if n := len(pb.LimitedAggregates(node)); n != 0 {
+			t.Errorf("node %d still has %d limiters after relief", node, n)
+		}
+	}
+	// Post-attack legitimate traffic flows unharmed.
+	legit, _ := net.AttachHost(0)
+	before := victim.Delivered[packet.KindLegit]
+	legit.SendBurst(s.Now(), 10, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Size: 100, Kind: packet.KindLegit}
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Delivered[packet.KindLegit]-before != 10 {
+		t.Error("relieved limiters still dropping legit traffic")
+	}
+}

@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"fmt"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// Indirection models the i3-based defense of Lakshminarayanan et al.
+// (paper §3.1): the server's real address is hidden; clients address a
+// public *trigger* hosted on an overlay node, which relays to the private
+// server address. Under attack the trigger can be dropped or moved.
+//
+// The paper's critique, which the E-series tests reproduce: "It remains
+// unclear how server IP addresses can be hidden under attack, when they
+// are known under normal operation." Once the private address leaks, the
+// indirection layer provides no protection at all.
+type Indirection struct {
+	net     *netsim.Network
+	Trigger *netsim.Host // public address clients use
+	private packet.Addr  // the hidden server
+	relayOn bool
+
+	Relayed uint64
+	Dropped uint64
+}
+
+// NewIndirection creates a trigger host on overlayNode relaying to the
+// private server address. The private host must already exist.
+func NewIndirection(net *netsim.Network, overlayNode int, private packet.Addr) (*Indirection, error) {
+	if _, ok := net.HostByAddr(private); !ok {
+		return nil, fmt.Errorf("baseline: no host at private address %v", private)
+	}
+	trig, err := net.AttachHost(overlayNode)
+	if err != nil {
+		return nil, err
+	}
+	ind := &Indirection{net: net, Trigger: trig, private: private, relayOn: true}
+	trig.Recv = ind.relay
+	return ind, nil
+}
+
+// SetRelay enables or disables the trigger (dropping the trigger is i3's
+// reaction to an attack on the public address).
+func (ind *Indirection) SetRelay(on bool) { ind.relayOn = on }
+
+// relay forwards a packet received at the trigger to the private address,
+// preserving the original source so the server can reply directly.
+func (ind *Indirection) relay(now sim.Time, pkt *packet.Packet) {
+	if !ind.relayOn {
+		ind.Dropped++
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.Dst = ind.private
+	fwd.TTL = packet.DefaultTTL
+	ind.Relayed++
+	ind.Trigger.Send(now, fwd)
+}

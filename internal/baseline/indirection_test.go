@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// indirectionWorld: server on node 3, overlay trigger on node 2, clients
+// and attacker on node 0.
+func indirectionWorld(t *testing.T) (*sim.Simulation, *netsim.Network, *netsim.Host, *Indirection) {
+	t.Helper()
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(4), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := net.AttachHost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := NewIndirection(net, 2, server.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, net, server, ind
+}
+
+func TestIndirectionRelaysClientTraffic(t *testing.T) {
+	s, net, server, ind := indirectionWorld(t)
+	client, _ := net.AttachHost(0)
+	var got *packet.Packet
+	server.Recv = func(_ sim.Time, p *packet.Packet) { got = p }
+	client.Send(0, &packet.Packet{Src: client.Addr, Dst: ind.Trigger.Addr, DstPort: 80, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("relayed packet not delivered")
+	}
+	if got.Src != client.Addr {
+		t.Errorf("relay lost original source: %v", got.Src)
+	}
+	if ind.Relayed != 1 {
+		t.Errorf("Relayed = %d", ind.Relayed)
+	}
+}
+
+func TestIndirectionProtectsWhileAddressHidden(t *testing.T) {
+	s, net, server, ind := indirectionWorld(t)
+	attacker, _ := net.AttachHost(0)
+	// The attacker only knows the public trigger. The overlay reacts by
+	// dropping the trigger; the attack never reaches the server.
+	ind.SetRelay(false)
+	attacker.SendBurst(0, 50, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: attacker.Addr, Dst: ind.Trigger.Addr, Size: 400, Kind: packet.KindAttack}
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if server.Delivered[packet.KindAttack] != 0 {
+		t.Error("attack reached hidden server through a dropped trigger")
+	}
+	if ind.Dropped != 50 {
+		t.Errorf("Dropped = %d", ind.Dropped)
+	}
+}
+
+// TestIndirectionFailsOnceAddressLeaks reproduces the paper's critique:
+// the private address was public before the attack (normal operation), so
+// an attacker who recorded it bypasses the overlay entirely.
+func TestIndirectionFailsOnceAddressLeaks(t *testing.T) {
+	s, net, server, ind := indirectionWorld(t)
+	attacker, _ := net.AttachHost(0)
+	ind.SetRelay(false) // defense fully engaged
+	attacker.SendBurst(0, 50, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: attacker.Addr, Dst: server.Addr, Size: 400, Kind: packet.KindAttack}
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if server.Delivered[packet.KindAttack] != 50 {
+		t.Errorf("leaked-address attack delivered %d/50 — i3 should be helpless here",
+			server.Delivered[packet.KindAttack])
+	}
+}
+
+func TestIndirectionConstructorValidation(t *testing.T) {
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(2), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIndirection(net, 0, packet.MustParseAddr("9.9.9.9")); err == nil {
+		t.Error("indirection to nonexistent host accepted")
+	}
+}

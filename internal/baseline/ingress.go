@@ -1,0 +1,76 @@
+// Package baseline implements the prior DDoS mitigation systems the paper
+// analyses in Section 3, as netsim hooks: operator-installed static
+// ingress filtering (RFC 2267), Pushback aggregate rate limiting (Mahajan
+// et al.), SPIE hash-based traceback infrastructure (Snoeren et al.), and
+// an SOS/Mayday-style protected overlay perimeter. The mitigation
+// experiments run these against the paper's traffic control service on
+// identical scenarios.
+package baseline
+
+import (
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// IngressFilter is classic operator-deployed ingress filtering: at the
+// deploying AS, packets entering from customer/host interfaces must carry
+// a source address that could legitimately originate there (uRPF against
+// symmetric shortest-path routing); transit interfaces are exempt.
+//
+// Unlike the paper's service it is all-or-nothing per ISP — there is no
+// per-owner scoping and no user control, which is exactly the deployment
+// incentive problem (§3.2) the TCSP model addresses.
+type IngressFilter struct {
+	net *netsim.Network
+
+	Dropped uint64
+	Passed  uint64
+}
+
+// NewIngressFilter creates the filter logic (shared across nodes; counters
+// are aggregate).
+func NewIngressFilter(net *netsim.Network) *IngressFilter {
+	return &IngressFilter{net: net}
+}
+
+// Name implements netsim.Hook.
+func (f *IngressFilter) Name() string { return "static-ingress-filter" }
+
+// Process implements netsim.Hook.
+func (f *IngressFilter) Process(_ sim.Time, pkt *packet.Packet, ctx netsim.HookContext) netsim.Verdict {
+	if ctx.From != netsim.Local && f.net.Graph.Nodes[ctx.From].Role == topology.RoleTransit {
+		f.Passed++
+		return netsim.Pass // never filter transit traffic
+	}
+	if !f.validIngress(ctx.Node, ctx.From, pkt.Src) {
+		f.Dropped++
+		return netsim.Drop
+	}
+	f.Passed++
+	return netsim.Pass
+}
+
+func (f *IngressFilter) validIngress(node, from int, src packet.Addr) bool {
+	srcNode, ok := f.net.NodeOfAddr(src)
+	if !ok {
+		return false
+	}
+	if from == netsim.Local {
+		return srcNode == node
+	}
+	if srcNode == node {
+		return false
+	}
+	return f.net.Table.FeasibleIngress(node, from, srcNode)
+}
+
+// DeployIngress installs the filter at the given nodes and returns it.
+func DeployIngress(net *netsim.Network, nodes []int) *IngressFilter {
+	f := NewIngressFilter(net)
+	for _, n := range nodes {
+		net.AddHook(n, f)
+	}
+	return f
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// Overlay models SOS/Mayday-style protection (paper §3.2): a perimeter of
+// filtering routers admits traffic to the protected target only from
+// pre-authorized members of the overlay. It works — for the members — but
+// an open service cannot enumerate its clients in advance, so legitimate
+// non-members are cut off. The experiments measure exactly that collateral.
+type Overlay struct {
+	Target packet.Addr
+
+	members map[packet.Addr]bool
+
+	Admitted uint64
+	Rejected uint64
+}
+
+// NewOverlay creates a perimeter protecting target and installs it at the
+// given ring nodes.
+func NewOverlay(net *netsim.Network, target packet.Addr, ring []int) *Overlay {
+	o := &Overlay{Target: target, members: make(map[packet.Addr]bool)}
+	for _, n := range ring {
+		net.AddHook(n, o)
+	}
+	return o
+}
+
+// Authorize admits a member source address (pre-established trust
+// relationship).
+func (o *Overlay) Authorize(a packet.Addr) { o.members[a] = true }
+
+// Revoke removes a member.
+func (o *Overlay) Revoke(a packet.Addr) { delete(o.members, a) }
+
+// Members returns the number of authorized sources.
+func (o *Overlay) Members() int { return len(o.members) }
+
+// Name implements netsim.Hook.
+func (o *Overlay) Name() string { return "sos-overlay" }
+
+// Process implements netsim.Hook.
+func (o *Overlay) Process(_ sim.Time, pkt *packet.Packet, _ netsim.HookContext) netsim.Verdict {
+	if pkt.Dst != o.Target {
+		return netsim.Pass
+	}
+	if o.members[pkt.Src] {
+		o.Admitted++
+		return netsim.Pass
+	}
+	o.Rejected++
+	return netsim.Drop
+}

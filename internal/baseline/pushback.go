@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// PushbackConfig tunes the Pushback controller.
+type PushbackConfig struct {
+	// Window is the drop-statistics observation period.
+	Window sim.Time
+	// DropThreshold is the queue-drop count per node per window that marks
+	// a link as overloaded.
+	DropThreshold uint64
+	// LimitRate is the rate (packets/second) the identified aggregate is
+	// limited to at each router that installs the limit.
+	LimitRate float64
+	// MaxDepth bounds upstream propagation of pushback requests.
+	MaxDepth int
+	// Participates reports whether a router speaks the pushback protocol;
+	// propagation stops at non-participants (paper §3.1). Nil = all do.
+	Participates func(node int) bool
+	// ReliefWindows is the reactive scheme's third phase (paper §3.1):
+	// after this many consecutive windows in which a limiter dropped
+	// nothing, the countermeasure is removed. 0 disables relief.
+	ReliefWindows int
+}
+
+// DefaultPushbackConfig mirrors the shape of the original proposal.
+func DefaultPushbackConfig() PushbackConfig {
+	return PushbackConfig{
+		Window:        100 * sim.Millisecond,
+		DropThreshold: 20,
+		LimitRate:     100,
+		MaxDepth:      4,
+		ReliefWindows: 10,
+	}
+}
+
+// aggLimiter rate-limits one source aggregate at one node.
+type aggLimiter struct {
+	agg    packet.Prefix
+	rate   float64
+	tokens float64
+	burst  float64
+	last   sim.Time
+	init   bool
+
+	Dropped     uint64
+	lastDropped uint64 // Dropped at the previous relief evaluation
+	quiet       int    // consecutive windows without drops
+}
+
+// Pushback implements the aggregate-based congestion control of Mahajan et
+// al.: routers observe drop statistics; when a link is overloaded, the
+// source aggregate responsible for the most drops is rate limited locally
+// and the limit is pushed to upstream routers on the aggregate's path.
+//
+// Section 3.1 of the paper identifies two failure modes this package
+// reproduces faithfully:
+//
+//   - if the victim's uplink is over-provisioned (server farm), no queue
+//     ever overflows and pushback never engages; and
+//   - aggregates are source-prefix based, so spoofed sources make the rate
+//     limit hit legitimate traffic sharing the (forged) prefix.
+type Pushback struct {
+	net *netsim.Network
+	cfg PushbackConfig
+
+	// dropsByNode[node][aggregate] accumulates this window's queue drops.
+	dropsByNode map[int]map[packet.Prefix]uint64
+	limiters    map[int][]*aggLimiter
+	ticker      *sim.Ticker
+
+	// LimitsInstalled counts (node, aggregate) limiter installations.
+	LimitsInstalled int
+	// Activations counts windows in which any node exceeded the threshold.
+	Activations int
+	// Relieved counts limiters removed after the attack subsided.
+	Relieved int
+}
+
+// NewPushback attaches pushback monitoring to every router and starts the
+// periodic evaluation.
+func NewPushback(net *netsim.Network, cfg PushbackConfig) *Pushback {
+	p := &Pushback{
+		net: net, cfg: cfg,
+		dropsByNode: make(map[int]map[packet.Prefix]uint64),
+		limiters:    make(map[int][]*aggLimiter),
+	}
+	net.OnDrop(func(_ sim.Time, pkt *packet.Packet, reason netsim.DropReason, node int) {
+		if reason != netsim.DropQueue {
+			return
+		}
+		agg := aggregateOf(pkt.Src)
+		m := p.dropsByNode[node]
+		if m == nil {
+			m = make(map[packet.Prefix]uint64)
+			p.dropsByNode[node] = m
+		}
+		m[agg]++
+	})
+	// Rate-limit hooks are installed lazily per node when a limit lands.
+	p.ticker = net.Sim.NewTicker(cfg.Window, p.evaluate)
+	return p
+}
+
+// Stop halts the periodic evaluation.
+func (p *Pushback) Stop() { p.ticker.Stop() }
+
+// aggregateOf maps a source address to its /16 aggregate — the granularity
+// of this simulator's address plan.
+func aggregateOf(a packet.Addr) packet.Prefix {
+	return packet.MakePrefix(a, 16)
+}
+
+func (p *Pushback) participates(node int) bool {
+	return p.cfg.Participates == nil || p.cfg.Participates(node)
+}
+
+// evaluate runs once per window: find overloaded nodes, identify their
+// worst aggregate, install limits locally and push upstream.
+func (p *Pushback) evaluate(now sim.Time) {
+	for node, aggs := range p.dropsByNode {
+		var total uint64
+		var worst packet.Prefix
+		var worstCount uint64
+		for agg, c := range aggs {
+			total += c
+			if c > worstCount {
+				worst, worstCount = agg, c
+			}
+		}
+		if total < p.cfg.DropThreshold || !p.participates(node) {
+			continue
+		}
+		p.Activations++
+		p.install(now, node, worst, 0)
+	}
+	// Reset window statistics.
+	for k := range p.dropsByNode {
+		delete(p.dropsByNode, k)
+	}
+	// Phase 3: relieve limiters that have gone quiet.
+	if p.cfg.ReliefWindows > 0 {
+		for node, ls := range p.limiters {
+			kept := ls[:0]
+			for _, l := range ls {
+				if l.Dropped == l.lastDropped {
+					l.quiet++
+				} else {
+					l.quiet = 0
+				}
+				l.lastDropped = l.Dropped
+				if l.quiet >= p.cfg.ReliefWindows {
+					p.Relieved++
+					continue // drop the limiter
+				}
+				kept = append(kept, l)
+			}
+			p.limiters[node] = kept
+		}
+	}
+}
+
+// install places a rate limit for agg at node and recurses upstream.
+func (p *Pushback) install(now sim.Time, node int, agg packet.Prefix, depth int) {
+	if !p.participates(node) {
+		return // non-participating router: pushback stops here
+	}
+	already := false
+	for _, l := range p.limiters[node] {
+		if l.agg == agg {
+			already = true
+			break
+		}
+	}
+	if !already {
+		if len(p.limiters[node]) == 0 {
+			node := node
+			p.net.AddHook(node, netsim.HookFunc{
+				Label: "pushback-limiter",
+				Fn: func(now sim.Time, pkt *packet.Packet, ctx netsim.HookContext) netsim.Verdict {
+					return p.limit(now, node, pkt)
+				},
+			})
+		}
+		p.limiters[node] = append(p.limiters[node], &aggLimiter{
+			agg: agg, rate: p.cfg.LimitRate, burst: p.cfg.LimitRate / 10,
+		})
+		p.LimitsInstalled++
+	}
+	if depth >= p.cfg.MaxDepth {
+		return
+	}
+	// Propagate toward the aggregate's origin. The aggregate is a /16, so
+	// in this simulator it maps to exactly one node's block.
+	srcNode, ok := p.net.NodeOfAddr(agg.Addr)
+	if !ok || srcNode == node {
+		return
+	}
+	next, ok := p.net.Table.NextHop(node, srcNode)
+	if !ok {
+		return
+	}
+	p.install(now, next, agg, depth+1)
+}
+
+// limit applies the installed aggregate limiters at node.
+func (p *Pushback) limit(now sim.Time, node int, pkt *packet.Packet) netsim.Verdict {
+	for _, l := range p.limiters[node] {
+		if !l.agg.Contains(pkt.Src) {
+			continue
+		}
+		if !l.init {
+			l.tokens, l.last, l.init = l.burst, now, true
+		}
+		l.tokens += l.rate * float64(now-l.last) / float64(sim.Second)
+		l.last = now
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		if l.tokens < 1 {
+			l.Dropped++
+			return netsim.Drop
+		}
+		l.tokens--
+	}
+	return netsim.Pass
+}
+
+// LimitedAggregates returns the aggregates limited at node.
+func (p *Pushback) LimitedAggregates(node int) []packet.Prefix {
+	var out []packet.Prefix
+	for _, l := range p.limiters[node] {
+		out = append(out, l.agg)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"sort"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// SPIEInfrastructure is operator-deployed hash-based traceback: every
+// participating router keeps a digest backlog of all traffic it forwards
+// (contrast with the owner-scoped SPIE *module*, which only sees the
+// owner's packets). Trace queries reconstruct which routers carried a
+// given packet.
+type SPIEInfrastructure struct {
+	net       *netsim.Network
+	collector map[int]*modules.SPIE
+}
+
+// NewSPIEInfrastructure installs digest collection at the given nodes
+// (nil = every router).
+func NewSPIEInfrastructure(net *netsim.Network, nodes []int, window sim.Time, retain int, bits uint32) *SPIEInfrastructure {
+	if nodes == nil {
+		nodes = make([]int, net.Graph.Len())
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	s := &SPIEInfrastructure{net: net, collector: make(map[int]*modules.SPIE, len(nodes))}
+	for _, n := range nodes {
+		sp := modules.NewSPIE("spie-infra", window, retain, bits, uint64(n)*0x9e3779b97f4a7c15+1)
+		s.collector[n] = sp
+		node := n
+		net.AddHook(node, netsim.HookFunc{
+			Label: "spie-infra",
+			Fn: func(now sim.Time, pkt *packet.Packet, ctx netsim.HookContext) netsim.Verdict {
+				env := device.Env{Now: now, Node: node, From: ctx.From}
+				sp.Process(pkt, &env)
+				return netsim.Pass
+			},
+		})
+	}
+	return s
+}
+
+// Trace returns the routers whose backlog (probably) contains the packet
+// around time at, sorted ascending.
+func (s *SPIEInfrastructure) Trace(pkt *packet.Packet, at sim.Time) []int {
+	var out []int
+	for node, sp := range s.collector {
+		if seen, _ := sp.Query(pkt, at); seen {
+			out = append(out, node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TraceOrigin reconstructs the packet's entry point: starting from the
+// victim's node it walks upstream through routers that saw the packet and
+// returns the farthest one — the attacker's attachment point when the
+// digests are complete. ok is false when the victim's own router has no
+// record (backlog expired or packet never seen).
+func (s *SPIEInfrastructure) TraceOrigin(pkt *packet.Packet, at sim.Time, victimNode int) (origin int, path []int, ok bool) {
+	saw := func(n int) bool {
+		sp, have := s.collector[n]
+		if !have {
+			return false
+		}
+		seen, _ := sp.Query(pkt, at)
+		return seen
+	}
+	if !saw(victimNode) {
+		return 0, nil, false
+	}
+	path = []int{victimNode}
+	cur := victimNode
+	visited := map[int]bool{victimNode: true}
+	for {
+		next := -1
+		for _, nb := range s.net.Graph.Neighbors(cur) {
+			if !visited[nb] && saw(nb) {
+				next = nb
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return cur, path, true
+}

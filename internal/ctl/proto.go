@@ -1,0 +1,222 @@
+// Package ctl puts the traffic-control control plane on the wire: a
+// newline-delimited JSON request/response protocol over TCP (or any
+// net.Conn), with servers exposing the TCSP and NMS APIs and clients that
+// satisfy the same interfaces as the in-process implementations. The same
+// control-plane code therefore runs in three configurations: in-process
+// (simulation experiments), over net.Pipe (protocol tests), and over TCP
+// loopback (the live demo and the F4/F5 protocol benchmarks).
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxMessageBytes bounds a single control message; oversized messages
+// terminate the connection (control traffic must never amplify).
+const MaxMessageBytes = 4 << 20
+
+// Envelope frames every control-plane message.
+type Envelope struct {
+	ID      uint64          `json:"id"`
+	Method  string          `json:"method,omitempty"` // set on requests
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Error   string          `json:"error,omitempty"` // set on failed responses
+}
+
+// codec reads and writes envelopes on a connection.
+type codec struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	wmu  sync.Mutex
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// write sends one envelope (newline framed).
+func (c *codec) write(env *Envelope) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("ctl: marshal: %w", err)
+	}
+	if len(data) > MaxMessageBytes {
+		return fmt.Errorf("ctl: message of %d bytes exceeds limit", len(data))
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// read receives one envelope.
+func (c *codec) read() (*Envelope, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) > MaxMessageBytes {
+		return nil, fmt.Errorf("ctl: message exceeds limit")
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("ctl: bad envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// Handler dispatches one request method.
+type Handler func(method string, payload json.RawMessage) (any, error)
+
+// ServeConn answers requests on conn until it closes.
+func ServeConn(conn net.Conn, h Handler) error {
+	c := newCodec(conn)
+	for {
+		req, err := c.read()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp := &Envelope{ID: req.ID}
+		out, herr := h(req.Method, req.Payload)
+		if herr != nil {
+			resp.Error = herr.Error()
+		} else if out != nil {
+			data, err := json.Marshal(out)
+			if err != nil {
+				resp.Error = fmt.Sprintf("ctl: marshal response: %v", err)
+			} else {
+				resp.Payload = data
+			}
+		}
+		if err := c.write(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// Server accepts connections and serves a handler on each.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewServer starts serving h on ln in background goroutines.
+func NewServer(ln net.Listener, h Handler) *Server {
+	s := &Server{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = ServeConn(conn, s.handler) // connection errors end the session
+		}()
+	}
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and waits for in-flight connections to finish
+// their current request loop (connections end when clients close).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	return err
+}
+
+// Client issues requests over one connection. Safe for concurrent use:
+// calls are serialized.
+type Client struct {
+	c      *codec
+	mu     sync.Mutex
+	nextID uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client { return &Client{c: newCodec(conn)} }
+
+// Dial connects to a server over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// Call issues a request and decodes the response payload into out
+// (out may be nil to discard).
+func (cl *Client) Call(method string, in, out any) error {
+	var payload json.RawMessage
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("ctl: marshal request: %w", err)
+		}
+		payload = data
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.nextID++
+	req := &Envelope{ID: cl.nextID, Method: method, Payload: payload}
+	if err := cl.c.write(req); err != nil {
+		return err
+	}
+	resp, err := cl.c.read()
+	if err != nil {
+		return err
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("ctl: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("ctl: remote error: %s", resp.Error)
+	}
+	if out != nil && resp.Payload != nil {
+		if err := json.Unmarshal(resp.Payload, out); err != nil {
+			return fmt.Errorf("ctl: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (cl *Client) Close() error { return cl.c.conn.Close() }

@@ -1,0 +1,161 @@
+// Package device implements the paper's adaptive network traffic
+// processing device (Sections 4 and 5.2): a programmable packet processor
+// attached to a router, onto which the traffic control service installs
+// per-owner packet-processing service graphs.
+//
+// The security model (paper §4.5) is enforced at two layers:
+//
+//  1. statically, when a service graph is installed: every component type
+//     must be registered and security-checked, the graph must be a fully
+//     wired DAG, and declared capabilities bound what it may do; and
+//  2. dynamically, on every packet: after each owner's graph runs, the
+//     device verifies that source address, destination address and TTL are
+//     unmodified and that the packet did not grow. A violating graph is
+//     quarantined (disabled and counted), and the packet reverts to its
+//     pre-graph state.
+//
+// Ownership confinement is structural: a graph is only ever invoked on
+// packets whose source (stage 1) or destination (stage 2) address is owned
+// by the graph's owner, as verified by the TCSP-issued binding.
+package device
+
+import (
+	"fmt"
+
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// Result is a component's verdict on a packet.
+type Result uint8
+
+// Component results.
+const (
+	Forward Result = iota // pass the packet to the wired output port
+	Discard               // drop the packet
+)
+
+// Stage identifies which ownership stage a graph runs in (paper Figure 6:
+// first processing stage for the source owner, second for the destination
+// owner).
+type Stage uint8
+
+// Processing stages.
+const (
+	StageSource Stage = iota
+	StageDest
+	numStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	if s == StageSource {
+		return "source"
+	}
+	return "dest"
+}
+
+// RPFChecker answers reverse-path questions for anti-spoofing components.
+// The network operator provides it as part of the device's contextual
+// information (paper §4.2: the device must know whether it processes
+// transit traffic or customer traffic).
+type RPFChecker interface {
+	// ValidIngress reports whether a packet with source address src may
+	// legitimately arrive at node from neighbor `from` (netsim.Local for
+	// attached hosts).
+	ValidIngress(node, from int, src packet.Addr) bool
+	// Transit reports whether neighbor `from` is a transit interface at
+	// node (anti-spoofing must not fire on transit paths).
+	Transit(node, from int) bool
+}
+
+// Event is an asynchronous notification emitted by a component (trigger
+// firings, log-threshold alarms). Events travel the control plane, not the
+// data plane, so they cannot amplify packet traffic.
+type Event struct {
+	At        sim.Time
+	Node      int
+	Owner     string
+	Component string
+	Message   string
+}
+
+// Env is the execution context handed to every component invocation.
+type Env struct {
+	Now   sim.Time
+	Node  int // router the device is attached to
+	From  int // ingress neighbor (netsim.Local semantics: -1 for hosts)
+	Owner string
+	Stage Stage
+	RPF   RPFChecker  // nil if the operator exposes no routing context
+	Emit  func(Event) // nil-safe via EmitEvent
+	RNG   *sim.RNG    // deterministic per-device stream (sampling)
+}
+
+// EmitEvent sends ev on the device's event bus if one is attached.
+func (e *Env) EmitEvent(component, message string) {
+	if e.Emit != nil {
+		e.Emit(Event{At: e.Now, Node: e.Node, Owner: e.Owner, Component: component, Message: message})
+	}
+}
+
+// Component is one packet-processing element of a service graph.
+// Process returns the output port the packet leaves on (ignored for
+// Discard). Components must be deterministic and must not retain the
+// packet pointer beyond the call.
+type Component interface {
+	Name() string
+	// Ports returns the number of output ports (>= 1).
+	Ports() int
+	Process(pkt *packet.Packet, env *Env) (port int, res Result)
+}
+
+// Manifest declares what a component type is allowed to do. The static
+// validator rejects graphs whose instances exceed their type's declared
+// capabilities, and the registry records the security review required by
+// the paper ("new service modules must be checked for security compliance
+// before deployment").
+type Manifest struct {
+	Type             string
+	MayDrop          bool // component may return Discard
+	MayModifyPayload bool // component may change payload bytes / shrink size
+	Stateful         bool // component keeps per-flow or per-window state
+	SecurityChecked  bool // passed the offline compliance review
+}
+
+// Registry maps component type names to their manifests. It models the
+// TCSP's catalogue of reviewed modules.
+type Registry struct {
+	manifests map[string]Manifest
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{manifests: make(map[string]Manifest)} }
+
+// Register adds a manifest. Re-registering a type is an error.
+func (r *Registry) Register(m Manifest) error {
+	if m.Type == "" {
+		return fmt.Errorf("device: manifest without type")
+	}
+	if _, dup := r.manifests[m.Type]; dup {
+		return fmt.Errorf("device: component type %q already registered", m.Type)
+	}
+	r.manifests[m.Type] = m
+	return nil
+}
+
+// Lookup returns the manifest for a type.
+func (r *Registry) Lookup(typ string) (Manifest, bool) {
+	m, ok := r.manifests[typ]
+	return m, ok
+}
+
+// Types returns the number of registered types.
+func (r *Registry) Types() int { return len(r.manifests) }
+
+// TypedComponent couples a component instance with its manifest type so the
+// validator can check instances against the registry.
+type TypedComponent interface {
+	Component
+	Type() string
+}

@@ -1,0 +1,226 @@
+package device
+
+import (
+	"fmt"
+
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// graphPacket wraps the packet handed to graph execution.
+type graphPacket struct{ p *packet.Packet }
+
+// service is one installed per-owner service graph plus its health state.
+type service struct {
+	owner       string
+	stage       Stage
+	graph       *Graph
+	enabled     bool
+	quarantined bool
+	processed   uint64
+	discarded   uint64
+}
+
+// Stats aggregates device-level counters (paper §5.3 scalability metrics).
+type Stats struct {
+	Seen        uint64 // packets entering the router
+	Redirected  uint64 // packets redirected through the device
+	Discarded   uint64 // packets discarded by owner graphs
+	Violations  uint64 // safety-rule violations caught at runtime
+	Quarantines uint64 // services disabled after a violation
+}
+
+// Device is an adaptive traffic processing device attached to one router
+// (paper Figure 2/6). It dispatches each redirected packet through up to
+// two owner service graphs: the source owner's, then the destination
+// owner's.
+type Device struct {
+	Node int
+
+	reg      *Registry
+	owners   ownership.Trie[string] // prefix -> owner: the redirection filter
+	services map[string][numStages]*service
+	rpf      RPFChecker
+	bus      func(Event)
+	rng      *sim.RNG
+	stats    Stats
+}
+
+// New creates a device for a router node, validating installs against reg.
+func New(node int, reg *Registry, rng *sim.RNG) *Device {
+	return &Device{
+		Node:     node,
+		reg:      reg,
+		services: make(map[string][numStages]*service),
+		rng:      rng,
+	}
+}
+
+// SetRPF attaches operator-provided routing context used by anti-spoofing
+// components.
+func (d *Device) SetRPF(r RPFChecker) { d.rpf = r }
+
+// SetEventBus attaches the control-plane event sink (trigger firings etc.).
+func (d *Device) SetEventBus(fn func(Event)) { d.bus = fn }
+
+// BindOwner configures router redirection: packets whose source or
+// destination falls in prefix are redirected through the device on behalf
+// of owner. The TCSP only issues bindings after ownership verification.
+func (d *Device) BindOwner(p packet.Prefix, owner string) error {
+	if owner == "" {
+		return fmt.Errorf("device: empty owner")
+	}
+	if cur, ok := d.owners.Exact(p); ok && cur != owner {
+		return fmt.Errorf("device: prefix %v already bound to %q", p, cur)
+	}
+	d.owners.Insert(p, owner)
+	return nil
+}
+
+// UnbindOwner removes a redirection binding.
+func (d *Device) UnbindOwner(p packet.Prefix) { d.owners.Remove(p) }
+
+// Install validates and installs a service graph for owner at stage,
+// replacing any previous graph for that (owner, stage).
+func (d *Device) Install(owner string, stage Stage, g *Graph) error {
+	if owner == "" {
+		return fmt.Errorf("device: empty owner")
+	}
+	if stage >= numStages {
+		return fmt.Errorf("device: invalid stage %d", stage)
+	}
+	if err := g.Validate(d.reg); err != nil {
+		return err
+	}
+	svcs := d.services[owner]
+	svcs[stage] = &service{owner: owner, stage: stage, graph: g, enabled: true}
+	d.services[owner] = svcs
+	return nil
+}
+
+// Remove uninstalls the (owner, stage) service.
+func (d *Device) Remove(owner string, stage Stage) {
+	if svcs, ok := d.services[owner]; ok {
+		svcs[stage] = nil
+		d.services[owner] = svcs
+	}
+}
+
+// SetEnabled enables or disables an installed service without removing it
+// (used by triggers and by operators during routing changes, §4.2).
+func (d *Device) SetEnabled(owner string, stage Stage, on bool) error {
+	svcs, ok := d.services[owner]
+	if !ok || svcs[stage] == nil {
+		return fmt.Errorf("device: no service for %q stage %v", owner, stage)
+	}
+	svcs[stage].enabled = on
+	return nil
+}
+
+// ServiceCounters returns processed/discarded counts for an installed
+// service, with ok=false if absent.
+func (d *Device) ServiceCounters(owner string, stage Stage) (processed, discarded uint64, ok bool) {
+	svcs, found := d.services[owner]
+	if !found || svcs[stage] == nil {
+		return 0, 0, false
+	}
+	return svcs[stage].processed, svcs[stage].discarded, true
+}
+
+// Quarantined reports whether the (owner, stage) service was disabled by
+// the safety monitor.
+func (d *Device) Quarantined(owner string, stage Stage) bool {
+	svcs, ok := d.services[owner]
+	return ok && svcs[stage] != nil && svcs[stage].quarantined
+}
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// OwnerOf returns the owner bound for address a, if any.
+func (d *Device) OwnerOf(a packet.Addr) (string, bool) { return d.owners.Lookup(a) }
+
+// Process runs a packet through the device. It implements the semantics of
+// netsim.Hook (the dtc facade adapts it) and returns true to forward,
+// false to drop.
+//
+// Redirection rule (paper §4.1): only packets carrying a bound address as
+// source or destination are redirected; everything else takes the fast
+// path through the router untouched.
+func (d *Device) Process(now sim.Time, pkt *packet.Packet, from int) bool {
+	d.stats.Seen++
+	srcOwner, srcBound := d.owners.Lookup(pkt.Src)
+	dstOwner, dstBound := d.owners.Lookup(pkt.Dst)
+	if !srcBound && !dstBound {
+		return true // fast path
+	}
+	d.stats.Redirected++
+
+	// Stage 1: control by the source address owner.
+	if srcBound {
+		if !d.runStage(now, pkt, from, srcOwner, StageSource) {
+			return false
+		}
+	}
+	// Stage 2: control by the destination address owner.
+	if dstBound {
+		if !d.runStage(now, pkt, from, dstOwner, StageDest) {
+			return false
+		}
+	}
+	return true
+}
+
+// runStage executes one owner's graph under the runtime safety monitor.
+func (d *Device) runStage(now sim.Time, pkt *packet.Packet, from int, owner string, stage Stage) bool {
+	svcs, ok := d.services[owner]
+	if !ok || svcs[stage] == nil {
+		return true
+	}
+	svc := svcs[stage]
+	if !svc.enabled || svc.quarantined {
+		return true
+	}
+	env := Env{
+		Now: now, Node: d.Node, From: from,
+		Owner: owner, Stage: stage,
+		RPF: d.rpf, Emit: d.bus, RNG: d.rng,
+	}
+
+	// Safety snapshot (paper §4.5): src/dst/TTL immutable, size must not
+	// grow, simulator metadata untouchable.
+	preSrc, preDst, preTTL, preSize := pkt.Src, pkt.Dst, pkt.TTL, pkt.Size
+
+	svc.processed++
+	res, capErr := svc.graph.run(&graphPacket{p: pkt}, &env)
+
+	violated := capErr != nil || pkt.Src != preSrc || pkt.Dst != preDst || pkt.TTL != preTTL ||
+		pkt.Size > preSize || pkt.Validate() != nil
+	if violated {
+		// Revert the packet, quarantine the offending service, raise an
+		// operator event. The packet continues unprocessed: safety rules
+		// protect the network, not the misbehaving service.
+		pkt.Src, pkt.Dst, pkt.TTL, pkt.Size = preSrc, preDst, preTTL, preSize
+		if len(pkt.Payload) > pkt.Size-packet.MinHeaderBytes {
+			pkt.Payload = pkt.Payload[:pkt.Size-packet.MinHeaderBytes]
+		}
+		d.stats.Violations++
+		if !svc.quarantined {
+			svc.quarantined = true
+			d.stats.Quarantines++
+		}
+		reason := "packet mutation outside policy"
+		if capErr != nil {
+			reason = capErr.Error()
+		}
+		env.EmitEvent("safety-monitor", fmt.Sprintf("service %q stage %v quarantined: %s", owner, stage, reason))
+		return true
+	}
+	if res == Discard {
+		svc.discarded++
+		d.stats.Discarded++
+		return false
+	}
+	return true
+}

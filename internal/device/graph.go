@@ -1,0 +1,190 @@
+package device
+
+import (
+	"fmt"
+)
+
+// Exit is the pseudo-node a graph edge may point at to mean "processing
+// done, forward the packet".
+const Exit = -1
+
+// Graph is a service composed of components arranged as a directed acyclic
+// graph (paper §5.2, after Click and Chameleon). Node 0 is the entry.
+// Each component output port is wired to another component or to Exit.
+type Graph struct {
+	name  string
+	nodes []TypedComponent
+	// wires[i][p] is the target of node i's port p: a node index or Exit.
+	wires [][]int
+	// caps[i] is node i's manifest, resolved at install time so the
+	// runtime can enforce per-component capabilities.
+	caps []Manifest
+}
+
+// NewGraph starts an empty service graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the service graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// Add appends a component and returns its node index. Wiring defaults to
+// Exit on every port.
+func (g *Graph) Add(c TypedComponent) int {
+	g.nodes = append(g.nodes, c)
+	wires := make([]int, c.Ports())
+	for i := range wires {
+		wires[i] = Exit
+	}
+	g.wires = append(g.wires, wires)
+	return len(g.nodes) - 1
+}
+
+// Wire connects node from's output port to node to (or Exit).
+func (g *Graph) Wire(from, port, to int) error {
+	if from < 0 || from >= len(g.nodes) {
+		return fmt.Errorf("device: wire from unknown node %d", from)
+	}
+	if port < 0 || port >= len(g.wires[from]) {
+		return fmt.Errorf("device: node %d has no port %d", from, port)
+	}
+	if to != Exit && (to < 0 || to >= len(g.nodes)) {
+		return fmt.Errorf("device: wire to unknown node %d", to)
+	}
+	g.wires[from][port] = to
+	return nil
+}
+
+// Chain is a convenience constructor: components connected in sequence on
+// port 0, last one exiting. Components with multiple ports have all their
+// ports wired to the next component.
+func Chain(name string, comps ...TypedComponent) *Graph {
+	g := NewGraph(name)
+	for _, c := range comps {
+		g.Add(c)
+	}
+	for i := 0; i+1 < len(g.nodes); i++ {
+		for p := 0; p < g.nodes[i].Ports(); p++ {
+			// Safe: indexes are in range by construction.
+			g.wires[i][p] = i + 1
+		}
+	}
+	return g
+}
+
+// Len returns the number of components.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Component returns the i-th component.
+func (g *Graph) Component(i int) TypedComponent { return g.nodes[i] }
+
+// Validate performs the static security check against a registry:
+// non-empty, acyclic, fully wired, every component type registered and
+// security-checked. It returns a descriptive error on the first violation.
+func (g *Graph) Validate(reg *Registry) error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("device: graph %q is empty", g.name)
+	}
+	for i, c := range g.nodes {
+		m, ok := reg.Lookup(c.Type())
+		if !ok {
+			return fmt.Errorf("device: graph %q component %d: type %q not registered", g.name, i, c.Type())
+		}
+		if !m.SecurityChecked {
+			return fmt.Errorf("device: graph %q component %d: type %q has not passed security review", g.name, i, c.Type())
+		}
+		if c.Ports() < 1 {
+			return fmt.Errorf("device: graph %q component %d (%s): no output ports", g.name, i, c.Name())
+		}
+	}
+	// Cycle check via DFS colors.
+	const (
+		white, grey, black = 0, 1, 2
+	)
+	color := make([]int, len(g.nodes))
+	var visit func(v int) error
+	visit = func(v int) error {
+		color[v] = grey
+		for _, w := range g.wires[v] {
+			if w == Exit {
+				continue
+			}
+			switch color[w] {
+			case grey:
+				return fmt.Errorf("device: graph %q contains a cycle through %s", g.name, g.nodes[w].Name())
+			case white:
+				if err := visit(w); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	if err := visit(0); err != nil {
+		return err
+	}
+	// Resolve manifests for runtime capability enforcement.
+	g.caps = make([]Manifest, len(g.nodes))
+	for i, c := range g.nodes {
+		g.caps[i], _ = reg.Lookup(c.Type())
+	}
+	return nil
+}
+
+// errCapability marks a per-component capability violation detected by run.
+type errCapability struct {
+	component string
+	what      string
+}
+
+func (e errCapability) Error() string {
+	return fmt.Sprintf("device: component %q exceeded its manifest: %s", e.component, e.what)
+}
+
+// run executes the graph on a packet. It returns Discard if any component
+// discards, Forward when the packet exits, and a non-nil error when a
+// component exceeded its declared capabilities (the caller quarantines the
+// service; the packet may be dirty and must be restored). It is
+// unexported: external callers go through Device, which wraps execution in
+// the safety monitor.
+func (g *Graph) run(pkt *graphPacket, env *Env) (Result, error) {
+	node := 0
+	steps := 0
+	enforce := len(g.caps) == len(g.nodes)
+	for {
+		steps++
+		if steps > len(g.nodes)+1 {
+			// Defensive bound: Validate guarantees acyclicity, but a
+			// mis-wired graph must not hang the simulator.
+			return Forward, nil
+		}
+		c := g.nodes[node]
+		var preSize, prePayload int
+		if enforce {
+			preSize, prePayload = pkt.p.Size, len(pkt.p.Payload)
+		}
+		port, res := c.Process(pkt.p, env)
+		if enforce {
+			m := g.caps[node]
+			if res == Discard && !m.MayDrop {
+				return Discard, errCapability{c.Name(), "discarded a packet without MayDrop"}
+			}
+			if !m.MayModifyPayload && (pkt.p.Size != preSize || len(pkt.p.Payload) != prePayload) {
+				return Forward, errCapability{c.Name(), "modified payload/size without MayModifyPayload"}
+			}
+		}
+		if res == Discard {
+			return Discard, nil
+		}
+		if port < 0 || port >= len(g.wires[node]) {
+			port = 0
+		}
+		next := g.wires[node][port]
+		if next == Exit {
+			return Forward, nil
+		}
+		node = next
+	}
+}

@@ -1,0 +1,465 @@
+package modules
+
+import (
+	"testing"
+
+	"dtc/internal/device"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+func env(now sim.Time) *device.Env {
+	return &device.Env{Now: now, Node: 0, From: -1, RNG: sim.NewRNG(1)}
+}
+
+func pkt(src, dst string) *packet.Packet {
+	return &packet.Packet{
+		Src: packet.MustParseAddr(src), Dst: packet.MustParseAddr(dst),
+		Proto: packet.TCP, TTL: 64, SrcPort: 1234, DstPort: 80, Size: 100,
+	}
+}
+
+func TestMatchFields(t *testing.T) {
+	p := pkt("10.0.0.1", "20.0.0.1")
+	p.Flags = packet.FlagSYN
+	p.Payload = []byte("GET /index.html")
+
+	cases := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"any", Match{}, true},
+		{"src-hit", Match{Src: packet.MustParsePrefix("10.0.0.0/8")}, true},
+		{"src-miss", Match{Src: packet.MustParsePrefix("11.0.0.0/8")}, false},
+		{"dst-hit", Match{Dst: packet.MustParsePrefix("20.0.0.0/16")}, true},
+		{"dst-miss", Match{Dst: packet.MustParsePrefix("20.1.0.0/16")}, false},
+		{"proto-hit", Match{Proto: packet.TCP}, true},
+		{"proto-miss", Match{Proto: packet.UDP}, false},
+		{"sport-hit", Match{SrcPort: 1234}, true},
+		{"sport-miss", Match{SrcPort: 99}, false},
+		{"dport-hit", Match{DstPort: 80}, true},
+		{"dport-miss", Match{DstPort: 443}, false},
+		{"flags-all-hit", Match{FlagsAll: packet.FlagSYN}, true},
+		{"flags-all-miss", Match{FlagsAll: packet.FlagSYN | packet.FlagACK}, false},
+		{"flags-none-hit", Match{FlagsNone: packet.FlagRST}, true},
+		{"flags-none-miss", Match{FlagsNone: packet.FlagSYN}, false},
+		{"minsize-hit", Match{MinSize: 100}, true},
+		{"minsize-miss", Match{MinSize: 101}, false},
+		{"payload-hit", Match{PayloadToken: "index"}, true},
+		{"payload-miss", Match{PayloadToken: "cmd.exe"}, false},
+		{"combined", Match{Src: packet.MustParsePrefix("10.0.0.0/8"), DstPort: 80, Proto: packet.TCP}, true},
+	}
+	for _, c := range cases {
+		if got := c.m.Matches(p); got != c.want {
+			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMatchICMPType(t *testing.T) {
+	p := pkt("1.1.1.1", "2.2.2.2")
+	p.Proto = packet.ICMP
+	p.Flags = packet.ICMPUnreachable
+	m := Match{ICMPType: packet.ICMPUnreachable, ICMPTypeSet: true}
+	if !m.Matches(p) {
+		t.Error("ICMP unreachable not matched")
+	}
+	p.Flags = packet.ICMPEchoRequest
+	if m.Matches(p) {
+		t.Error("wrong ICMP type matched")
+	}
+	tcp := pkt("1.1.1.1", "2.2.2.2")
+	tcp.Flags = packet.ICMPUnreachable // same bits, but TCP
+	if m.Matches(tcp) {
+		t.Error("ICMP match fired on TCP packet")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if (&Match{}).String() != "any" {
+		t.Error("empty match string")
+	}
+	m := Match{Src: packet.MustParsePrefix("10.0.0.0/8"), DstPort: 80, Proto: packet.TCP}
+	if m.String() == "" || m.String() == "any" {
+		t.Error("non-empty match rendered as any")
+	}
+}
+
+func TestFilterDenyAndAllowModes(t *testing.T) {
+	deny := &Filter{Label: "deny", Rules: []Match{{DstPort: 666}}}
+	if _, res := deny.Process(pkt("1.1.1.1", "2.2.2.2"), env(0)); res != device.Forward {
+		t.Error("deny filter dropped non-matching packet")
+	}
+	bad := pkt("1.1.1.1", "2.2.2.2")
+	bad.DstPort = 666
+	if _, res := deny.Process(bad, env(0)); res != device.Discard {
+		t.Error("deny filter passed matching packet")
+	}
+	if deny.Dropped != 1 || deny.Passed != 1 {
+		t.Errorf("counters = %d/%d", deny.Dropped, deny.Passed)
+	}
+
+	allow := &Filter{Label: "allow", AllowMode: true, Rules: []Match{{DstPort: 80}}}
+	if _, res := allow.Process(pkt("1.1.1.1", "2.2.2.2"), env(0)); res != device.Forward {
+		t.Error("allow filter dropped port-80 packet")
+	}
+	if _, res := allow.Process(bad, env(0)); res != device.Discard {
+		t.Error("allow filter passed port-666 packet")
+	}
+}
+
+func TestClassifierPorts(t *testing.T) {
+	c := &Classifier{Label: "c", Rules: []Match{{DstPort: 80}, {DstPort: 443}}}
+	if c.Ports() != 3 {
+		t.Errorf("Ports = %d", c.Ports())
+	}
+	p80 := pkt("1.1.1.1", "2.2.2.2")
+	port, _ := c.Process(p80, env(0))
+	if port != 1 {
+		t.Errorf("port-80 classified to %d", port)
+	}
+	p443 := pkt("1.1.1.1", "2.2.2.2")
+	p443.DstPort = 443
+	if port, _ := c.Process(p443, env(0)); port != 2 {
+		t.Errorf("port-443 classified to %d", port)
+	}
+	other := pkt("1.1.1.1", "2.2.2.2")
+	other.DstPort = 22
+	if port, _ := c.Process(other, env(0)); port != 0 {
+		t.Errorf("unmatched classified to %d", port)
+	}
+}
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	rl := &RateLimiter{Label: "rl", Rate: 10, Burst: 5}
+	// Burst of 8 at t=0: first 5 pass, 3 drop.
+	passed, dropped := 0, 0
+	for i := 0; i < 8; i++ {
+		if _, res := rl.Process(pkt("1.1.1.1", "2.2.2.2"), env(0)); res == device.Forward {
+			passed++
+		} else {
+			dropped++
+		}
+	}
+	if passed != 5 || dropped != 3 {
+		t.Errorf("burst: passed %d dropped %d", passed, dropped)
+	}
+	// After 1 second, 10 tokens accrued but capped at burst 5.
+	passed = 0
+	for i := 0; i < 8; i++ {
+		if _, res := rl.Process(pkt("1.1.1.1", "2.2.2.2"), env(sim.Second)); res == device.Forward {
+			passed++
+		}
+	}
+	if passed != 5 {
+		t.Errorf("after refill: passed %d, want 5", passed)
+	}
+	if rl.Dropped != 6 || rl.Passed != 10 {
+		t.Errorf("counters = %d/%d", rl.Dropped, rl.Passed)
+	}
+}
+
+func TestRateLimiterSteadyRate(t *testing.T) {
+	rl := &RateLimiter{Label: "rl", Rate: 100, Burst: 1}
+	passed := 0
+	// 1000 packets over 1s = 1000 pps against a 100 pps limit.
+	for i := 0; i < 1000; i++ {
+		now := sim.Time(i) * sim.Millisecond
+		if _, res := rl.Process(pkt("1.1.1.1", "2.2.2.2"), env(now)); res == device.Forward {
+			passed++
+		}
+	}
+	// Allow for float boundary effects in token accrual (one extra
+	// millisecond per refill cycle at worst).
+	if passed < 88 || passed > 105 {
+		t.Errorf("steady state passed %d, want ~100", passed)
+	}
+}
+
+func TestRateLimiterMatchScoping(t *testing.T) {
+	rl := &RateLimiter{Label: "rl", Rate: 1, Burst: 1, Match: Match{DstPort: 666}}
+	// Non-matching traffic is never limited.
+	for i := 0; i < 100; i++ {
+		if _, res := rl.Process(pkt("1.1.1.1", "2.2.2.2"), env(0)); res != device.Forward {
+			t.Fatal("non-matching packet limited")
+		}
+	}
+}
+
+func TestRateLimiterByteMode(t *testing.T) {
+	rl := &RateLimiter{Label: "rl", Rate: 1000, Burst: 250, ByteMode: true}
+	// 100-byte packets against a 250-byte bucket: 2 pass, 3rd drops.
+	results := []device.Result{}
+	for i := 0; i < 3; i++ {
+		_, res := rl.Process(pkt("1.1.1.1", "2.2.2.2"), env(0))
+		results = append(results, res)
+	}
+	if results[0] != device.Forward || results[1] != device.Forward || results[2] != device.Discard {
+		t.Errorf("byte-mode results = %v", results)
+	}
+}
+
+func TestBlacklist(t *testing.T) {
+	b := NewBlacklist("bl")
+	evil := packet.MustParseAddr("6.6.6.6")
+	b.Add(evil)
+	if !b.Contains(evil) || b.Len() != 1 {
+		t.Error("Add not visible")
+	}
+	if _, res := b.Process(pkt("6.6.6.6", "2.2.2.2"), env(0)); res != device.Discard {
+		t.Error("listed source passed")
+	}
+	if _, res := b.Process(pkt("7.7.7.7", "2.2.2.2"), env(0)); res != device.Forward {
+		t.Error("unlisted source dropped")
+	}
+	b.Remove(evil)
+	if _, res := b.Process(pkt("6.6.6.6", "2.2.2.2"), env(0)); res != device.Forward {
+		t.Error("removed source still dropped")
+	}
+	if b.Dropped != 1 {
+		t.Errorf("Dropped = %d", b.Dropped)
+	}
+}
+
+func TestPayloadScrub(t *testing.T) {
+	s := &PayloadScrub{Label: "scrub"}
+	p := pkt("1.1.1.1", "2.2.2.2")
+	p.Size = 500
+	p.Payload = []byte("malware")
+	if _, res := s.Process(p, env(0)); res != device.Forward {
+		t.Error("scrub dropped packet")
+	}
+	if p.Payload != nil || p.Size != packet.MinHeaderBytes {
+		t.Errorf("payload not scrubbed: %+v", p)
+	}
+	if s.Scrubbed != 1 {
+		t.Errorf("Scrubbed = %d", s.Scrubbed)
+	}
+	// Header-only packet untouched.
+	q := pkt("1.1.1.1", "2.2.2.2")
+	q.Size = packet.MinHeaderBytes
+	s.Process(q, env(0))
+	if s.Scrubbed != 1 {
+		t.Error("header-only packet counted as scrubbed")
+	}
+}
+
+type fakeRPF struct {
+	valid   map[[2]int]packet.Prefix
+	transit map[[2]int]bool
+}
+
+func (f *fakeRPF) ValidIngress(node, from int, src packet.Addr) bool {
+	p, ok := f.valid[[2]int{node, from}]
+	return ok && p.Contains(src)
+}
+func (f *fakeRPF) Transit(node, from int) bool { return f.transit[[2]int{node, from}] }
+
+func TestAntiSpoof(t *testing.T) {
+	rpf := &fakeRPF{
+		valid:   map[[2]int]packet.Prefix{{5, -1}: packet.MustParsePrefix("10.0.0.0/16")},
+		transit: map[[2]int]bool{{5, 3}: true},
+	}
+	as := &AntiSpoof{Label: "as"}
+	e := &device.Env{Now: 0, Node: 5, From: -1, RPF: rpf}
+
+	// Legit local source passes.
+	if _, res := as.Process(pkt("10.0.1.1", "2.2.2.2"), e); res != device.Forward {
+		t.Error("valid local source dropped")
+	}
+	// Spoofed source from a customer interface drops.
+	if _, res := as.Process(pkt("99.0.0.1", "2.2.2.2"), e); res != device.Discard {
+		t.Error("spoofed source passed")
+	}
+	// Transit interface never filtered.
+	et := &device.Env{Now: 0, Node: 5, From: 3, RPF: rpf}
+	if _, res := as.Process(pkt("99.0.0.1", "2.2.2.2"), et); res != device.Forward {
+		t.Error("transit traffic filtered")
+	}
+	// Without routing context, fail open.
+	en := &device.Env{Now: 0, Node: 5, From: -1}
+	if _, res := as.Process(pkt("99.0.0.1", "2.2.2.2"), en); res != device.Forward {
+		t.Error("no-context packet dropped")
+	}
+	if as.Dropped != 1 || as.NoCtx != 1 {
+		t.Errorf("counters: dropped=%d noctx=%d", as.Dropped, as.NoCtx)
+	}
+}
+
+func TestLoggerRing(t *testing.T) {
+	l := NewLogger("log", 3)
+	for i := 0; i < 5; i++ {
+		p := pkt("1.1.1.1", "2.2.2.2")
+		p.SrcPort = uint16(i)
+		l.Process(p, env(sim.Time(i)*sim.Millisecond))
+	}
+	entries := l.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].At != 2*sim.Millisecond || entries[2].At != 4*sim.Millisecond {
+		t.Errorf("ring order wrong: %v", entries)
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total = %d", l.Total())
+	}
+	if NewLogger("x", 0).Cap != 1 {
+		t.Error("zero capacity not clamped")
+	}
+}
+
+func TestStatsModule(t *testing.T) {
+	s := NewStats("st", Match{DstPort: 80}, Match{Proto: packet.UDP})
+	for i := 0; i < 4; i++ {
+		s.Process(pkt("1.1.1.1", "2.2.2.2"), env(0)) // TCP :80
+	}
+	u := pkt("1.1.1.1", "2.2.2.2")
+	u.Proto = packet.UDP
+	u.DstPort = 53
+	s.Process(u, env(0))
+	if s.TotalPackets != 5 || s.TotalBytes != 500 {
+		t.Errorf("totals = %d/%d", s.TotalPackets, s.TotalBytes)
+	}
+	if s.RulePackets[0] != 4 || s.RulePackets[1] != 1 {
+		t.Errorf("rule packets = %v", s.RulePackets)
+	}
+	if s.RuleBytes[0] != 400 {
+		t.Errorf("rule bytes = %v", s.RuleBytes)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler("smp", 10, 100)
+	for i := 0; i < 95; i++ {
+		s.Process(pkt("1.1.1.1", "2.2.2.2"), env(0))
+	}
+	if s.Log.Total() != 10 { // packets 0,10,...,90
+		t.Errorf("sampled %d, want 10", s.Log.Total())
+	}
+	if NewSampler("x", 0, 1).N != 1 {
+		t.Error("zero N not clamped")
+	}
+}
+
+func TestTriggerFireAndClear(t *testing.T) {
+	var fired, cleared []sim.Time
+	tr := &Trigger{
+		Label: "t", Window: 100 * sim.Millisecond, Threshold: 5,
+		OnFire:  func(now sim.Time) { fired = append(fired, now) },
+		OnClear: func(now sim.Time) { cleared = append(cleared, now) },
+	}
+	// 10 packets in the first window: fires at the 5th.
+	for i := 0; i < 10; i++ {
+		tr.Process(pkt("1.1.1.1", "2.2.2.2"), env(sim.Time(i)*sim.Millisecond))
+	}
+	if len(fired) != 1 || !tr.Active() {
+		t.Fatalf("fired = %v, active = %v", fired, tr.Active())
+	}
+	// Quiet next window: 1 packet -> clears on the window after.
+	tr.Process(pkt("1.1.1.1", "2.2.2.2"), env(150*sim.Millisecond))
+	tr.Process(pkt("1.1.1.1", "2.2.2.2"), env(250*sim.Millisecond))
+	if len(cleared) != 1 || tr.Active() {
+		t.Fatalf("cleared = %v, active = %v", cleared, tr.Active())
+	}
+	if tr.Fired != 1 {
+		t.Errorf("Fired = %d", tr.Fired)
+	}
+}
+
+func TestTriggerNeverPacketsDropped(t *testing.T) {
+	tr := &Trigger{Label: "t", Window: sim.Second, Threshold: 1}
+	for i := 0; i < 100; i++ {
+		if _, res := tr.Process(pkt("1.1.1.1", "2.2.2.2"), env(sim.Time(i))); res != device.Forward {
+			t.Fatal("trigger dropped a packet")
+		}
+	}
+}
+
+func TestSPIEObserveAndQuery(t *testing.T) {
+	sp := NewSPIE("spie", 100*sim.Millisecond, 8, 1<<16, 42)
+	observed := pkt("10.0.0.1", "20.0.0.2")
+	observed.Seq = 777
+	sp.Process(observed, env(50*sim.Millisecond))
+
+	seen, covered := sp.Query(observed, 50*sim.Millisecond)
+	if !covered || !seen {
+		t.Errorf("observed packet: seen=%v covered=%v", seen, covered)
+	}
+
+	other := pkt("10.0.0.1", "20.0.0.2")
+	other.Seq = 778
+	if seen, covered := sp.Query(other, 50*sim.Millisecond); !covered || seen {
+		t.Errorf("unobserved packet: seen=%v covered=%v", seen, covered)
+	}
+
+	// Outside the covered window range.
+	if _, covered := sp.Query(observed, 10*sim.Second); covered {
+		t.Error("future time reported covered")
+	}
+}
+
+func TestSPIEWindowExpiry(t *testing.T) {
+	sp := NewSPIE("spie", 10*sim.Millisecond, 3, 1<<12, 7)
+	p := pkt("1.1.1.1", "2.2.2.2")
+	sp.Process(p, env(5*sim.Millisecond))
+	// Advance far beyond the backlog with fresh traffic.
+	q := pkt("3.3.3.3", "4.4.4.4")
+	sp.Process(q, env(500*sim.Millisecond))
+	if _, covered := sp.Query(p, 5*sim.Millisecond); covered {
+		t.Error("expired window reported covered")
+	}
+	if seen, covered := sp.Query(q, 500*sim.Millisecond); !seen || !covered {
+		t.Error("recent packet lost")
+	}
+}
+
+func TestSPIEFalsePositiveRate(t *testing.T) {
+	sp := NewSPIE("spie", sim.Second, 2, 1<<16, 99)
+	// Insert 1000 packets.
+	for i := 0; i < 1000; i++ {
+		p := pkt("10.0.0.1", "20.0.0.2")
+		p.Seq = uint32(i)
+		sp.Process(p, env(sim.Millisecond))
+	}
+	// Query 10000 never-seen packets; FP rate should be small.
+	fps := 0
+	for i := 0; i < 10000; i++ {
+		p := pkt("10.0.0.1", "20.0.0.2")
+		p.Seq = uint32(100000 + i)
+		if seen, _ := sp.Query(p, sim.Millisecond); seen {
+			fps++
+		}
+	}
+	if fps > 200 { // 2%; theoretical ~0.06% for k=3, m/n=65
+		t.Errorf("false positives = %d/10000", fps)
+	}
+}
+
+func TestRegisterAllAndNewRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Types() != 12 {
+		t.Errorf("registered %d types", reg.Types())
+	}
+	// All graph components built from this package validate.
+	g := device.Chain("all",
+		&Filter{Label: "f"},
+		&Classifier{Label: "c"},
+		&RateLimiter{Label: "r", Rate: 1, Burst: 1},
+		NewBlacklist("b"),
+		&AntiSpoof{Label: "a"},
+		&PayloadScrub{Label: "p"},
+		NewLogger("l", 4),
+		NewStats("s"),
+		NewSampler("sm", 2, 4),
+		&Trigger{Label: "t", Window: sim.Second, Threshold: 1},
+		NewSPIE("sp", sim.Second, 2, 64, 1),
+	)
+	if err := g.Validate(reg); err != nil {
+		t.Errorf("full-module chain rejected: %v", err)
+	}
+	// Double registration fails cleanly.
+	if err := RegisterAll(reg); err == nil {
+		t.Error("duplicate RegisterAll succeeded")
+	}
+}

@@ -1,0 +1,164 @@
+package modules
+
+import (
+	"dtc/internal/device"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// SPIE implements hash-based IP traceback (Snoeren et al., cited by the
+// paper as the worldwide traceback application of the traffic control
+// service, §4.4): the device keeps a short backlog of per-time-window
+// Bloom filters over packet digests. Later, an investigator asks every
+// device "did you carry this packet around time T?" and reconstructs the
+// packet's path from the positive answers.
+//
+// Digests cover only hop-invariant header fields plus a payload prefix
+// (see packet.Digest), so the same packet is recognized at every hop.
+type SPIE struct {
+	Label  string
+	Window sim.Time // digest window length
+	Retain int      // number of past windows kept
+	Bits   uint32   // bloom filter size in bits (rounded to 64)
+	Hashes int      // hash functions per filter
+	Salt   uint64   // per-device salt, decorrelates filters across devices
+
+	filters  []bloomFilter
+	starts   []sim.Time
+	cur      int
+	inited   bool
+	Observed uint64
+}
+
+// NewSPIE returns a digest collector with sane defaults for the given
+// window and backlog depth.
+func NewSPIE(label string, window sim.Time, retain int, bits uint32, salt uint64) *SPIE {
+	if retain < 1 {
+		retain = 1
+	}
+	if bits < 64 {
+		bits = 64
+	}
+	return &SPIE{Label: label, Window: window, Retain: retain, Bits: bits, Hashes: 3, Salt: salt}
+}
+
+type bloomFilter []uint64
+
+func newBloom(bits uint32) bloomFilter { return make(bloomFilter, (bits+63)/64) }
+
+func (b bloomFilter) set(i uint32)      { b[i/64] |= 1 << (i % 64) }
+func (b bloomFilter) get(i uint32) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bloomFilter) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Name implements device.Component.
+func (s *SPIE) Name() string { return s.Label }
+
+// Type implements device.TypedComponent.
+func (s *SPIE) Type() string { return TypeSPIE }
+
+// Ports implements device.Component.
+func (s *SPIE) Ports() int { return 1 }
+
+func (s *SPIE) init(now sim.Time) {
+	s.filters = make([]bloomFilter, s.Retain)
+	s.starts = make([]sim.Time, s.Retain)
+	for i := range s.filters {
+		s.filters[i] = newBloom(s.Bits)
+		s.starts[i] = -1
+	}
+	s.starts[0] = now - now%s.Window
+	s.inited = true
+}
+
+// roll advances the ring so the current filter covers `now`.
+func (s *SPIE) roll(now sim.Time) {
+	if now-s.starts[s.cur] >= s.Window*sim.Time(s.Retain) {
+		// Idle gap longer than the whole backlog: every retained window is
+		// stale. Reset instead of churning window by window.
+		for i := range s.filters {
+			s.filters[i].clear()
+			s.starts[i] = -1
+		}
+		s.cur = 0
+		s.starts[0] = now - now%s.Window
+		return
+	}
+	for now-s.starts[s.cur] >= s.Window {
+		next := (s.cur + 1) % s.Retain
+		s.filters[next].clear()
+		s.starts[next] = s.starts[s.cur] + s.Window
+		s.cur = next
+	}
+}
+
+func (s *SPIE) indexes(d uint64, out []uint32) {
+	words := uint64(len(s.filters[0]))
+	bits := words * 64
+	for i := range out {
+		h := d
+		h ^= uint64(i+1) * 0x9e3779b97f4a7c15
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		out[i] = uint32(h % bits)
+	}
+}
+
+// Process implements device.Component: it records the packet digest in the
+// current window's filter and forwards untouched.
+func (s *SPIE) Process(pkt *packet.Packet, env *device.Env) (int, device.Result) {
+	if s.Window <= 0 {
+		s.Window = 100 * sim.Millisecond
+	}
+	if !s.inited {
+		s.init(env.Now)
+	}
+	s.roll(env.Now)
+	var idx [8]uint32
+	k := s.Hashes
+	if k > len(idx) {
+		k = len(idx)
+	}
+	s.indexes(pkt.DigestWithSalt(s.Salt), idx[:k])
+	for _, i := range idx[:k] {
+		s.filters[s.cur].set(i)
+	}
+	s.Observed++
+	return 0, device.Forward
+}
+
+// Query reports whether a packet with this digest was (probably) observed
+// in the window covering time at. covered is false when the backlog no
+// longer (or never) spans at.
+func (s *SPIE) Query(pkt *packet.Packet, at sim.Time) (seen, covered bool) {
+	if !s.inited {
+		return false, false
+	}
+	var idx [8]uint32
+	k := s.Hashes
+	if k > len(idx) {
+		k = len(idx)
+	}
+	s.indexes(pkt.DigestWithSalt(s.Salt), idx[:k])
+	for w := range s.filters {
+		if s.starts[w] < 0 || at < s.starts[w] || at >= s.starts[w]+s.Window {
+			continue
+		}
+		covered = true
+		all := true
+		for _, i := range idx[:k] {
+			if !s.filters[w].get(i) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true, true
+		}
+	}
+	return false, covered
+}

@@ -1,0 +1,565 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dtc/internal/attack"
+	"dtc/internal/baseline"
+	"dtc/internal/metrics"
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+
+	root "dtc"
+)
+
+func init() {
+	register("e1", "§3.3/[15]: ingress-filtering effectiveness vs deployment fraction on a power-law AS graph", runE1)
+	register("e2", "§3/§4.3: reflector-attack mitigation shootout — none vs traceback-filter vs pushback vs TCS", runE2)
+	register("e3", "§3.1: pushback failure mode — server dies before its over-provisioned uplink congests", runE3)
+	register("e4", "§4.6/§6: filtering close to the source frees bandwidth — attack byte-hops vs deployment", runE4)
+}
+
+// runE1 reproduces the Park & Lee claim the paper leans on: on a power-law
+// AS topology, route-based ingress filtering at ~20% of ASes (chosen by
+// degree) already suppresses almost all spoofed traffic, while random
+// placement is far weaker. Deployment here is the paper's mechanism: the
+// victim owner deploys the anti-spoofing service, scoped to a node set.
+func runE1(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E1: spoofed traffic reaching the victim vs TCS anti-spoofing deployment",
+		"nodes", "placement", "mode", "deploy_%", "attack_sent", "reach_victim_%", "legit_delivery_%")
+
+	nNodes := 1000
+	agents := 40
+	rate := 200.0
+	if opts.Quick {
+		nNodes, agents, rate = 300, 20, 100
+	}
+
+	type variant struct {
+		placement string
+		strict    bool
+	}
+	variants := []variant{
+		{"top-degree", true},
+		{"random", true},
+		{"top-degree", false},
+	}
+	fractions := []float64{0, 0.05, 0.10, 0.20, 0.40, 1.0}
+	if opts.Quick {
+		fractions = []float64{0, 0.20, 1.0}
+	}
+
+	for _, v := range variants {
+		for _, f := range fractions {
+			if f == 0 && v.placement == "random" {
+				continue // identical to top-degree f=0
+			}
+			s := sim.New(opts.Seed)
+			g, err := topology.BarabasiAlbert(nNodes, 2, s.RNG())
+			if err != nil {
+				return nil, err
+			}
+			w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: opts.Seed + 1})
+			if err != nil {
+				return nil, err
+			}
+			stubs := g.Stubs()
+			victimNode := stubs[0]
+			user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
+			if err != nil {
+				return nil, err
+			}
+			// Pick deployment nodes.
+			count := int(f * float64(g.Len()))
+			var deployNodes []int
+			switch v.placement {
+			case "top-degree":
+				deployNodes = g.NodesByDegree()[:count]
+			case "random":
+				perm := w.Sim.RNG().Perm(g.Len())
+				deployNodes = perm[:count]
+			}
+			if count > 0 {
+				spec := service.AntiSpoofingInbound("as", v.strict)
+				if _, err := user.Deploy(spec, nil, nms.Scope{Nodes: deployNodes}); err != nil {
+					return nil, err
+				}
+			}
+			victim, err := w.Net.AttachHost(victimNode)
+			if err != nil {
+				return nil, err
+			}
+			// Agents at random stubs flood with random spoofed sources.
+			rng := w.Sim.RNG().Fork()
+			var sources []*netsim.Source
+			for i := 0; i < agents; i++ {
+				node := stubs[1+rng.Intn(len(stubs)-1)]
+				h, err := w.Net.AttachHost(node)
+				if err != nil {
+					return nil, err
+				}
+				arng := rng.Fork()
+				sources = append(sources, h.StartCBR(0, rate, func(uint64) *packet.Packet {
+					return &packet.Packet{
+						Src: packet.Addr(arng.Uint32()), Dst: victim.Addr,
+						Proto: packet.UDP, Size: 200, Kind: packet.KindAttack,
+					}
+				}))
+			}
+			// One legitimate client to confirm zero collateral.
+			legit, err := w.Net.AttachHost(stubs[len(stubs)/2])
+			if err != nil {
+				return nil, err
+			}
+			lg := legit.StartCBR(0, 100, func(uint64) *packet.Packet {
+				return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
+			})
+			dur := 200 * sim.Millisecond
+			w.Sim.AfterFunc(dur, func(sim.Time) {
+				for _, src := range sources {
+					src.Stop()
+				}
+				lg.Stop()
+				w.Sim.Stop()
+			})
+			if _, err := w.Sim.Run(2 * dur); err != nil {
+				return nil, err
+			}
+			var attackSent uint64
+			for _, src := range sources {
+				attackSent += src.Sent()
+			}
+			mode := "edge-only"
+			if v.strict {
+				mode = "route-based"
+			}
+			tbl.AddRow(g.Len(), v.placement, mode, f*100, attackSent,
+				pct(victim.Delivered[packet.KindAttack], attackSent),
+				pct(victim.Delivered[packet.KindLegit], lg.Sent()))
+		}
+	}
+	return tbl, nil
+}
+
+// shootoutWorld builds the E2 scenario: victim web service, legit clients
+// (some sharing the victim's stub and using the reflectors' DNS service),
+// innocent reflectors, and a reflector botnet.
+type shootoutWorld struct {
+	w          *root.World
+	user       *root.User
+	victim     *attack.VictimService
+	clients    []*attack.Client
+	dnsClients []*netsim.Host
+	dnsOK      *uint64
+	reflectors []*attack.Reflector
+	botnet     *attack.Botnet
+	victimNode int
+}
+
+func newShootout(opts Options) (*shootoutWorld, error) {
+	s := sim.New(opts.Seed)
+	g, err := topology.TransitStub(6, 6, 0.2, s.RNG())
+	if err != nil {
+		return nil, err
+	}
+	w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	stubs := g.Stubs()
+	sw := &shootoutWorld{w: w, victimNode: stubs[0]}
+
+	if sw.user, err = w.NewUser("victim", netsim.NodePrefix(sw.victimNode)); err != nil {
+		return nil, err
+	}
+	// Victim web service: modest capacity.
+	if sw.victim, err = attack.NewVictimService(w.Net, sw.victimNode, 200*sim.Microsecond, 64, 800); err != nil {
+		return nil, err
+	}
+	// Reflectors run DNS at stubs 1..6.
+	reflNodes := stubs[1:7]
+	if sw.reflectors, err = attack.NewReflectorFleet(w.Net, reflNodes, attack.ReflectDNS, 20*sim.Microsecond, 4096); err != nil {
+		return nil, err
+	}
+	// Legit web clients at stubs 7..12.
+	if sw.clients, err = attack.NewClients(w.Net, stubs[7:13]); err != nil {
+		return nil, err
+	}
+	// DNS clients colocated with the victim (they resolve via the
+	// reflectors): collateral sensors for reflector-blocking defenses.
+	var dnsOK uint64
+	sw.dnsOK = &dnsOK
+	for i := 0; i < 3; i++ {
+		h, err := w.Net.AttachHost(sw.victimNode)
+		if err != nil {
+			return nil, err
+		}
+		h.Recv = func(_ sim.Time, p *packet.Packet) {
+			if p.Kind == packet.KindLegit && p.Proto == packet.UDP {
+				dnsOK++
+			}
+		}
+		sw.dnsClients = append(sw.dnsClients, h)
+	}
+	// Botnet: agents at stubs 13..20.
+	agentNodes := stubs[13:21]
+	if sw.botnet, err = attack.NewBotnet(w.Net, stubs[21], []int{stubs[22]}, agentNodes, 8); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// run drives the scenario for dur and returns the three goodput metrics.
+func (sw *shootoutWorld) run(dur sim.Time, attackRate float64) (webGoodput, dnsGoodput, reflectPct float64, err error) {
+	for _, c := range sw.clients {
+		c.Start(0, sw.victim.Server.Host.Addr, 150, 200)
+	}
+	var dnsSent uint64
+	for i, h := range sw.dnsClients {
+		refl := sw.reflectors[i%len(sw.reflectors)]
+		host := h
+		src := host.StartCBR(0, 100, func(j uint64) *packet.Packet {
+			dnsSent++
+			return &packet.Packet{
+				Src: host.Addr, Dst: refl.Server.Host.Addr,
+				Proto: packet.UDP, DstPort: 53, SrcPort: uint16(3000 + j%100),
+				Size: 60, Kind: packet.KindLegit,
+			}
+		})
+		sw.w.Sim.AfterFunc(dur, func(sim.Time) { src.Stop() })
+	}
+	if err := sw.botnet.LaunchReflectorAttack(10*sim.Millisecond, sw.reflectors, attack.ReflectDNS, sw.victim.Server.Host.Addr, attackRate, dur); err != nil {
+		return 0, 0, 0, err
+	}
+	sw.w.Sim.AfterFunc(dur, func(sim.Time) {
+		for _, c := range sw.clients {
+			c.Stop()
+		}
+		sw.w.Sim.Stop()
+	})
+	if _, err := sw.w.Sim.Run(2 * dur); err != nil {
+		return 0, 0, 0, err
+	}
+	var req, rep uint64
+	for _, c := range sw.clients {
+		req += c.Requested()
+		rep += c.Replies
+	}
+	webGoodput = pct(rep, req)
+	dnsGoodput = pct(*sw.dnsOK, dnsSent)
+	reflectPct = pct(sw.victim.Server.Host.Delivered[packet.KindReflect], sw.botnet.AttackSent())
+	return webGoodput, dnsGoodput, reflectPct, nil
+}
+
+// runE2 is the mitigation shootout on the reflector attack of Figure 1.
+func runE2(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E2: DDoS reflector attack — victim goodput and collateral per defense",
+		"defense", "web_goodput_%", "dns_goodput_%", "backscatter@victim_%", "note")
+
+	dur := 400 * sim.Millisecond
+	rate := 1500.0
+	if opts.Quick {
+		dur, rate = 150*sim.Millisecond, 800
+	}
+
+	// Defense 0: no attack at all (calibration row).
+	{
+		sw, err := newShootout(opts)
+		if err != nil {
+			return nil, err
+		}
+		web, dns, _, err := sw.run(dur, 0.001) // negligible attack
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("no attack", web, dns, 0.0, "calibration")
+	}
+	// Defense 1: none.
+	{
+		sw, err := newShootout(opts)
+		if err != nil {
+			return nil, err
+		}
+		web, dns, refl, err := sw.run(dur, rate)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("none", web, dns, refl, "server saturated by backscatter")
+	}
+	// Defense 2: traceback-then-filter — traceback names the reflectors
+	// (the only sources the victim sees), so the reaction blocks them:
+	// backscatter stops, but so does the reflectors' legitimate service.
+	{
+		sw, err := newShootout(opts)
+		if err != nil {
+			return nil, err
+		}
+		bl := service.BlacklistSources("block-reflectors")
+		var addrs []string
+		for _, r := range sw.reflectors {
+			addrs = append(addrs, r.Server.Host.Addr.String())
+		}
+		bl.Components[0].Addrs = addrs
+		if _, err := sw.user.Deploy(bl, nil, nms.Scope{Nodes: []int{sw.victimNode}}); err != nil {
+			return nil, err
+		}
+		web, dns, refl, err := sw.run(dur, rate)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("traceback+filter reflectors", web, dns, refl, "DNS collateral: reflectors blocked")
+	}
+	// Defense 3: pushback.
+	{
+		sw, err := newShootout(opts)
+		if err != nil {
+			return nil, err
+		}
+		pb := baseline.NewPushback(sw.w.Net, baseline.DefaultPushbackConfig())
+		web, dns, refl, err := sw.run(dur, rate)
+		if err != nil {
+			return nil, err
+		}
+		pb.Stop()
+		note := fmt.Sprintf("activations=%d (uplink rarely congests)", pb.Activations)
+		tbl.AddRow("pushback", web, dns, refl, note)
+	}
+	// Defense 4: the paper's service — source-stage anti-spoofing
+	// deployed everywhere: agents' forged requests (src = victim) die at
+	// their first device, so reflectors never fire.
+	{
+		sw, err := newShootout(opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sw.user.Deploy(service.AntiSpoofing("as"), nil, nms.Scope{}); err != nil {
+			return nil, err
+		}
+		web, dns, refl, err := sw.run(dur, rate)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("TCS anti-spoofing", web, dns, refl, "forged requests dropped near agents")
+	}
+	return tbl, nil
+}
+
+// runE3 reproduces the pushback failure mode of §3.1: a server hosted in a
+// farm whose uplink is provisioned far above the host's capacity. The
+// flood exhausts the server while no queue ever drops, so pushback never
+// engages; the owner-deployed service filters anyway.
+func runE3(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E3: server-farm scenario — host exhausted, uplink idle",
+		"defense", "pushback_activations", "server_overload_drops", "legit_goodput_%", "max_link_util_%")
+
+	run := func(defense string) error {
+		g := topology.Dumbbell(4, 4, 2)
+		w, err := root.NewWorld(root.WorldConfig{
+			Topology: g, Seed: opts.Seed,
+			// Fat links everywhere: the farm uplink is 1 Gbit.
+			Link: netsim.LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond, QueueCap: 512},
+		})
+		if err != nil {
+			return err
+		}
+		victimNode := 4 // right-side leaf
+		user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
+		if err != nil {
+			return err
+		}
+		// Slow server: 1 ms service, queue 16 => 1000 req/s capacity.
+		victim, err := attack.NewVictimService(w.Net, victimNode, sim.Millisecond, 16, 400)
+		if err != nil {
+			return err
+		}
+		var pb *baseline.Pushback
+		switch defense {
+		case "pushback":
+			pb = baseline.NewPushback(w.Net, baseline.DefaultPushbackConfig())
+		case "tcs":
+			pb = baseline.NewPushback(w.Net, baseline.DefaultPushbackConfig())
+			// The owner scrubs the attack signature: UDP to port 9 is not
+			// a service the victim runs.
+			if _, err := user.Deploy(service.FirewallDrop("fw", service.MatchSpec{Proto: "udp"}), nil, nms.Scope{}); err != nil {
+				return err
+			}
+		}
+		clients, err := attack.NewClients(w.Net, []int{5, 6})
+		if err != nil {
+			return err
+		}
+		for _, c := range clients {
+			c.Start(0, victim.Server.Host.Addr, 150, 200)
+		}
+		// Agents on the left flood at 4000 pps of 500B = 16 Mbit/s —
+		// nothing for a 1 Gbit uplink, fatal for a 1000 req/s server.
+		var sources []*netsim.Source
+		for _, node := range []int{0, 1, 2, 3} {
+			h, err := w.Net.AttachHost(node)
+			if err != nil {
+				return err
+			}
+			host := h
+			sources = append(sources, host.StartCBR(0, 1000, func(uint64) *packet.Packet {
+				return &packet.Packet{Src: host.Addr, Dst: victim.Server.Host.Addr,
+					Proto: packet.UDP, DstPort: 9, Size: 500, Kind: packet.KindAttack}
+			}))
+		}
+		dur := 400 * sim.Millisecond
+		if opts.Quick {
+			dur = 150 * sim.Millisecond
+		}
+		w.Sim.AfterFunc(dur, func(sim.Time) {
+			for _, s := range sources {
+				s.Stop()
+			}
+			for _, c := range clients {
+				c.Stop()
+			}
+			w.Sim.Stop()
+		})
+		if _, err := w.Sim.Run(2 * dur); err != nil {
+			return err
+		}
+		if pb != nil {
+			pb.Stop()
+		}
+		var req, rep uint64
+		for _, c := range clients {
+			req += c.Requested()
+			rep += c.Replies
+		}
+		var overload uint64
+		for _, v := range victim.Server.Overloaded {
+			overload += v
+		}
+		// Peak utilization of the farm uplink (core -> victim leaf).
+		var maxUtil float64
+		if ls, ok := w.Net.Link(9, victimNode); ok {
+			util := float64(ls.Bytes*8) / (1e9 * dur.Seconds()) * 100
+			if util > maxUtil {
+				maxUtil = util
+			}
+		}
+		activations := 0
+		if pb != nil {
+			activations = pb.Activations
+		}
+		tbl.AddRow(defense, activations, overload, pct(rep, req), maxUtil)
+		return nil
+	}
+	for _, d := range []string{"none", "pushback", "tcs"} {
+		if err := run(d); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// runE4 measures the paper's closing claim: filtering near the source
+// frees the bandwidth that attack traffic would otherwise waste crossing
+// the Internet. Metric: byte·hops consumed by attack traffic vs the
+// deployment fraction of the owner's anti-spoofing service.
+func runE4(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E4: attack bandwidth waste vs deployment fraction",
+		"deploy_%", "attack_byte_hops_MB", "vs_no_defense_%", "mean_hops_before_drop", "legit_delivery_%")
+
+	nNodes := 400
+	agents := 30
+	if opts.Quick {
+		nNodes, agents = 150, 15
+	}
+	var baselineWaste float64
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if opts.Quick {
+		fractions = []float64{0, 0.5, 1.0}
+	}
+	for _, f := range fractions {
+		s := sim.New(opts.Seed)
+		g, err := topology.BarabasiAlbert(nNodes, 2, s.RNG())
+		if err != nil {
+			return nil, err
+		}
+		w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		stubs := g.Stubs()
+		victimNode := stubs[0]
+		user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
+		if err != nil {
+			return nil, err
+		}
+		count := int(f * float64(g.Len()))
+		if count > 0 {
+			// Strict route-based filtering, placed by degree: the higher
+			// the coverage, the closer to each source the drop happens.
+			deployNodes := g.NodesByDegree()[:count]
+			if _, err := user.Deploy(service.AntiSpoofingInbound("as", true), nil, nms.Scope{Nodes: deployNodes}); err != nil {
+				return nil, err
+			}
+		}
+		victim, err := w.Net.AttachHost(victimNode)
+		if err != nil {
+			return nil, err
+		}
+		rng := w.Sim.RNG().Fork()
+		var sources []*netsim.Source
+		tree, err := w.Net.Table.TreeTo(victimNode)
+		if err != nil {
+			return nil, err
+		}
+		var pathHops float64
+		for i := 0; i < agents; i++ {
+			node := stubs[1+rng.Intn(len(stubs)-1)]
+			h, err := w.Net.AttachHost(node)
+			if err != nil {
+				return nil, err
+			}
+			pathHops += float64(tree.Hops(node))
+			arng := rng.Fork()
+			sources = append(sources, h.StartCBR(0, 100, func(uint64) *packet.Packet {
+				return &packet.Packet{Src: packet.Addr(arng.Uint32()), Dst: victim.Addr,
+					Proto: packet.UDP, Size: 500, Kind: packet.KindAttack}
+			}))
+		}
+		legit, err := w.Net.AttachHost(stubs[len(stubs)/2])
+		if err != nil {
+			return nil, err
+		}
+		lg := legit.StartCBR(0, 100, func(uint64) *packet.Packet {
+			return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
+		})
+		dur := 200 * sim.Millisecond
+		w.Sim.AfterFunc(dur, func(sim.Time) {
+			for _, src := range sources {
+				src.Stop()
+			}
+			lg.Stop()
+			w.Sim.Stop()
+		})
+		if _, err := w.Sim.Run(2 * dur); err != nil {
+			return nil, err
+		}
+		var attackSent uint64
+		for _, src := range sources {
+			attackSent += src.Sent()
+		}
+		waste := float64(w.Net.Stats.ByteHops[packet.KindAttack])
+		if f == 0 {
+			baselineWaste = waste
+		}
+		meanHops := ratio(waste, float64(attackSent)*500)
+		tbl.AddRow(f*100, waste/1e6, 100*ratio(waste, baselineWaste), meanHops,
+			pct(victim.Delivered[packet.KindLegit], lg.Sent()))
+	}
+	return tbl, nil
+}

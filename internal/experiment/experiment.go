@@ -1,0 +1,113 @@
+// Package experiment contains the runners that reproduce every figure and
+// quantitative claim of the paper as a measured table (see DESIGN.md §4
+// for the experiment index). Each runner is deterministic given its seed
+// and has a Quick mode for benchmarks and CI.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dtc/internal/metrics"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Quick shrinks workloads so every experiment finishes in well under a
+	// second — used by `go test -bench` and CI. Full mode is the default
+	// for cmd/ddosim.
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Runner executes one experiment and renders its table.
+type Runner func(Options) (*metrics.Table, error)
+
+// registry maps experiment IDs (f1…f6, e1…e9) to runners.
+var registry = map[string]struct {
+	runner Runner
+	desc   string
+}{}
+
+func register(id, desc string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiment: duplicate id " + id)
+	}
+	registry[id] = struct {
+		runner Runner
+		desc   string
+	}{r, desc}
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*metrics.Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (try List())", id)
+	}
+	return e.runner(opts)
+}
+
+// List returns all experiment IDs in order.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string {
+	if e, ok := registry[id]; ok {
+		return e.desc
+	}
+	return ""
+}
+
+// RunMany executes the given experiments concurrently on up to `workers`
+// goroutines and returns their tables in input order. Experiments are
+// fully independent (each builds its own simulation world), so this is a
+// plain fan-out; a single failure cancels nothing but is reported for its
+// experiment. Wall-clock-measuring experiments (f4–f6, e5, a2) contend
+// for CPU under parallelism — use workers=1 when their absolute numbers
+// matter.
+func RunMany(ids []string, opts Options, workers int) ([]*metrics.Table, []error) {
+	if workers < 1 {
+		workers = 1
+	}
+	tables := make([]*metrics.Table, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tables[i], errs[i] = Run(id, opts)
+		}(i, id)
+	}
+	wg.Wait()
+	return tables, errs
+}
+
+// pct renders a ratio as a percentage value.
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// ratio is a 0-guarded division.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,29 @@
+package flowsim_test
+
+import (
+	"fmt"
+
+	"dtc/internal/flowsim"
+	"dtc/internal/topology"
+)
+
+// Example evaluates a spoofed flow against a route-based filter without
+// simulating individual packets.
+func Example() {
+	g := topology.Line(5)
+	m := flowsim.New(g)
+	if err := m.Deploy([]int{1}, true); err != nil {
+		fmt.Println(err)
+		return
+	}
+	spoofed := &flowsim.Flow{From: 0, To: 4, Rate: 1000, Size: 200, Src: flowsim.SrcUnallocated}
+	genuine := &flowsim.Flow{From: 0, To: 4, Rate: 1000, Size: 200, Src: flowsim.SrcGenuine}
+
+	r1, _ := m.Route(spoofed)
+	r2, _ := m.Route(genuine)
+	fmt.Printf("spoofed delivered=%v dropHop=%d\n", r1.Delivered, r1.DropHop)
+	fmt.Printf("genuine delivered=%v\n", r2.Delivered)
+	// Output:
+	// spoofed delivered=false dropHop=1
+	// genuine delivered=true
+}

@@ -1,0 +1,302 @@
+package flowsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	root "dtc"
+	"dtc/internal/flowsim"
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+func TestModelBasics(t *testing.T) {
+	g := topology.Line(4)
+	m := flowsim.New(g)
+	// Undefended: everything delivered.
+	r, err := m.Route(&flowsim.Flow{From: 0, To: 3, Rate: 100, Size: 100, Src: flowsim.SrcUnallocated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered || r.ByteHops != 100*100*3 {
+		t.Errorf("undefended: %+v", r)
+	}
+	// Strict filter at node 1 kills unallocated sources one hop out.
+	if err := m.Deploy([]int{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = m.Route(&flowsim.Flow{From: 0, To: 3, Rate: 100, Size: 100, Src: flowsim.SrcUnallocated})
+	if r.Delivered || r.DropHop != 1 {
+		t.Errorf("filtered: %+v", r)
+	}
+	// Genuine sources always pass.
+	r, _ = m.Route(&flowsim.Flow{From: 0, To: 3, Rate: 100, Size: 100, Src: flowsim.SrcGenuine})
+	if !r.Delivered {
+		t.Errorf("genuine source dropped: %+v", r)
+	}
+	m.Reset()
+	r, _ = m.Route(&flowsim.Flow{From: 0, To: 3, Rate: 1, Size: 1, Src: flowsim.SrcUnallocated})
+	if !r.Delivered {
+		t.Error("Reset did not clear deployment")
+	}
+	if err := m.Deploy([]int{99}, true); err == nil {
+		t.Error("out-of-range deployment accepted")
+	}
+}
+
+func TestModelEdgeOnlySparesTransit(t *testing.T) {
+	g := topology.Line(4) // nodes 1,2 transit
+	m := flowsim.New(g)
+	if err := m.Deploy([]int{2}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Unallocated source from node 0 passes node 2 (arrives from transit
+	// neighbor 1) under the conservative rule…
+	r, _ := m.Route(&flowsim.Flow{From: 0, To: 3, Rate: 1, Size: 1, Src: flowsim.SrcUnallocated})
+	if !r.Delivered {
+		t.Errorf("edge-only filtered transit traffic: %+v", r)
+	}
+	// …but is caught when the filter sits at the stub-facing first hop.
+	m.Reset()
+	if err := m.Deploy([]int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = m.Route(&flowsim.Flow{From: 0, To: 3, Rate: 1, Size: 1, Src: flowsim.SrcUnallocated})
+	if r.Delivered {
+		t.Errorf("edge-only missed stub ingress: %+v", r)
+	}
+}
+
+// TestCrossValidationAgainstPacketSimulator is the contract of DESIGN.md
+// §5.6: for filtering experiments the flow model and the packet simulator
+// agree flow by flow and byte-hop by byte-hop.
+func TestCrossValidationAgainstPacketSimulator(t *testing.T) {
+	for _, strict := range []bool{true, false} {
+		for _, frac := range []float64{0, 0.1, 0.3, 1.0} {
+			name := fmt.Sprintf("strict=%v/deploy=%v", strict, frac)
+			seed := uint64(17)
+			s := sim.New(seed)
+			g, err := topology.BarabasiAlbert(200, 2, s.RNG())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Shared deployment set.
+			count := int(frac * float64(g.Len()))
+			deployNodes := g.NodesByDegree()[:count]
+
+			// ---- Packet-level run -----------------------------------
+			w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stubs := g.Stubs()
+			victimNode := stubs[0]
+			user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count > 0 {
+				if _, err := user.Deploy(service.AntiSpoofingInbound("as", strict), nil, nms.Scope{Nodes: deployNodes}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			victim, err := w.Net.AttachHost(victimNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 24 agents with deterministic per-agent source behaviour,
+			// distinguished by destination port.
+			type agentCfg struct {
+				node int
+				kind flowsim.SourceKind
+				sp   int
+			}
+			rng := sim.NewRNG(seed + 99)
+			var agents []agentCfg
+			for i := 0; i < 24; i++ {
+				cfg := agentCfg{node: stubs[1+rng.Intn(len(stubs)-1)]}
+				switch i % 3 {
+				case 0:
+					cfg.kind = flowsim.SrcGenuine
+				case 1:
+					cfg.kind = flowsim.SrcUnallocated
+				case 2:
+					cfg.kind = flowsim.SrcOfNode
+					cfg.sp = stubs[rng.Intn(len(stubs))]
+				}
+				agents = append(agents, cfg)
+			}
+			const pktsPerAgent = 8
+			const pktSize = 250
+			deliveredByPort := map[uint16]uint64{}
+			victim.Recv = func(_ sim.Time, p *packet.Packet) { deliveredByPort[p.DstPort]++ }
+			for i, cfg := range agents {
+				h, err := w.Net.AttachHost(cfg.node)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := h.Addr
+				switch cfg.kind {
+				case flowsim.SrcUnallocated:
+					src = packet.Addr(0xF0000000 + uint32(i))
+				case flowsim.SrcOfNode:
+					src = netsim.NodePrefix(cfg.sp).Nth(uint64(7000 + i))
+				}
+				port := uint16(10000 + i)
+				h.SendBurst(0, pktsPerAgent, func(uint64) *packet.Packet {
+					return &packet.Packet{Src: src, Dst: victim.Addr, DstPort: port,
+						Proto: packet.UDP, Size: pktSize, Kind: packet.KindAttack}
+				})
+			}
+			if _, err := w.Sim.RunAll(); err != nil {
+				t.Fatal(err)
+			}
+
+			// ---- Flow-level run -------------------------------------
+			m := flowsim.New(g)
+			if err := m.Deploy(deployNodes, strict); err != nil {
+				t.Fatal(err)
+			}
+			var predictedByteHops float64
+			for i, cfg := range agents {
+				f := &flowsim.Flow{From: cfg.node, To: victimNode,
+					Rate: pktsPerAgent, Size: pktSize, Src: cfg.kind, SpoofNode: cfg.sp}
+				r, err := m.Route(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				predictedByteHops += r.ByteHops
+				got := deliveredByPort[uint16(10000+i)]
+				if r.Delivered && got != pktsPerAgent {
+					t.Errorf("%s agent %d (%v): flow model says delivered, packets got %d/%d",
+						name, i, cfg.kind, got, pktsPerAgent)
+				}
+				if !r.Delivered && got != 0 {
+					t.Errorf("%s agent %d (%v): flow model says dropped at hop %d, packets got %d",
+						name, i, cfg.kind, r.DropHop, got)
+				}
+			}
+			measured := float64(w.Net.Stats.ByteHops[packet.KindAttack])
+			if measured != predictedByteHops {
+				t.Errorf("%s: byte-hops packet=%v flow=%v", name, measured, predictedByteHops)
+			}
+		}
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	g := topology.Line(5)
+	m := flowsim.New(g)
+	if err := m.Deploy([]int{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	flows := []flowsim.Flow{
+		{From: 0, To: 4, Rate: 10, Size: 100, Src: flowsim.SrcGenuine},
+		{From: 0, To: 4, Rate: 20, Size: 100, Src: flowsim.SrcUnallocated},
+		{From: 3, To: 4, Rate: 30, Size: 100, Src: flowsim.SrcUnallocated}, // no filter on path
+	}
+	s, err := m.Evaluate(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flows != 3 || s.Delivered != 2 {
+		t.Errorf("sweep = %+v", s)
+	}
+	if s.DeliveredRate != 40 || s.TotalRate != 60 {
+		t.Errorf("rates = %+v", s)
+	}
+	if s.MeanDropHop != 1 {
+		t.Errorf("mean drop hop = %v", s.MeanDropHop)
+	}
+}
+
+// TestCrossValidationOnTransitStub repeats the model-equivalence check on
+// a transit-stub topology with multihoming — the graph family where
+// equal-cost path asymmetries actually occur.
+func TestCrossValidationOnTransitStub(t *testing.T) {
+	for _, strict := range []bool{true, false} {
+		seed := uint64(23)
+		s := sim.New(seed)
+		g, err := topology.TransitStub(8, 6, 0.4, s.RNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		deployNodes := g.NodesByDegree()[:g.Len()/5]
+
+		w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stubs := g.Stubs()
+		victimNode := stubs[0]
+		user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := user.Deploy(service.AntiSpoofingInbound("as", strict), nil, nms.Scope{Nodes: deployNodes}); err != nil {
+			t.Fatal(err)
+		}
+		victim, err := w.Net.AttachHost(victimNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deliveredByPort := map[uint16]uint64{}
+		victim.Recv = func(_ sim.Time, p *packet.Packet) { deliveredByPort[p.DstPort]++ }
+
+		rng := sim.NewRNG(seed + 5)
+		type agentCfg struct {
+			node int
+			kind flowsim.SourceKind
+			sp   int
+		}
+		var agents []agentCfg
+		for i := 0; i < 30; i++ {
+			cfg := agentCfg{node: stubs[1+rng.Intn(len(stubs)-1)], kind: flowsim.SourceKind(i % 3)}
+			if cfg.kind == flowsim.SrcOfNode {
+				cfg.sp = stubs[rng.Intn(len(stubs))]
+			}
+			agents = append(agents, cfg)
+		}
+		const pkts = 4
+		for i, cfg := range agents {
+			h, err := w.Net.AttachHost(cfg.node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := h.Addr
+			switch cfg.kind {
+			case flowsim.SrcUnallocated:
+				src = packet.Addr(0xF0000000 + uint32(i))
+			case flowsim.SrcOfNode:
+				src = netsim.NodePrefix(cfg.sp).Nth(uint64(8000 + i))
+			}
+			port := uint16(20000 + i)
+			h.SendBurst(0, pkts, func(uint64) *packet.Packet {
+				return &packet.Packet{Src: src, Dst: victim.Addr, DstPort: port,
+					Proto: packet.UDP, Size: 120, Kind: packet.KindAttack}
+			})
+		}
+		if _, err := w.Sim.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		m := flowsim.New(g)
+		if err := m.Deploy(deployNodes, strict); err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range agents {
+			r, err := m.Route(&flowsim.Flow{From: cfg.node, To: victimNode, Rate: pkts, Size: 120, Src: cfg.kind, SpoofNode: cfg.sp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := deliveredByPort[uint16(20000+i)]
+			if r.Delivered != (got == pkts) || (!r.Delivered && got != 0) {
+				t.Errorf("strict=%v agent %d (%v from %d): flow says delivered=%v, packets got %d/%d",
+					strict, i, cfg.kind, cfg.node, r.Delivered, got, pkts)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package metrics provides the counters, time series and table formatting
+// used by every experiment. Keeping measurement out of the simulator keeps
+// the data path lean and makes the experiment outputs uniform.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple monotonically increasing counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Series accumulates scalar samples and answers summary-statistics queries.
+type Series struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.vals) }
+
+// Sum returns the sum of samples.
+func (s *Series) Sum() float64 {
+	t := 0.0
+	for _, v := range s.vals {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the sample mean, or NaN when empty.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	return s.Sum() / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation, or NaN when empty.
+func (s *Series) Stddev() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.vals {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s.vals)))
+}
+
+// Min returns the smallest sample, or NaN when empty.
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or NaN when empty.
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank, or
+// NaN when empty.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.vals[rank]
+}
+
+// Table renders experiment results as an aligned text table — the format
+// every experiment runner prints and EXPERIMENTS.md records.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	a := math.Abs(v)
+	switch {
+	case a != 0 && a < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case a < 10:
+		return fmt.Sprintf("%.3f", v)
+	case a < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the formatted rows (shared).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// CSV renders the table as RFC-4180 CSV (header row first, no title) for
+// downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

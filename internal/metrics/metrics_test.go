@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Error("zero value not zero")
+	}
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 11 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Sum() != 15 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	for _, v := range []float64{s.Mean(), s.Min(), s.Max(), s.Stddev(), s.Percentile(50)} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty-series stat = %v, want NaN", v)
+		}
+	}
+}
+
+func TestSeriesAddAfterPercentile(t *testing.T) {
+	var s Series
+	s.Add(5)
+	s.Add(1)
+	_ = s.Percentile(50) // sorts
+	s.Add(3)
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 after re-add = %v", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	f := func(vals []float64, p uint8) bool {
+		var s Series
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		got := s.Percentile(float64(p % 101))
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo table", "name", "value", "ratio")
+	tb.AddRow("alpha", 1234.5678, 0.001234)
+	tb.AddRow("b", 7, "n/a")
+	s := tb.String()
+	if !strings.Contains(s, "Demo table") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "n/a") {
+		t.Error("missing cells")
+	}
+	if !strings.Contains(s, "1235") {
+		t.Errorf("large float formatting: %s", s)
+	}
+	if !strings.Contains(s, "1.23e-03") {
+		t.Errorf("small float formatting: %s", s)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestTableNaNFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(math.NaN())
+	if !strings.Contains(tb.String(), "-") {
+		t.Error("NaN not rendered as dash")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored title", "name", "value")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow("with,comma", `say "hi"`)
+	got := tb.CSV()
+	want := "name,value\nplain,1.500\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV:\n got %q\nwant %q", got, want)
+	}
+	if strings.Contains(got, "ignored title") {
+		t.Error("CSV must not contain the title")
+	}
+}

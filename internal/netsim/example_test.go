@@ -1,0 +1,43 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// Example builds a three-router network, installs a filtering hook at the
+// middle router, and shows hop-by-hop forwarding with in-network drops.
+func Example() {
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(3), netsim.DefaultLink)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(2)
+
+	net.AddHook(1, netsim.HookFunc{Label: "no-telnet", Fn: func(_ sim.Time, p *packet.Packet, _ netsim.HookContext) netsim.Verdict {
+		if p.Proto == packet.TCP && p.DstPort == 23 {
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}})
+
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Proto: packet.TCP, DstPort: 23, Size: 100})
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Proto: packet.TCP, DstPort: 80, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Println("delivered:", dst.Delivered[packet.KindLegit])
+	fmt.Println("filtered:", net.Stats.DropTotal(netsim.DropFilter))
+	// Output:
+	// delivered: 1
+	// filtered: 1
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// LinkStats counts traffic on one directed link.
+type LinkStats struct {
+	Packets    uint64
+	Bytes      uint64
+	QueueDrops uint64
+	// BytesByKind attributes carried bytes to traffic classes so
+	// experiments can compute wasted (attack) bandwidth per link.
+	BytesByKind [5]uint64
+}
+
+// link is one direction of an edge: a serializing transmitter with a
+// drop-tail queue, modelled with virtual time rather than explicit queue
+// objects: busyUntil tracks when the transmitter frees up, queued tracks
+// occupancy for the drop-tail bound.
+type link struct {
+	net       *Network
+	from, to  int
+	cfg       LinkConfig
+	busyUntil sim.Time
+	queued    int
+	stats     LinkStats
+}
+
+func newLink(n *Network, from, to int, cfg LinkConfig) *link {
+	return &link{net: n, from: from, to: to, cfg: cfg}
+}
+
+// txTime returns the serialization time of sz bytes at the link rate.
+func (l *link) txTime(sz int) sim.Time {
+	return sim.Time(float64(sz*8) / l.cfg.Bandwidth * float64(sim.Second))
+}
+
+// send enqueues pkt for transmission; drops it if the queue is full.
+func (l *link) send(now sim.Time, pkt *packet.Packet) {
+	if l.queued >= l.cfg.QueueCap {
+		l.net.drop(now, pkt, DropQueue, l.from)
+		l.stats.QueueDrops++
+		return
+	}
+	l.queued++
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + l.txTime(pkt.Size)
+	l.busyUntil = done
+
+	l.stats.Packets++
+	l.stats.Bytes += uint64(pkt.Size)
+	if int(pkt.Kind) < len(l.stats.BytesByKind) {
+		l.stats.BytesByKind[pkt.Kind] += uint64(pkt.Size)
+	}
+	l.net.Stats.addHop(pkt)
+
+	// Absolute scheduling: `now` may legitimately lie ahead of the
+	// simulation clock when callers pre-inject future traffic.
+	l.net.Sim.At(done, sim.EventFunc(func(sim.Time) {
+		// Serialization finished: the packet leaves the queue and begins
+		// propagation.
+		l.queued--
+	}))
+	l.net.Sim.At(done+l.cfg.Delay, sim.EventFunc(func(arr sim.Time) {
+		l.net.inject(arr, pkt, l.to, l.from)
+	}))
+}

@@ -1,0 +1,259 @@
+// Package netsim simulates an IP network over a topology graph: routers
+// with drop-tail links, hop-by-hop shortest-path forwarding, TTL handling,
+// attachable hosts and servers, and per-router packet hooks where adaptive
+// devices and baseline defenses plug in.
+//
+// The simulator is deliberately packet-level and deterministic. Every
+// behaviour the paper's experiments depend on — queue overflow under
+// flooding, server resource exhaustion, spoofed sources, in-network
+// filtering near the attacker — is modelled explicitly; everything else
+// (CSMA, checksums, fragmentation) is left out.
+package netsim
+
+import (
+	"fmt"
+
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+	"dtc/internal/routing"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// Verdict is a packet hook's decision.
+type Verdict uint8
+
+// Hook verdicts.
+const (
+	Pass Verdict = iota // continue processing
+	Drop                // discard the packet (counted as a filter drop)
+)
+
+// Local is the "neighbor" value identifying packets that enter a router
+// from a locally attached host rather than from a link.
+const Local = -1
+
+// HookContext tells a packet hook where it is running. The paper requires
+// adaptive devices to receive contextual information from the network
+// operator — notably whether they see transit traffic or local customer
+// traffic (needed for correct ingress filtering, §4.2).
+type HookContext struct {
+	Node int      // router the hook is attached to
+	From int      // neighbor node the packet arrived from, or Local
+	Net  *Network // read-only access to topology/addressing context
+}
+
+// Hook processes packets entering a router. Returning Drop discards the
+// packet. Hooks may mutate packets only within the safety rules enforced
+// by the device package; raw netsim hooks are trusted infrastructure
+// (baselines, taps).
+type Hook interface {
+	Name() string
+	Process(now sim.Time, pkt *packet.Packet, ctx HookContext) Verdict
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc struct {
+	Label string
+	Fn    func(now sim.Time, pkt *packet.Packet, ctx HookContext) Verdict
+}
+
+// Name implements Hook.
+func (h HookFunc) Name() string { return h.Label }
+
+// Process implements Hook.
+func (h HookFunc) Process(now sim.Time, pkt *packet.Packet, ctx HookContext) Verdict {
+	return h.Fn(now, pkt, ctx)
+}
+
+// LinkConfig sets a link's physical characteristics.
+type LinkConfig struct {
+	Bandwidth float64  // bits per second
+	Delay     sim.Time // one-way propagation delay
+	QueueCap  int      // max packets queued per direction
+}
+
+// DefaultLink is a 100 Mbit/s, 1 ms, 64-packet link.
+var DefaultLink = LinkConfig{Bandwidth: 100e6, Delay: sim.Millisecond, QueueCap: 64}
+
+// Network is a simulated IP network. Construct with New, attach hosts,
+// then drive the underlying simulation.
+type Network struct {
+	Sim   *sim.Simulation
+	Graph *topology.Graph
+	Table *routing.Table
+	Stats *Stats
+
+	routers  []*router
+	links    map[[2]int]*link
+	addrMap  ownership.Trie[int]   // prefix -> node
+	hosts    map[packet.Addr]*Host // global host directory
+	byNode   map[int][]*Host       // hosts per node
+	nextID   uint64                // packet ID allocator
+	dropObs  []func(now sim.Time, pkt *packet.Packet, reason DropReason, node int)
+	routeObs []func()
+}
+
+// New builds a network over g. Every edge gets cfg; use SetLinkConfig to
+// override individual links afterwards.
+func New(s *sim.Simulation, g *topology.Graph, cfg LinkConfig) (*Network, error) {
+	if cfg.Bandwidth <= 0 || cfg.Delay < 0 || cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("netsim: invalid link config %+v", cfg)
+	}
+	n := &Network{
+		Sim:    s,
+		Graph:  g,
+		Table:  routing.NewTable(g, nil),
+		Stats:  NewStats(),
+		links:  make(map[[2]int]*link),
+		hosts:  make(map[packet.Addr]*Host),
+		byNode: make(map[int][]*Host),
+	}
+	n.routers = make([]*router, g.Len())
+	for i := range n.routers {
+		n.routers[i] = &router{net: n, node: i}
+		n.addrMap.Insert(NodePrefix(i), i)
+	}
+	for _, e := range g.Edges() {
+		n.links[[2]int{e.A, e.B}] = newLink(n, e.A, e.B, cfg)
+		n.links[[2]int{e.B, e.A}] = newLink(n, e.B, e.A, cfg)
+	}
+	return n, nil
+}
+
+// NodePrefix returns the /16 address block assigned to topology node id.
+// Node i owns addresses i<<16 .. i<<16+65535, so the simulator supports up
+// to 65536 nodes with 65534 hosts each.
+func NodePrefix(id int) packet.Prefix {
+	return packet.MakePrefix(packet.Addr(uint32(id)<<16), 16)
+}
+
+// NodeOfAddr returns the topology node owning address a.
+func (n *Network) NodeOfAddr(a packet.Addr) (int, bool) {
+	return n.addrMap.Lookup(a)
+}
+
+// SetLinkConfig reconfigures the directed link a->b (and only that
+// direction). It returns an error if the edge does not exist.
+func (n *Network) SetLinkConfig(a, b int, cfg LinkConfig) error {
+	l, ok := n.links[[2]int{a, b}]
+	if !ok {
+		return fmt.Errorf("netsim: no link %d->%d", a, b)
+	}
+	if cfg.Bandwidth <= 0 || cfg.Delay < 0 || cfg.QueueCap < 1 {
+		return fmt.Errorf("netsim: invalid link config %+v", cfg)
+	}
+	l.cfg = cfg
+	return nil
+}
+
+// SetDuplexLinkConfig reconfigures both directions of edge (a, b).
+func (n *Network) SetDuplexLinkConfig(a, b int, cfg LinkConfig) error {
+	if err := n.SetLinkConfig(a, b, cfg); err != nil {
+		return err
+	}
+	return n.SetLinkConfig(b, a, cfg)
+}
+
+// AddHook appends a packet hook at node; hooks run in insertion order on
+// every packet entering the router (from links and from local hosts).
+func (n *Network) AddHook(node int, h Hook) {
+	n.routers[node].hooks = append(n.routers[node].hooks, h)
+}
+
+// RemoveHook removes the first hook at node whose Name matches.
+func (n *Network) RemoveHook(node int, name string) {
+	hooks := n.routers[node].hooks
+	for i, x := range hooks {
+		if x.Name() == name {
+			n.routers[node].hooks = append(hooks[:i:i], hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Hooks returns the hooks installed at node (shared slice).
+func (n *Network) Hooks(node int) []Hook { return n.routers[node].hooks }
+
+// OnDrop registers an observer invoked for every dropped packet. Pushback
+// uses this to implement its drop-statistics monitoring.
+func (n *Network) OnDrop(fn func(now sim.Time, pkt *packet.Packet, reason DropReason, node int)) {
+	n.dropObs = append(n.dropObs, fn)
+}
+
+// AttachHost creates a host on node with the next free address in the
+// node's block.
+func (n *Network) AttachHost(node int) (*Host, error) {
+	if node < 0 || node >= n.Graph.Len() {
+		return nil, fmt.Errorf("netsim: node %d out of range", node)
+	}
+	p := NodePrefix(node)
+	idx := uint64(len(n.byNode[node]) + 1) // .0 reserved for the router
+	if idx >= p.NumAddrs() {
+		return nil, fmt.Errorf("netsim: node %d address block exhausted", node)
+	}
+	h := &Host{net: n, Node: node, Addr: p.Nth(idx)}
+	n.hosts[h.Addr] = h
+	n.byNode[node] = append(n.byNode[node], h)
+	return h, nil
+}
+
+// HostByAddr returns the host bound to address a.
+func (n *Network) HostByAddr(a packet.Addr) (*Host, bool) {
+	h, ok := n.hosts[a]
+	return h, ok
+}
+
+// HostsOn returns the hosts attached to node (shared slice).
+func (n *Network) HostsOn(node int) []*Host { return n.byNode[node] }
+
+// NumHosts returns the total number of attached hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// inject runs a packet through node's router as if it arrived from
+// neighbor from (use Local for host-originated traffic).
+func (n *Network) inject(now sim.Time, pkt *packet.Packet, node, from int) {
+	n.routers[node].receive(now, pkt, from)
+}
+
+// drop records a packet drop and notifies observers.
+func (n *Network) drop(now sim.Time, pkt *packet.Packet, reason DropReason, node int) {
+	n.Stats.addDrop(pkt, reason)
+	for _, fn := range n.dropObs {
+		fn(now, pkt, reason, node)
+	}
+}
+
+// FailLink removes the edge (a, b) from the topology, drops both directed
+// links, recomputes routing, and notifies routing-update observers —
+// modelling the routing updates of paper §4.2, on which topology-dependent
+// device configuration must adapt. Packets already in flight on the link
+// still arrive (signal propagation), but nothing new is transmitted.
+func (n *Network) FailLink(a, b int) error {
+	if !n.Graph.RemoveEdge(a, b) {
+		return fmt.Errorf("netsim: no edge (%d,%d) to fail", a, b)
+	}
+	delete(n.links, [2]int{a, b})
+	delete(n.links, [2]int{b, a})
+	n.Table.Invalidate()
+	for _, fn := range n.routeObs {
+		fn()
+	}
+	return nil
+}
+
+// OnRoutingUpdate registers a callback invoked after every topology/routing
+// change. ISP management systems use it to refresh or disable
+// topology-dependent device configuration (paper §4.2).
+func (n *Network) OnRoutingUpdate(fn func()) {
+	n.routeObs = append(n.routeObs, fn)
+}
+
+// Link returns utilization counters for the directed link a->b.
+func (n *Network) Link(a, b int) (*LinkStats, bool) {
+	l, ok := n.links[[2]int{a, b}]
+	if !ok {
+		return nil, false
+	}
+	return &l.stats, true
+}

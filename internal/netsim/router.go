@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// router forwards packets hop by hop. It is internal: all external
+// interaction happens through Network and Host.
+type router struct {
+	net   *Network
+	node  int
+	hooks []Hook
+}
+
+// receive processes a packet entering this router from neighbor `from`
+// (Local for packets injected by attached hosts).
+func (r *router) receive(now sim.Time, pkt *packet.Packet, from int) {
+	// Adaptive devices and baseline defenses observe and filter here,
+	// before forwarding — matching the paper's redirection model (Fig 2).
+	ctx := HookContext{Node: r.node, From: from, Net: r.net}
+	for _, h := range r.hooks {
+		if h.Process(now, pkt, ctx) == Drop {
+			r.net.drop(now, pkt, DropFilter, r.node)
+			return
+		}
+	}
+
+	dstNode, ok := r.net.NodeOfAddr(pkt.Dst)
+	if !ok {
+		r.net.drop(now, pkt, DropNoRoute, r.node)
+		return
+	}
+
+	if dstNode == r.node {
+		host, ok := r.net.hosts[pkt.Dst]
+		if !ok {
+			r.net.drop(now, pkt, DropNoHost, r.node)
+			return
+		}
+		r.net.Stats.addDelivered(pkt)
+		host.deliver(now, pkt)
+		return
+	}
+
+	// Forwarding to another node costs one TTL.
+	if pkt.TTL <= 1 {
+		r.net.drop(now, pkt, DropTTL, r.node)
+		return
+	}
+	pkt.TTL--
+
+	next, ok := r.net.Table.NextHop(r.node, dstNode)
+	if !ok {
+		r.net.drop(now, pkt, DropNoRoute, r.node)
+		return
+	}
+	l := r.net.links[[2]int{r.node, next}]
+	if l == nil {
+		// Routing said "next hop" but no link exists: treat as no route.
+		r.net.drop(now, pkt, DropNoRoute, r.node)
+		return
+	}
+	l.send(now, pkt)
+}

@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// Source generates packets from a host until stopped. Make is invoked per
+// packet so callers can vary addresses (e.g. rotate spoofed sources).
+type Source struct {
+	host    *Host
+	make    func(i uint64) *packet.Packet
+	stopped bool
+	sent    uint64
+}
+
+// Sent returns the number of packets emitted so far.
+func (s *Source) Sent() uint64 { return s.sent }
+
+// Stop ends generation after any in-flight event.
+func (s *Source) Stop() { s.stopped = true }
+
+// StartCBR emits packets at a constant rate (packets/second) starting at
+// `start`, until Stop is called or the simulation ends.
+func (h *Host) StartCBR(start sim.Time, rate float64, mk func(i uint64) *packet.Packet) *Source {
+	if rate <= 0 {
+		panic("netsim: CBR rate must be positive")
+	}
+	s := &Source{host: h, make: mk}
+	interval := sim.Time(float64(sim.Second) / rate)
+	if interval < 1 {
+		interval = 1
+	}
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		if s.stopped {
+			return
+		}
+		pkt := s.make(s.sent)
+		s.sent++
+		h.Send(now, pkt)
+		h.net.Sim.AfterFunc(interval, tick)
+	}
+	h.net.Sim.At(start, sim.EventFunc(tick))
+	return s
+}
+
+// StartPoisson emits packets with exponential inter-arrival times at the
+// given mean rate (packets/second), using the simulation RNG.
+func (h *Host) StartPoisson(start sim.Time, rate float64, mk func(i uint64) *packet.Packet) *Source {
+	if rate <= 0 {
+		panic("netsim: Poisson rate must be positive")
+	}
+	s := &Source{host: h, make: mk}
+	rng := h.net.Sim.RNG().Fork()
+	mean := float64(sim.Second) / rate
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		if s.stopped {
+			return
+		}
+		pkt := s.make(s.sent)
+		s.sent++
+		h.Send(now, pkt)
+		d := sim.Time(rng.Exp(mean))
+		if d < 1 {
+			d = 1
+		}
+		h.net.Sim.AfterFunc(d, tick)
+	}
+	first := sim.Time(rng.Exp(mean))
+	h.net.Sim.At(start+first, sim.EventFunc(tick))
+	return s
+}
+
+// SendBurst emits n identical-shape packets back to back starting at start.
+func (h *Host) SendBurst(start sim.Time, n int, mk func(i uint64) *packet.Packet) {
+	for i := 0; i < n; i++ {
+		i := uint64(i)
+		h.net.Sim.At(start, sim.EventFunc(func(now sim.Time) {
+			h.Send(now, mk(i))
+		}))
+	}
+}

@@ -1,0 +1,552 @@
+// Package nms implements an ISP's network management system (paper Figure
+// 3/5): it operates the adaptive devices attached to the ISP's routers,
+// accepts deployment and control requests — from the TCSP or directly from
+// certified network users — verifies the TCSP certificate chain, compiles
+// declarative service specs into device graphs, and configures router
+// redirection. It can also relay configurations to peer ISPs' management
+// systems, the paper's fallback path for when the TCSP itself is
+// unreachable during an attack.
+package nms
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dtc/internal/auth"
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// Scope selects which of an ISP's routers a deployment lands on.
+type Scope struct {
+	// Nodes restricts deployment to these router nodes (must belong to the
+	// ISP). Empty means every router the ISP operates.
+	Nodes []int `json:"nodes,omitempty"`
+	// StubOnly restricts deployment to border routers of stub networks —
+	// the paper's example scoping criterion.
+	StubOnly bool `json:"stub_only,omitempty"`
+}
+
+// DeployRequest asks an NMS to install a service for an owner.
+type DeployRequest struct {
+	Owner    string       `json:"owner"`
+	Prefixes []string     `json:"prefixes"` // address ranges to bind (must be certified)
+	Spec     service.Spec `json:"spec"`
+	Scope    Scope        `json:"scope"`
+}
+
+// DeployResult reports where a deployment landed.
+type DeployResult struct {
+	ISP   string `json:"isp"`
+	Nodes []int  `json:"nodes"`
+}
+
+// ControlRequest drives an installed service: activation, removal,
+// parameter updates, counter and log readback (paper §5.1: "activate,
+// modify specific parameters or read logs").
+type ControlRequest struct {
+	Owner     string `json:"owner"`
+	Op        string `json:"op"` // activate|deactivate|remove|counters|read|update|events
+	Stage     string `json:"stage,omitempty"`
+	Component string `json:"component,omitempty"` // for op=read / op=update
+
+	// Update carries the parameter changes for op=update.
+	Update *ParamUpdate `json:"update,omitempty"`
+}
+
+// ParamUpdate modifies a live component's parameters without redeploying.
+// Nil fields are left unchanged. Which fields apply depends on the
+// component type; inapplicable fields are an error so misdirected updates
+// cannot be silently ignored.
+type ParamUpdate struct {
+	Rate      *float64 `json:"rate,omitempty"`      // rate limiter
+	Burst     *float64 `json:"burst,omitempty"`     // rate limiter
+	Threshold *uint64  `json:"threshold,omitempty"` // trigger
+	AddAddrs  []string `json:"add_addrs,omitempty"` // blacklist
+	DelAddrs  []string `json:"del_addrs,omitempty"` // blacklist
+	SwitchOn  *bool    `json:"switch_on,omitempty"` // switch
+}
+
+// NodeCounters is per-router service accounting.
+type NodeCounters struct {
+	Node      int    `json:"node"`
+	Processed uint64 `json:"processed"`
+	Discarded uint64 `json:"discarded"`
+}
+
+// ControlResult carries the outcome of a control operation.
+type ControlResult struct {
+	ISP      string          `json:"isp"`
+	OK       bool            `json:"ok"`
+	Counters []NodeCounters  `json:"counters,omitempty"`
+	Reads    []ComponentRead `json:"reads,omitempty"`
+	Events   []EventRecord   `json:"events,omitempty"`
+}
+
+// ComponentRead is a type-specific snapshot of one component on one node.
+type ComponentRead struct {
+	Node      int             `json:"node"`
+	Component string          `json:"component"`
+	Type      string          `json:"type"`
+	Data      json.RawMessage `json:"data"`
+}
+
+// EventRecord is a control-plane event readable by the owning user.
+type EventRecord struct {
+	AtNanos   int64  `json:"at_nanos"`
+	Node      int    `json:"node"`
+	Component string `json:"component"`
+	Message   string `json:"message"`
+}
+
+// installKey identifies an installed service instance.
+type installKey struct {
+	owner string
+	stage device.Stage
+}
+
+// NMS is one ISP's network management system.
+type NMS struct {
+	Name string
+
+	net     *netsim.Network
+	nodes   []int
+	trusted ed25519.PublicKey
+	clock   func() int64 // seconds, for certificate validation
+
+	devices   map[int]*device.Device
+	installed map[installKey]map[int]*service.Compiled
+	events    map[string][]device.Event // keyed by owner
+	peers     []*NMS
+
+	routingUpdates int
+}
+
+// New creates an NMS operating the given router nodes of net. Devices are
+// created and hooked into each router immediately; trusted is the TCSP
+// public key accepted on certificates; clock supplies the current time in
+// seconds for certificate validation.
+func New(name string, net *netsim.Network, nodes []int, trusted ed25519.PublicKey, clock func() int64) (*NMS, error) {
+	if name == "" {
+		return nil, fmt.Errorf("nms: empty name")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("nms: nil clock")
+	}
+	m := &NMS{
+		Name: name, net: net, nodes: append([]int(nil), nodes...),
+		trusted: trusted, clock: clock,
+		devices:   make(map[int]*device.Device),
+		installed: make(map[installKey]map[int]*service.Compiled),
+		events:    make(map[string][]device.Event),
+	}
+	reg := modules.NewRegistry()
+	rpf := &uRPF{net: net}
+	for _, node := range m.nodes {
+		if node < 0 || node >= net.Graph.Len() {
+			return nil, fmt.Errorf("nms: node %d out of range", node)
+		}
+		d := device.New(node, reg, net.Sim.RNG().Fork())
+		d.SetRPF(rpf)
+		d.SetEventBus(func(e device.Event) {
+			m.events[e.Owner] = append(m.events[e.Owner], e)
+		})
+		m.devices[node] = d
+		net.AddHook(node, &deviceHook{dev: d})
+	}
+	// Topology-dependent configuration adapts automatically on routing
+	// updates (paper §4.2): the uRPF context queries the routing table
+	// live, so invalidation is sufficient; the counter lets operators
+	// audit how often it happened.
+	net.OnRoutingUpdate(func() { m.routingUpdates++ })
+	return m, nil
+}
+
+// RoutingUpdates reports how many routing changes the NMS has adapted to.
+func (m *NMS) RoutingUpdates() int { return m.routingUpdates }
+
+// deviceHook adapts a device to the netsim hook interface.
+type deviceHook struct {
+	dev *device.Device
+}
+
+// Name implements netsim.Hook.
+func (h *deviceHook) Name() string { return fmt.Sprintf("adaptive-device@%d", h.dev.Node) }
+
+// Process implements netsim.Hook.
+func (h *deviceHook) Process(now sim.Time, pkt *packet.Packet, ctx netsim.HookContext) netsim.Verdict {
+	if h.dev.Process(now, pkt, ctx.From) {
+		return netsim.Pass
+	}
+	return netsim.Drop
+}
+
+// uRPF provides the operator routing context for anti-spoofing: with
+// symmetric shortest-path routing, a source S may enter node N from
+// neighbor F only if F is N's next hop toward S.
+type uRPF struct {
+	net *netsim.Network
+}
+
+// ValidIngress implements device.RPFChecker.
+func (r *uRPF) ValidIngress(node, from int, src packet.Addr) bool {
+	srcNode, ok := r.net.NodeOfAddr(src)
+	if !ok {
+		return false // unallocated space can never be a legitimate source
+	}
+	if from == netsim.Local {
+		return srcNode == node
+	}
+	if srcNode == node {
+		return false // our own addresses cannot arrive from outside
+	}
+	return r.net.Table.FeasibleIngress(node, from, srcNode)
+}
+
+// Transit implements device.RPFChecker.
+func (r *uRPF) Transit(node, from int) bool {
+	if from == netsim.Local {
+		return false
+	}
+	// An interface toward a transit-role neighbor carries third-party
+	// traffic; the paper requires ingress filtering to spare it.
+	return r.net.Graph.Nodes[from].Role == topology.RoleTransit
+}
+
+// Nodes returns the router nodes this NMS operates.
+func (m *NMS) Nodes() []int { return append([]int(nil), m.nodes...) }
+
+// Device returns the adaptive device at node.
+func (m *NMS) Device(node int) (*device.Device, bool) {
+	d, ok := m.devices[node]
+	return d, ok
+}
+
+// AddPeer registers a peer ISP NMS for configuration relay.
+func (m *NMS) AddPeer(p *NMS) { m.peers = append(m.peers, p) }
+
+// verify checks the certificate chain and request signature, and returns
+// the decoded body.
+func (m *NMS) verify(cert *auth.Certificate, sreq *auth.SignedRequest, out any) error {
+	if err := cert.Verify(m.trusted, m.clock()); err != nil {
+		return fmt.Errorf("nms %s: %w", m.Name, err)
+	}
+	if err := auth.VerifyRequest(cert, sreq); err != nil {
+		return fmt.Errorf("nms %s: %w", m.Name, err)
+	}
+	if err := json.Unmarshal(sreq.Body, out); err != nil {
+		return fmt.Errorf("nms %s: bad request body: %w", m.Name, err)
+	}
+	return nil
+}
+
+// scopeNodes resolves a scope to this ISP's router set.
+func (m *NMS) scopeNodes(sc Scope) ([]int, error) {
+	mine := make(map[int]bool, len(m.nodes))
+	for _, n := range m.nodes {
+		mine[n] = true
+	}
+	var out []int
+	if len(sc.Nodes) > 0 {
+		for _, n := range sc.Nodes {
+			if !mine[n] {
+				return nil, fmt.Errorf("nms %s: node %d not operated by this ISP", m.Name, n)
+			}
+			out = append(out, n)
+		}
+	} else {
+		out = append(out, m.nodes...)
+	}
+	if sc.StubOnly {
+		var stubs []int
+		for _, n := range out {
+			if m.net.Graph.Nodes[n].Role == topology.RoleStub {
+				stubs = append(stubs, n)
+			}
+		}
+		out = stubs
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Deploy verifies and installs a service deployment.
+func (m *NMS) Deploy(cert *auth.Certificate, sreq *auth.SignedRequest) (*DeployResult, error) {
+	var req DeployRequest
+	if err := m.verify(cert, sreq, &req); err != nil {
+		return nil, err
+	}
+	if req.Owner != cert.Owner {
+		return nil, fmt.Errorf("nms %s: request owner %q does not match certificate owner %q", m.Name, req.Owner, cert.Owner)
+	}
+	if len(req.Prefixes) == 0 {
+		return nil, fmt.Errorf("nms %s: deployment without prefixes", m.Name)
+	}
+	prefixes := make([]packet.Prefix, 0, len(req.Prefixes))
+	for _, s := range req.Prefixes {
+		p, err := packet.ParsePrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("nms %s: %w", m.Name, err)
+		}
+		// The core safety property: control only over certified addresses.
+		if !cert.Covers(p) {
+			return nil, fmt.Errorf("nms %s: certificate for %q does not cover %v", m.Name, cert.Owner, p)
+		}
+		prefixes = append(prefixes, p)
+	}
+	nodes, err := m.scopeNodes(req.Scope)
+	if err != nil {
+		return nil, err
+	}
+	stage, err := req.Spec.StageValue()
+	if err != nil {
+		return nil, err
+	}
+	key := installKey{owner: req.Owner, stage: stage}
+	insts := make(map[int]*service.Compiled, len(nodes))
+	for _, node := range nodes {
+		// Each device gets its own compiled instance: component state
+		// (token buckets, logs, bloom filters) is per device.
+		compiled, err := req.Spec.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("nms %s: %w", m.Name, err)
+		}
+		dev := m.devices[node]
+		for _, p := range prefixes {
+			if err := dev.BindOwner(p, req.Owner); err != nil {
+				return nil, fmt.Errorf("nms %s node %d: %w", m.Name, node, err)
+			}
+		}
+		if err := dev.Install(req.Owner, stage, compiled.Graph); err != nil {
+			return nil, fmt.Errorf("nms %s node %d: %w", m.Name, node, err)
+		}
+		insts[node] = compiled
+	}
+	m.installed[key] = insts
+	return &DeployResult{ISP: m.Name, Nodes: nodes}, nil
+}
+
+// Control verifies and executes a control operation.
+func (m *NMS) Control(cert *auth.Certificate, sreq *auth.SignedRequest) (*ControlResult, error) {
+	var req ControlRequest
+	if err := m.verify(cert, sreq, &req); err != nil {
+		return nil, err
+	}
+	if req.Owner != cert.Owner {
+		return nil, fmt.Errorf("nms %s: request owner %q does not match certificate owner %q", m.Name, req.Owner, cert.Owner)
+	}
+	res := &ControlResult{ISP: m.Name, OK: true}
+	if req.Op == "events" {
+		for _, e := range m.events[req.Owner] {
+			res.Events = append(res.Events, EventRecord{
+				AtNanos: int64(e.At), Node: e.Node, Component: e.Component, Message: e.Message,
+			})
+		}
+		return res, nil
+	}
+	stage := device.StageDest
+	if req.Stage == "source" {
+		stage = device.StageSource
+	} else if req.Stage != "" && req.Stage != "dest" {
+		return nil, fmt.Errorf("nms %s: unknown stage %q", m.Name, req.Stage)
+	}
+	key := installKey{owner: req.Owner, stage: stage}
+	insts, ok := m.installed[key]
+	if !ok {
+		return nil, fmt.Errorf("nms %s: no %v-stage service installed for %q", m.Name, stage, req.Owner)
+	}
+	nodes := make([]int, 0, len(insts))
+	for n := range insts {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	switch req.Op {
+	case "activate", "deactivate":
+		on := req.Op == "activate"
+		for _, n := range nodes {
+			if err := m.devices[n].SetEnabled(req.Owner, stage, on); err != nil {
+				return nil, fmt.Errorf("nms %s: %w", m.Name, err)
+			}
+		}
+	case "remove":
+		for _, n := range nodes {
+			m.devices[n].Remove(req.Owner, stage)
+		}
+		delete(m.installed, key)
+	case "counters":
+		for _, n := range nodes {
+			p, d, ok := m.devices[n].ServiceCounters(req.Owner, stage)
+			if ok {
+				res.Counters = append(res.Counters, NodeCounters{Node: n, Processed: p, Discarded: d})
+			}
+		}
+	case "read":
+		for _, n := range nodes {
+			comp, ok := insts[n].Components[req.Component]
+			if !ok {
+				return nil, fmt.Errorf("nms %s: service has no component %q", m.Name, req.Component)
+			}
+			data, err := readComponent(comp)
+			if err != nil {
+				return nil, err
+			}
+			res.Reads = append(res.Reads, ComponentRead{
+				Node: n, Component: req.Component, Type: comp.Type(), Data: data,
+			})
+		}
+	case "update":
+		if req.Update == nil {
+			return nil, fmt.Errorf("nms %s: update without parameters", m.Name)
+		}
+		for _, n := range nodes {
+			comp, ok := insts[n].Components[req.Component]
+			if !ok {
+				return nil, fmt.Errorf("nms %s: service has no component %q", m.Name, req.Component)
+			}
+			if err := applyUpdate(comp, req.Update); err != nil {
+				return nil, fmt.Errorf("nms %s node %d: %w", m.Name, n, err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("nms %s: unknown op %q", m.Name, req.Op)
+	}
+	return res, nil
+}
+
+// Component returns the live component instance for (owner, stage, node,
+// label) — used by in-process experiments to inspect state without the
+// control-plane round trip.
+func (m *NMS) Component(owner string, stage device.Stage, node int, label string) (device.TypedComponent, bool) {
+	insts, ok := m.installed[installKey{owner: owner, stage: stage}]
+	if !ok {
+		return nil, false
+	}
+	inst, ok := insts[node]
+	if !ok {
+		return nil, false
+	}
+	c, ok := inst.Components[label]
+	return c, ok
+}
+
+// DeployWithRelay deploys locally, then forwards the identical request to
+// every peer NMS — the paper's ISP-to-ISP configuration forwarding for
+// when the TCSP is unreachable. Peer failures are collected, not fatal.
+func (m *NMS) DeployWithRelay(cert *auth.Certificate, sreq *auth.SignedRequest) ([]*DeployResult, []error) {
+	var results []*DeployResult
+	var errs []error
+	if r, err := m.Deploy(cert, sreq); err != nil {
+		errs = append(errs, err)
+	} else {
+		results = append(results, r)
+	}
+	for _, p := range m.peers {
+		if r, err := p.Deploy(cert, sreq); err != nil {
+			errs = append(errs, err)
+		} else {
+			results = append(results, r)
+		}
+	}
+	return results, errs
+}
+
+// applyUpdate applies a parameter update to one live component instance.
+func applyUpdate(c device.TypedComponent, u *ParamUpdate) error {
+	switch x := c.(type) {
+	case *modules.RateLimiter:
+		if u.Threshold != nil || len(u.AddAddrs) > 0 || len(u.DelAddrs) > 0 || u.SwitchOn != nil {
+			return fmt.Errorf("nms: parameters not applicable to rate limiter %q", c.Name())
+		}
+		if u.Rate != nil {
+			if *u.Rate <= 0 {
+				return fmt.Errorf("nms: rate must be positive")
+			}
+			x.Rate = *u.Rate
+		}
+		if u.Burst != nil {
+			if *u.Burst <= 0 {
+				return fmt.Errorf("nms: burst must be positive")
+			}
+			x.Burst = *u.Burst
+		}
+	case *modules.Trigger:
+		if u.Rate != nil || u.Burst != nil || len(u.AddAddrs) > 0 || len(u.DelAddrs) > 0 || u.SwitchOn != nil {
+			return fmt.Errorf("nms: parameters not applicable to trigger %q", c.Name())
+		}
+		if u.Threshold != nil {
+			if *u.Threshold == 0 {
+				return fmt.Errorf("nms: threshold must be positive")
+			}
+			x.Threshold = *u.Threshold
+		}
+	case *modules.Blacklist:
+		if u.Rate != nil || u.Burst != nil || u.Threshold != nil || u.SwitchOn != nil {
+			return fmt.Errorf("nms: parameters not applicable to blacklist %q", c.Name())
+		}
+		for _, s := range u.AddAddrs {
+			a, err := packet.ParseAddr(s)
+			if err != nil {
+				return err
+			}
+			x.Add(a)
+		}
+		for _, s := range u.DelAddrs {
+			a, err := packet.ParseAddr(s)
+			if err != nil {
+				return err
+			}
+			x.Remove(a)
+		}
+	case *modules.Switch:
+		if u.SwitchOn == nil {
+			return fmt.Errorf("nms: switch %q update needs switch_on", c.Name())
+		}
+		x.Set(*u.SwitchOn)
+	default:
+		return fmt.Errorf("nms: component type %q has no updatable parameters", c.Type())
+	}
+	return nil
+}
+
+// readComponent snapshots a component's observable state as JSON.
+func readComponent(c device.TypedComponent) (json.RawMessage, error) {
+	var v any
+	switch x := c.(type) {
+	case *modules.Filter:
+		v = map[string]uint64{"dropped": x.Dropped, "passed": x.Passed}
+	case *modules.RateLimiter:
+		v = map[string]uint64{"dropped": x.Dropped, "passed": x.Passed}
+	case *modules.Blacklist:
+		v = map[string]uint64{"dropped": x.Dropped, "listed": uint64(x.Len())}
+	case *modules.AntiSpoof:
+		v = map[string]uint64{"dropped": x.Dropped, "passed": x.Passed, "no_context": x.NoCtx}
+	case *modules.PayloadScrub:
+		v = map[string]uint64{"scrubbed": x.Scrubbed}
+	case *modules.Logger:
+		v = x.Entries()
+	case *modules.Stats:
+		v = map[string]any{
+			"total_packets": x.TotalPackets, "total_bytes": x.TotalBytes,
+			"rule_packets": x.RulePackets, "rule_bytes": x.RuleBytes,
+		}
+	case *modules.Sampler:
+		v = x.Log.Entries()
+	case *modules.Trigger:
+		v = map[string]any{"active": x.Active(), "fired": x.Fired}
+	case *modules.SPIE:
+		v = map[string]uint64{"observed": x.Observed}
+	case *modules.Switch:
+		v = map[string]bool{"on": x.On()}
+	default:
+		return nil, fmt.Errorf("nms: component type %q is not readable", c.Type())
+	}
+	return json.Marshal(v)
+}

@@ -1,0 +1,426 @@
+package nms
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dtc/internal/auth"
+	"dtc/internal/device"
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+type fixture struct {
+	sim  *sim.Simulation
+	net  *netsim.Network
+	nms  *NMS
+	ca   *auth.Identity
+	user *auth.Identity
+	cert *auth.Certificate
+}
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+// newFixture builds a 4-node line network managed by one NMS, with a user
+// certified for node 3's address block.
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(4), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := auth.NewIdentity("tcsp", seed(1))
+	user, _ := auth.NewIdentity("acme", seed(2))
+	cert, err := auth.IssueCertificate(ca, user,
+		[]packet.Prefix{netsim.NodePrefix(3)}, 7, 0, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New("isp1", net, []int{0, 1, 2, 3}, ca.Pub, func() int64 { return int64(s.Now() / sim.Second) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{sim: s, net: net, nms: m, ca: ca, user: user, cert: cert}
+}
+
+func (f *fixture) signedDeploy(t *testing.T, req *DeployRequest) *auth.SignedRequest {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auth.SignRequest(f.user, f.cert.Serial, 1, body)
+}
+
+func (f *fixture) signedControl(t *testing.T, req *ControlRequest) *auth.SignedRequest {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auth.SignRequest(f.user, f.cert.Serial, 2, body)
+}
+
+func firewallReq(prefix string) *DeployRequest {
+	return &DeployRequest{
+		Owner:    "acme",
+		Prefixes: []string{prefix},
+		Spec:     *service.FirewallDrop("fw", service.MatchSpec{DstPort: 666}),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := New("", f.net, nil, f.ca.Pub, func() int64 { return 0 }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("x", f.net, nil, f.ca.Pub, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := New("x", f.net, []int{99}, f.ca.Pub, func() int64 { return 0 }); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestDeployInstallsOnAllNodes(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 4 {
+		t.Errorf("deployed on %v, want 4 nodes", res.Nodes)
+	}
+	for _, n := range res.Nodes {
+		d, ok := f.nms.Device(n)
+		if !ok {
+			t.Fatalf("no device on node %d", n)
+		}
+		if _, _, ok := d.ServiceCounters("acme", device.StageDest); !ok {
+			t.Errorf("service missing on node %d", n)
+		}
+	}
+}
+
+func TestDeployFiltersTraffic(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := f.net.AttachHost(0)
+	dst, _ := f.net.AttachHost(3)
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, DstPort: 666, Size: 100})
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, DstPort: 80, Size: 100})
+	if _, err := f.sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Delivered[packet.KindLegit]; got != 1 {
+		t.Errorf("delivered %d, want 1 (port-666 filtered, port-80 passed)", got)
+	}
+	// Dropped at the first device on the path (node 0), not at the victim.
+	d0, _ := f.nms.Device(0)
+	if d0.Stats().Discarded != 1 {
+		t.Errorf("node-0 device discarded %d, want 1", d0.Stats().Discarded)
+	}
+}
+
+func TestDeployRejectsUncertifiedPrefix(t *testing.T) {
+	f := newFixture(t)
+	req := firewallReq(netsim.NodePrefix(2).String()) // not in cert
+	_, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req))
+	if err == nil || !strings.Contains(err.Error(), "does not cover") {
+		t.Errorf("uncertified prefix accepted: %v", err)
+	}
+}
+
+func TestDeployRejectsOwnerMismatch(t *testing.T) {
+	f := newFixture(t)
+	req := firewallReq(netsim.NodePrefix(3).String())
+	req.Owner = "somebody-else"
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req)); err == nil {
+		t.Error("owner mismatch accepted")
+	}
+}
+
+func TestDeployRejectsBadSignature(t *testing.T) {
+	f := newFixture(t)
+	body, _ := json.Marshal(firewallReq(netsim.NodePrefix(3).String()))
+	mallory, _ := auth.NewIdentity("mallory", seed(9))
+	forged := auth.SignRequest(mallory, f.cert.Serial, 1, body)
+	if _, err := f.nms.Deploy(f.cert, forged); err == nil {
+		t.Error("forged signature accepted")
+	}
+}
+
+func TestDeployRejectsExpiredCert(t *testing.T) {
+	f := newFixture(t)
+	expired, _ := auth.IssueCertificate(f.ca, f.user, []packet.Prefix{netsim.NodePrefix(3)}, 8, 0, 1)
+	body, _ := json.Marshal(firewallReq(netsim.NodePrefix(3).String()))
+	sreq := auth.SignRequest(f.user, expired.Serial, 1, body)
+	// Advance the sim clock past expiry.
+	f.sim.AfterFunc(5*sim.Second, func(sim.Time) {})
+	if _, err := f.sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.nms.Deploy(expired, sreq); err == nil {
+		t.Error("expired certificate accepted")
+	}
+}
+
+func TestDeployRejectsUntrustedCA(t *testing.T) {
+	f := newFixture(t)
+	rogue, _ := auth.NewIdentity("rogue-ca", seed(8))
+	cert, _ := auth.IssueCertificate(rogue, f.user, []packet.Prefix{netsim.NodePrefix(3)}, 9, 0, 1<<40)
+	body, _ := json.Marshal(firewallReq(netsim.NodePrefix(3).String()))
+	sreq := auth.SignRequest(f.user, cert.Serial, 1, body)
+	if _, err := f.nms.Deploy(cert, sreq); err == nil {
+		t.Error("certificate from untrusted CA accepted")
+	}
+}
+
+func TestScopeNodes(t *testing.T) {
+	f := newFixture(t)
+	req := firewallReq(netsim.NodePrefix(3).String())
+	req.Scope = Scope{Nodes: []int{1, 2}}
+	res, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 || res.Nodes[0] != 1 || res.Nodes[1] != 2 {
+		t.Errorf("scoped nodes = %v", res.Nodes)
+	}
+	// Node outside the ISP's set.
+	req.Scope = Scope{Nodes: []int{77}}
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req)); err == nil {
+		t.Error("foreign node accepted")
+	}
+}
+
+func TestScopeStubOnly(t *testing.T) {
+	f := newFixture(t)
+	req := firewallReq(netsim.NodePrefix(3).String())
+	req.Scope = Scope{StubOnly: true}
+	res, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line(4): nodes 0 and 3 are stubs.
+	if len(res.Nodes) != 2 || res.Nodes[0] != 0 || res.Nodes[1] != 3 {
+		t.Errorf("stub-only nodes = %v", res.Nodes)
+	}
+}
+
+func TestControlLifecycle(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+		t.Fatal(err)
+	}
+	send := func() uint64 {
+		src, _ := f.net.AttachHost(0)
+		dst := netsim.NodePrefix(3).Nth(1)
+		before := f.net.Stats.DropTotal(netsim.DropFilter)
+		src.Send(f.sim.Now(), &packet.Packet{Src: src.Addr, Dst: dst, DstPort: 666, Size: 100})
+		if _, err := f.sim.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return f.net.Stats.DropTotal(netsim.DropFilter) - before
+	}
+	if _, err := f.net.AttachHost(3); err != nil { // give dst a host
+		t.Fatal(err)
+	}
+	if send() != 1 {
+		t.Error("active service did not filter")
+	}
+	// Deactivate.
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "deactivate", Stage: "dest"})); err != nil {
+		t.Fatal(err)
+	}
+	if send() != 0 {
+		t.Error("deactivated service still filtering")
+	}
+	// Reactivate.
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "activate", Stage: "dest"})); err != nil {
+		t.Fatal(err)
+	}
+	if send() != 1 {
+		t.Error("reactivated service not filtering")
+	}
+	// Counters.
+	res, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "counters", Stage: "dest"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counters) != 4 {
+		t.Fatalf("counters = %v", res.Counters)
+	}
+	var totalDiscarded uint64
+	for _, c := range res.Counters {
+		totalDiscarded += c.Discarded
+	}
+	if totalDiscarded != 2 {
+		t.Errorf("total discarded = %d, want 2", totalDiscarded)
+	}
+	// Read component state.
+	res, err = f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "read", Stage: "dest", Component: "firewall"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reads) != 4 || res.Reads[0].Type != "filter" {
+		t.Fatalf("reads = %v", res.Reads)
+	}
+	// Remove.
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "remove", Stage: "dest"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "counters", Stage: "dest"})); err == nil {
+		t.Error("control on removed service succeeded")
+	}
+}
+
+func TestControlErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "counters", Stage: "dest"})); err == nil {
+		t.Error("control without deployment succeeded")
+	}
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "blow-up", Stage: "dest"})); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "counters", Stage: "sideways"})); err == nil {
+		t.Error("unknown stage accepted")
+	}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "read", Stage: "dest", Component: "nosuch"})); err == nil {
+		t.Error("read of unknown component accepted")
+	}
+	req := &ControlRequest{Owner: "other", Op: "counters", Stage: "dest"}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, req)); err == nil {
+		t.Error("owner mismatch accepted")
+	}
+}
+
+func TestEventsReadback(t *testing.T) {
+	f := newFixture(t)
+	// AutoRateLimit trigger fires and emits an event.
+	req := &DeployRequest{
+		Owner:    "acme",
+		Prefixes: []string{netsim.NodePrefix(3).String()},
+		Spec:     *service.AutoRateLimit("auto", service.MatchSpec{}, 100, 3, 1000, 100),
+		Scope:    Scope{Nodes: []int{3}},
+	}
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req)); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := f.net.AttachHost(0)
+	dst, _ := f.net.AttachHost(3)
+	for i := 0; i < 10; i++ {
+		src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 100})
+	}
+	if _, err := f.sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "events"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if !strings.Contains(res.Events[0].Message, "trigger fired") {
+		t.Errorf("event = %+v", res.Events[0])
+	}
+}
+
+func TestDeployWithRelay(t *testing.T) {
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(4), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := auth.NewIdentity("tcsp", seed(1))
+	user, _ := auth.NewIdentity("acme", seed(2))
+	cert, _ := auth.IssueCertificate(ca, user, []packet.Prefix{netsim.NodePrefix(3)}, 7, 0, 1<<40)
+	clock := func() int64 { return 0 }
+	m1, err := New("isp1", net, []int{0, 1}, ca.Pub, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New("isp2", net, []int{2, 3}, ca.Pub, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.AddPeer(m2)
+
+	body, _ := json.Marshal(firewallReq(netsim.NodePrefix(3).String()))
+	sreq := auth.SignRequest(user, cert.Serial, 1, body)
+	results, errs := m1.DeployWithRelay(cert, sreq)
+	if len(errs) != 0 {
+		t.Fatalf("relay errors: %v", errs)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	if results[0].ISP != "isp1" || results[1].ISP != "isp2" {
+		t.Errorf("relay order: %v", results)
+	}
+	// Both ISPs filter.
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(3)
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, DstPort: 666, Size: 100})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Delivered[packet.KindLegit] != 0 {
+		t.Error("relayed deployment not filtering")
+	}
+}
+
+func TestURPF(t *testing.T) {
+	f := newFixture(t)
+	r := &uRPF{net: f.net}
+	// Local host with own-prefix source: valid.
+	if !r.ValidIngress(0, netsim.Local, netsim.NodePrefix(0).Nth(1)) {
+		t.Error("local legitimate source invalid")
+	}
+	// Local host spoofing another node: invalid.
+	if r.ValidIngress(0, netsim.Local, netsim.NodePrefix(3).Nth(1)) {
+		t.Error("local spoofed source valid")
+	}
+	// Unallocated space: invalid.
+	if r.ValidIngress(0, netsim.Local, packet.MustParseAddr("200.1.1.1")) {
+		t.Error("unallocated source valid")
+	}
+	// On the line 0-1-2-3, node 1 sees node 0's sources from neighbor 0.
+	if !r.ValidIngress(1, 0, netsim.NodePrefix(0).Nth(1)) {
+		t.Error("correct reverse path invalid")
+	}
+	if r.ValidIngress(1, 2, netsim.NodePrefix(0).Nth(1)) {
+		t.Error("wrong-direction source valid")
+	}
+	// Own addresses arriving from outside: invalid.
+	if r.ValidIngress(1, 0, netsim.NodePrefix(1).Nth(1)) {
+		t.Error("own prefix from outside valid")
+	}
+	// Transit classification: on Line(4), interior nodes are transit.
+	if !r.Transit(0, 1) {
+		t.Error("interface toward transit neighbor not transit")
+	}
+	if r.Transit(1, 0) {
+		t.Error("interface toward stub neighbor marked transit")
+	}
+	if r.Transit(0, netsim.Local) {
+		t.Error("local interface marked transit")
+	}
+}

@@ -1,0 +1,154 @@
+package nms
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dtc/internal/auth"
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+)
+
+// deployComposite installs a graph with updatable components on node 3.
+func deployComposite(t *testing.T, f *fixture) {
+	t.Helper()
+	spec := &service.Spec{
+		Name:  "composite",
+		Stage: "dest",
+		Components: []service.ComponentSpec{
+			{Type: modules.TypeBlacklist, Label: "bl"},
+			{Type: modules.TypeRateLimiter, Label: "rl", Rate: 100, Burst: 10},
+			{Type: modules.TypeTrigger, Label: "tr", Threshold: 5},
+			{Type: modules.TypeSwitch, Label: "sw"},
+			{Type: modules.TypeLogger, Label: "lg"},
+		},
+	}
+	req := &DeployRequest{Owner: "acme", Prefixes: []string{netsim.NodePrefix(3).String()},
+		Spec: *spec, Scope: Scope{Nodes: []int{3}}}
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, req)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func update(t *testing.T, f *fixture, req *ControlRequest) error {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err2 := f.nms.Control(f.cert, auth.SignRequest(f.user, f.cert.Serial, 9, body))
+	return err2
+}
+
+func fl(v float64) *float64 { return &v }
+func u64(v uint64) *uint64  { return &v }
+func bl(v bool) *bool       { return &v }
+
+func TestUpdateRateLimiter(t *testing.T) {
+	f := newFixture(t)
+	deployComposite(t, f)
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "rl", Update: &ParamUpdate{Rate: fl(500), Burst: fl(50)}}); err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := f.nms.Component("acme", device.StageDest, 3, "rl")
+	if !ok {
+		t.Fatal("component missing")
+	}
+	rl := comp.(*modules.RateLimiter)
+	if rl.Rate != 500 || rl.Burst != 50 {
+		t.Errorf("rate=%v burst=%v", rl.Rate, rl.Burst)
+	}
+	// Invalid values rejected.
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "rl", Update: &ParamUpdate{Rate: fl(-1)}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	// Inapplicable field rejected.
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "rl", Update: &ParamUpdate{Threshold: u64(5)}}); err == nil {
+		t.Error("threshold applied to rate limiter")
+	}
+}
+
+func TestUpdateBlacklistLive(t *testing.T) {
+	f := newFixture(t)
+	deployComposite(t, f)
+	evil, _ := f.net.AttachHost(0)
+	victim, _ := f.net.AttachHost(3)
+
+	send := func() uint64 {
+		before := victim.Delivered[packet.KindLegit]
+		evil.Send(f.sim.Now(), &packet.Packet{Src: evil.Addr, Dst: victim.Addr, Size: 100})
+		if _, err := f.sim.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return victim.Delivered[packet.KindLegit] - before
+	}
+	if send() != 1 {
+		t.Fatal("baseline delivery failed")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "bl", Update: &ParamUpdate{AddAddrs: []string{evil.Addr.String()}}}); err != nil {
+		t.Fatal(err)
+	}
+	if send() != 0 {
+		t.Error("blacklisted source still delivered")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "bl", Update: &ParamUpdate{DelAddrs: []string{evil.Addr.String()}}}); err != nil {
+		t.Fatal(err)
+	}
+	if send() != 1 {
+		t.Error("unblacklisted source still blocked")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "bl", Update: &ParamUpdate{AddAddrs: []string{"junk"}}}); err == nil {
+		t.Error("junk address accepted")
+	}
+}
+
+func TestUpdateTriggerSwitchAndErrors(t *testing.T) {
+	f := newFixture(t)
+	deployComposite(t, f)
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "tr", Update: &ParamUpdate{Threshold: u64(99)}}); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := f.nms.Component("acme", device.StageDest, 3, "tr")
+	if comp.(*modules.Trigger).Threshold != 99 {
+		t.Error("trigger threshold not updated")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "sw", Update: &ParamUpdate{SwitchOn: bl(true)}}); err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := f.nms.Component("acme", device.StageDest, 3, "sw")
+	if !sw.(*modules.Switch).On() {
+		t.Error("switch not flipped")
+	}
+	// Errors.
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "lg", Update: &ParamUpdate{Rate: fl(5)}}); err == nil {
+		t.Error("update on logger accepted")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "tr"}); err == nil {
+		t.Error("update without parameters accepted")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "nosuch", Update: &ParamUpdate{Rate: fl(5)}}); err == nil {
+		t.Error("update on unknown component accepted")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "tr", Update: &ParamUpdate{Threshold: u64(0)}}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if err := update(t, f, &ControlRequest{Owner: "acme", Op: "update", Stage: "dest",
+		Component: "sw", Update: &ParamUpdate{Rate: fl(1)}}); err == nil {
+		t.Error("switch update without switch_on accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package ownership_test
+
+import (
+	"fmt"
+
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+)
+
+// ExampleTrie shows longest-prefix-match dispatch — the structure adaptive
+// devices use to decide which owner controls a packet.
+func ExampleTrie() {
+	var t ownership.Trie[string]
+	t.Insert(packet.MustParsePrefix("10.0.0.0/8"), "isp")
+	t.Insert(packet.MustParsePrefix("10.5.0.0/16"), "customer")
+
+	for _, a := range []string{"10.5.1.1", "10.9.9.9", "11.0.0.1"} {
+		owner, ok := t.Lookup(packet.MustParseAddr(a))
+		fmt.Printf("%s -> %q %v\n", a, owner, ok)
+	}
+	// Output:
+	// 10.5.1.1 -> "customer" true
+	// 10.9.9.9 -> "isp" true
+	// 11.0.0.1 -> "" false
+}
+
+// ExampleRegistry shows the number-authority ownership verification the
+// TCSP performs during registration (paper Figure 4).
+func ExampleRegistry() {
+	r := ownership.NewRegistry()
+	_ = r.Allocate(packet.MustParsePrefix("192.0.2.0/24"), "acme")
+
+	fmt.Println(r.Verify(packet.MustParsePrefix("192.0.2.0/24"), "acme"))
+	fmt.Println(r.Verify(packet.MustParsePrefix("192.0.2.0/24"), "mallory"))
+	fmt.Println(r.Verify(packet.MustParsePrefix("192.0.0.0/16"), "acme"))
+	// Output:
+	// true
+	// false
+	// false
+}

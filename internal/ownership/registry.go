@@ -1,0 +1,133 @@
+package ownership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dtc/internal/packet"
+)
+
+// OwnerID identifies a registered network user (address holder).
+type OwnerID string
+
+// Allocation records one prefix delegation in the number authority database.
+type Allocation struct {
+	Prefix packet.Prefix
+	Owner  OwnerID
+}
+
+// Registry is the Internet number authority (ARIN / RIPE NCC stand-in).
+// The TCSP queries it during service registration (paper Figure 4,
+// "verifyownership") to check that a network user really holds the
+// addresses they want to control traffic for.
+//
+// Registry is safe for concurrent use: verification load during a
+// registration benchmark comes from many client goroutines.
+type Registry struct {
+	mu   sync.RWMutex
+	trie Trie[OwnerID]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Allocate records that owner holds prefix. Allocating a prefix that
+// already has a different owner at exactly that length is an error;
+// sub-allocation inside a larger block (e.g. a customer /24 inside an ISP
+// /16) is allowed and the more specific allocation wins on lookup.
+func (r *Registry) Allocate(p packet.Prefix, owner OwnerID) error {
+	if owner == "" {
+		return fmt.Errorf("ownership: empty owner ID")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.trie.Exact(p); ok && cur != owner {
+		return fmt.Errorf("ownership: %v already allocated to %q", p, cur)
+	}
+	r.trie.Insert(p, owner)
+	return nil
+}
+
+// Release removes an allocation. Only the recorded owner may release.
+func (r *Registry) Release(p packet.Prefix, owner OwnerID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.trie.Exact(p)
+	if !ok {
+		return fmt.Errorf("ownership: %v not allocated", p)
+	}
+	if cur != owner {
+		return fmt.Errorf("ownership: %v allocated to %q, not %q", p, cur, owner)
+	}
+	r.trie.Remove(p)
+	return nil
+}
+
+// OwnerOf returns the owner of address a under longest-prefix-match.
+func (r *Registry) OwnerOf(a packet.Addr) (OwnerID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trie.Lookup(a)
+}
+
+// Verify reports whether owner holds every address in prefix p. This is the
+// check the TCSP performs before granting traffic control: it succeeds only
+// if the longest-prefix owner of the whole range is exactly owner. A
+// claimed super-range of somebody else's sub-allocation fails, because the
+// sub-allocation's addresses belong to the sub-owner.
+func (r *Registry) Verify(p packet.Prefix, owner OwnerID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// The claimed prefix or one of its ancestors must be allocated to owner…
+	got, ok := r.trie.Lookup(p.Addr)
+	if !ok || got != owner {
+		return false
+	}
+	// …via a covering allocation at most as specific as the claim,
+	cover := false
+	for _, cp := range r.trie.Covering(p.Addr) {
+		if v, ok := r.trie.Exact(cp); ok && v == owner && cp.Bits <= p.Bits && cp.Contains(p.Addr) {
+			cover = true
+			break
+		}
+	}
+	if !cover {
+		return false
+	}
+	// …and no stranger may hold a more specific allocation inside the claim.
+	conflict := false
+	r.trie.Walk(func(q packet.Prefix, v OwnerID) bool {
+		if v != owner && p.Contains(q.Addr) && q.Bits >= p.Bits {
+			conflict = true
+			return false
+		}
+		return true
+	})
+	return !conflict
+}
+
+// Allocations returns a snapshot of all allocations sorted by prefix.
+func (r *Registry) Allocations() []Allocation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Allocation
+	r.trie.Walk(func(p packet.Prefix, v OwnerID) bool {
+		out = append(out, Allocation{Prefix: p, Owner: v})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr != out[j].Prefix.Addr {
+			return out[i].Prefix.Addr < out[j].Prefix.Addr
+		}
+		return out[i].Prefix.Bits < out[j].Prefix.Bits
+	})
+	return out
+}
+
+// Len returns the number of allocations.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trie.Len()
+}

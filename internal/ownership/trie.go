@@ -1,0 +1,161 @@
+// Package ownership implements the paper's notion of traffic ownership:
+// a packet is owned by the registered holder(s) of its source and/or
+// destination IP address. The package provides
+//
+//   - Trie: a binary radix trie mapping prefixes to values with
+//     longest-prefix-match lookup, used both by the number-authority
+//     registry and by adaptive devices to dispatch packets to per-owner
+//     processing stages in O(32) independent of rule count, and
+//   - Registry: the Internet number authority database (ARIN/RIPE stand-in)
+//     that the TCSP queries to verify claimed address ownership.
+package ownership
+
+import (
+	"fmt"
+
+	"dtc/internal/packet"
+)
+
+// trieNode is one bit of the prefix tree.
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Trie is a binary radix trie keyed by IPv4 prefixes. The zero value is an
+// empty trie ready to use. It is not safe for concurrent mutation.
+type Trie[V any] struct {
+	root trieNode[V]
+	n    int
+}
+
+func bitAt(a packet.Addr, i uint8) int {
+	return int(a>>(31-i)) & 1
+}
+
+// Insert associates v with prefix p, replacing any existing value at exactly
+// that prefix. Values at other (covering or covered) prefixes are untouched.
+func (t *Trie[V]) Insert(p packet.Prefix, v V) {
+	n := &t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.n++
+	}
+	n.val, n.set = v, true
+}
+
+// Remove deletes the value at exactly prefix p and reports whether one was
+// present. Interior nodes are left in place; tries in this system only
+// shrink at teardown.
+func (t *Trie[V]) Remove(p packet.Prefix) bool {
+	n := &t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.n--
+	return true
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie[V]) Len() int { return t.n }
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *Trie[V]) Lookup(a packet.Addr) (V, bool) {
+	n := &t.root
+	var best V
+	found := false
+	if n.set {
+		best, found = n.val, true
+	}
+	for i := uint8(0); i < 32; i++ {
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// Exact returns the value stored at exactly prefix p.
+func (t *Trie[V]) Exact(p packet.Prefix) (V, bool) {
+	n := &t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Walk visits every stored (prefix, value) pair in depth-first order.
+// Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(p packet.Prefix, v V) bool) {
+	var rec func(n *trieNode[V], addr uint32, depth uint8) bool
+	rec = func(n *trieNode[V], addr uint32, depth uint8) bool {
+		if n.set {
+			if !fn(packet.MakePrefix(packet.Addr(addr), depth), n.val) {
+				return false
+			}
+		}
+		for b := 0; b < 2; b++ {
+			if c := n.child[b]; c != nil {
+				next := addr | uint32(b)<<(31-depth)
+				if !rec(c, next, depth+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(&t.root, 0, 0)
+}
+
+// Covering returns all stored prefixes that contain address a, shortest
+// first. The ownership model allows nested delegation (an ISP owns /16, a
+// customer owns a /24 inside it); Covering lets the registry report the
+// full chain.
+func (t *Trie[V]) Covering(a packet.Addr) []packet.Prefix {
+	var out []packet.Prefix
+	n := &t.root
+	if n.set {
+		out = append(out, packet.MakePrefix(0, 0))
+	}
+	for i := uint8(0); i < 32; i++ {
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			out = append(out, packet.MakePrefix(a, i+1))
+		}
+	}
+	return out
+}
+
+func (t *Trie[V]) String() string { return fmt.Sprintf("trie(%d prefixes)", t.n) }

@@ -1,0 +1,279 @@
+package ownership
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtc/internal/packet"
+)
+
+func pfx(s string) packet.Prefix { return packet.MustParsePrefix(s) }
+func addr(s string) packet.Addr  { return packet.MustParseAddr(s) }
+
+func TestTrieInsertLookup(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("10.0.0.0/8"), "big")
+	tr.Insert(pfx("10.1.0.0/16"), "mid")
+	tr.Insert(pfx("10.1.2.0/24"), "small")
+
+	cases := []struct {
+		a    string
+		want string
+	}{
+		{"10.1.2.3", "small"},
+		{"10.1.3.3", "mid"},
+		{"10.9.9.9", "big"},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(addr(c.a))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q", c.a, got, ok, c.want)
+		}
+	}
+	if _, ok := tr.Lookup(addr("11.0.0.1")); ok {
+		t.Error("lookup outside any prefix matched")
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(packet.MakePrefix(0, 0), 42)
+	v, ok := tr.Lookup(addr("203.0.113.7"))
+	if !ok || v != 42 {
+		t.Errorf("default route lookup = %d,%v", v, ok)
+	}
+}
+
+func TestTrieExactAndRemove(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("10.0.0.0/8"), "a")
+	tr.Insert(pfx("10.0.0.0/16"), "b")
+	if v, ok := tr.Exact(pfx("10.0.0.0/8")); !ok || v != "a" {
+		t.Errorf("Exact /8 = %q,%v", v, ok)
+	}
+	if v, ok := tr.Exact(pfx("10.0.0.0/16")); !ok || v != "b" {
+		t.Errorf("Exact /16 = %q,%v", v, ok)
+	}
+	if _, ok := tr.Exact(pfx("10.0.0.0/12")); ok {
+		t.Error("Exact matched unset intermediate prefix")
+	}
+	if !tr.Remove(pfx("10.0.0.0/16")) {
+		t.Error("Remove failed")
+	}
+	if tr.Remove(pfx("10.0.0.0/16")) {
+		t.Error("double remove succeeded")
+	}
+	if got, ok := tr.Lookup(addr("10.0.1.1")); !ok || got != "a" {
+		t.Errorf("after remove, Lookup = %q,%v want a", got, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieReplace(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.0.0.0/8"), 2)
+	if tr.Len() != 1 {
+		t.Errorf("replace changed Len to %d", tr.Len())
+	}
+	if v, _ := tr.Exact(pfx("10.0.0.0/8")); v != 2 {
+		t.Errorf("value = %d after replace", v)
+	}
+}
+
+func TestTrieWalk(t *testing.T) {
+	var tr Trie[int]
+	prefixes := []string{"0.0.0.0/0", "10.0.0.0/8", "10.128.0.0/9", "192.168.0.0/16", "255.255.255.255/32"}
+	for i, s := range prefixes {
+		tr.Insert(pfx(s), i)
+	}
+	seen := map[string]int{}
+	tr.Walk(func(p packet.Prefix, v int) bool {
+		seen[p.String()] = v
+		return true
+	})
+	if len(seen) != len(prefixes) {
+		t.Fatalf("walk visited %d, want %d: %v", len(seen), len(prefixes), seen)
+	}
+	for i, s := range prefixes {
+		if seen[pfx(s).String()] != i {
+			t.Errorf("prefix %s: walk value %d, want %d", s, seen[pfx(s).String()], i)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Walk(func(packet.Prefix, int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early-stopped walk visited %d, want 2", count)
+	}
+}
+
+func TestTrieCovering(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(pfx("0.0.0.0/0"), 0)
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.1.0.0/16"), 2)
+	tr.Insert(pfx("10.2.0.0/16"), 3)
+	got := tr.Covering(addr("10.1.5.5"))
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("Covering = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("Covering[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: trie longest-prefix-match agrees with a brute-force scan.
+func TestTriePropertyMatchesBruteForce(t *testing.T) {
+	type entry struct {
+		Addr uint32
+		Bits uint8
+	}
+	f := func(entries []entry, probes []uint32) bool {
+		var tr Trie[int]
+		var list []packet.Prefix
+		for i, e := range entries {
+			p := packet.MakePrefix(packet.Addr(e.Addr), e.Bits%33)
+			tr.Insert(p, i)
+			list = append(list, p)
+		}
+		for _, pa := range probes {
+			a := packet.Addr(pa)
+			bestBits := -1
+			for _, p := range list {
+				if p.Contains(a) && int(p.Bits) > bestBits {
+					bestBits = int(p.Bits)
+				}
+			}
+			_, ok := tr.Lookup(a)
+			if (bestBits >= 0) != ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryAllocateVerify(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Allocate(pfx("10.0.0.0/16"), "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verify(pfx("10.0.0.0/16"), "acme") {
+		t.Error("owner failed verification for own block")
+	}
+	if !r.Verify(pfx("10.0.5.0/24"), "acme") {
+		t.Error("owner failed verification for sub-range of own block")
+	}
+	if r.Verify(pfx("10.0.0.0/16"), "mallory") {
+		t.Error("stranger passed verification")
+	}
+	if r.Verify(pfx("10.0.0.0/8"), "acme") {
+		t.Error("owner passed verification for super-range beyond allocation")
+	}
+	if r.Verify(pfx("11.0.0.0/16"), "acme") {
+		t.Error("verification passed for unallocated space")
+	}
+}
+
+func TestRegistrySubAllocation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Allocate(pfx("10.0.0.0/8"), "isp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Allocate(pfx("10.5.0.0/16"), "customer"); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := r.OwnerOf(addr("10.5.1.1")); o != "customer" {
+		t.Errorf("OwnerOf inside sub-allocation = %q", o)
+	}
+	if o, _ := r.OwnerOf(addr("10.6.1.1")); o != "isp" {
+		t.Errorf("OwnerOf outside sub-allocation = %q", o)
+	}
+	if !r.Verify(pfx("10.5.0.0/16"), "customer") {
+		t.Error("customer failed verification of own sub-block")
+	}
+	// The ISP may not control the customer's delegated range…
+	if r.Verify(pfx("10.5.0.0/16"), "isp") {
+		t.Error("isp passed verification for delegated customer block")
+	}
+	// …and therefore not the covering /8 either, since it contains the
+	// customer's addresses.
+	if r.Verify(pfx("10.0.0.0/8"), "isp") {
+		t.Error("isp passed verification for block containing delegated space")
+	}
+}
+
+func TestRegistryConflictsAndRelease(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Allocate(pfx("10.0.0.0/16"), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Allocate(pfx("10.0.0.0/16"), "b"); err == nil {
+		t.Error("conflicting allocation accepted")
+	}
+	if err := r.Allocate(pfx("10.0.0.0/16"), "a"); err != nil {
+		t.Errorf("idempotent re-allocation rejected: %v", err)
+	}
+	if err := r.Allocate(pfx("10.1.0.0/16"), ""); err == nil {
+		t.Error("empty owner accepted")
+	}
+	if err := r.Release(pfx("10.0.0.0/16"), "b"); err == nil {
+		t.Error("stranger released foreign block")
+	}
+	if err := r.Release(pfx("10.0.0.0/16"), "a"); err != nil {
+		t.Errorf("owner release failed: %v", err)
+	}
+	if err := r.Release(pfx("10.0.0.0/16"), "a"); err == nil {
+		t.Error("double release succeeded")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after release", r.Len())
+	}
+}
+
+func TestRegistryAllocationsSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, s := range []string{"30.0.0.0/8", "10.0.0.0/8", "20.0.0.0/8", "10.0.0.0/16"} {
+		if err := r.Allocate(pfx(s), OwnerID("o"+s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Allocations()
+	if len(got) != 4 {
+		t.Fatalf("got %d allocations", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Prefix.Addr < got[i-1].Prefix.Addr {
+			t.Errorf("allocations not sorted: %v", got)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Allocate(pfx("10.0.0.0/8"), "isp"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 1000; i++ {
+				r.OwnerOf(packet.Addr(0x0a000000 + uint32(i)))
+				r.Verify(pfx("10.0.0.0/8"), "isp")
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,138 @@
+// Package packet models IPv4 packets, addresses and prefixes for the
+// simulator and implements a compact wire format so control-plane and
+// traceback components can hash and serialize real bytes.
+//
+// Addresses are plain uint32s wrapped in a named type: the simulator moves
+// hundreds of millions of packets per experiment, so address handling must
+// be allocation-free and trivially comparable.
+package packet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error, for literals in tests
+// and examples.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr Addr
+	Bits uint8 // prefix length, 0..32
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("packet: prefix %q missing /length", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("packet: invalid prefix length in %q", s)
+	}
+	return MakePrefix(a, uint8(bits)), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MakePrefix builds a canonical prefix: host bits below the prefix length
+// are zeroed.
+func MakePrefix(a Addr, bits uint8) Prefix {
+	if bits > 32 {
+		panic("packet: prefix length > 32")
+	}
+	return Prefix{Addr: a & Addr(maskFor(bits)), Bits: bits}
+}
+
+func maskFor(bits uint8) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// Mask returns the prefix's network mask.
+func (p Prefix) Mask() uint32 { return maskFor(p.Bits) }
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return uint32(a)&p.Mask() == uint32(p.Addr)
+}
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits <= q.Bits {
+		return p.Contains(q.Addr)
+	}
+	return q.Contains(p.Addr)
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.Bits) }
+
+// Nth returns the i-th address inside the prefix. It panics if i is out of
+// range; topology builders use it to hand out host addresses.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.NumAddrs() {
+		panic(fmt.Sprintf("packet: address index %d outside %v", i, p))
+	}
+	return p.Addr + Addr(i)
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string {
+	return p.Addr.String() + "/" + strconv.Itoa(int(p.Bits))
+}

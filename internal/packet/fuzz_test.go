@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary checks that arbitrary byte strings never panic the
+// wire decoder, and that anything it accepts re-marshals to the identical
+// bytes (canonical round trip).
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := (&Packet{
+		Src: 0x0a000001, Dst: 0x14000001, Proto: TCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80, Flags: FlagSYN, Seq: 7,
+		Size: 64, Payload: []byte("hello"),
+	}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, MinHeaderBytes))
+	f.Add(bytes.Repeat([]byte{0xff}, MinHeaderBytes+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.UnmarshalBinary(data); err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted packet fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+// FuzzParsePrefix checks the CIDR parser never panics and that accepted
+// inputs round-trip through String (canonical form).
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{"10.0.0.0/8", "0.0.0.0/0", "255.255.255.255/32", "1.2.3.4/33", "x/8", "1.2.3.4"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		q, err := ParsePrefix(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", p.String(), err)
+		}
+		if q != p {
+			t.Fatalf("canonical round trip changed value: %v vs %v", p, q)
+		}
+	})
+}
+
+// FuzzParseAddr checks the dotted-quad parser against a reference
+// reconstruction.
+func FuzzParseAddr(f *testing.F) {
+	for _, s := range []string{"0.0.0.0", "255.255.255.255", "10.1.2.3", "1.2.3", "01.2.3.4", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		if got := a.String(); got != s {
+			t.Fatalf("accepted %q but canonical form is %q", s, got)
+		}
+	})
+}

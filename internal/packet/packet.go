@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// Proto identifies the transport-layer protocol of a packet, using the
+// standard IP protocol numbers.
+type Proto uint8
+
+// Supported protocol numbers.
+const (
+	ICMP Proto = 1
+	TCP  Proto = 6
+	UDP  Proto = 17
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	switch p {
+	case ICMP:
+		return "ICMP"
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// TCP flag bits (subset used by attack and defense logic).
+const (
+	FlagFIN uint8 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// ICMP types used by protocol-misuse attacks and reflector replies.
+const (
+	ICMPEchoReply      uint8 = 0
+	ICMPUnreachable    uint8 = 3
+	ICMPEchoRequest    uint8 = 8
+	ICMPTimeExceeded   uint8 = 11
+	ICMPHostUnreachSub uint8 = 1 // code for host unreachable under type 3
+)
+
+// Kind labels a packet's role in an experiment so metrics can attribute
+// delivered and dropped bytes to traffic classes. It is simulator metadata
+// and is not part of the wire format.
+type Kind uint8
+
+// Traffic classes.
+const (
+	KindLegit   Kind = iota // legitimate client/server traffic
+	KindAttack              // traffic emitted by attack agents
+	KindReflect             // reflector replies triggered by attack traffic
+	KindControl             // DDoS command & control (attacker -> master -> agent)
+	KindService             // traffic-control service control plane
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindLegit:
+		return "legit"
+	case KindAttack:
+		return "attack"
+	case KindReflect:
+		return "reflect"
+	case KindControl:
+		return "control"
+	case KindService:
+		return "service"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// DefaultTTL is the initial TTL of generated packets.
+const DefaultTTL = 64
+
+// MinHeaderBytes is the serialized header size (IPv4 + transport subset).
+const MinHeaderBytes = 28
+
+// Packet is a simulated IPv4 packet. Fields mirror the subset of the IPv4
+// and transport headers the system inspects; Size is the full on-wire size
+// in bytes (headers + payload) and drives link transmission time, while
+// Payload optionally carries real bytes for components that hash or scrub
+// payloads.
+//
+// Simulator-only metadata (Kind, Origin, ID) lets experiments attribute
+// traffic without embedding side tables; none of it is visible to filters,
+// which see only what a real device could see.
+type Packet struct {
+	Src, Dst Addr
+	Proto    Proto
+	TTL      uint8
+
+	// Transport header subset.
+	SrcPort, DstPort uint16
+	Flags            uint8 // TCP flags, or ICMP type for Proto==ICMP
+	ICMPCode         uint8
+	Seq              uint32 // TCP sequence number
+
+	Size    int    // total on-wire bytes
+	Payload []byte // optional payload bytes (len(Payload) <= Size)
+
+	// Simulator metadata — invisible to packet-processing components.
+	Kind   Kind
+	Origin int    // node ID of the true originator (ground truth for traceback scoring)
+	ID     uint64 // unique per-simulation packet ID
+}
+
+// Clone returns a deep copy of the packet (payload included). Reflectors
+// and loggers use it so later in-place mutation cannot alias.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// FlowKey identifies a 5-tuple flow.
+type FlowKey struct {
+	Src, Dst Addr
+	Proto    Proto
+	SrcPort  uint16
+	DstPort  uint16
+}
+
+// Flow returns the packet's 5-tuple.
+func (p *Packet) Flow() FlowKey {
+	return FlowKey{Src: p.Src, Dst: p.Dst, Proto: p.Proto, SrcPort: p.SrcPort, DstPort: p.DstPort}
+}
+
+// Reverse returns the flow key of reply traffic.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, Proto: k.Proto, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// String implements fmt.Stringer.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%v %v:%d > %v:%d ttl=%d size=%d kind=%v",
+		p.Proto, p.Src, p.SrcPort, p.Dst, p.DstPort, p.TTL, p.Size, p.Kind)
+}
+
+// Validate checks structural invariants that every packet in the simulator
+// must satisfy. Device safety auditing calls this after each component.
+func (p *Packet) Validate() error {
+	if p.Size < MinHeaderBytes {
+		return fmt.Errorf("packet: size %d below header minimum %d", p.Size, MinHeaderBytes)
+	}
+	if len(p.Payload) > p.Size-MinHeaderBytes {
+		return fmt.Errorf("packet: payload %d bytes exceeds size %d - headers", len(p.Payload), p.Size)
+	}
+	return nil
+}

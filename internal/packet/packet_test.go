@@ -1,0 +1,281 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"192.168.1.200", 0xc0a801c8, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"01.2.3.4", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		b, err := ParseAddr(a.String())
+		return err == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr on junk did not panic")
+		}
+	}()
+	MustParseAddr("not-an-addr")
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.2.3/16")
+	if p.Addr != MustParseAddr("10.1.0.0") || p.Bits != 16 {
+		t.Errorf("prefix not canonicalized: %v", p)
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String = %q", p.String())
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("192.168.0.0/16")
+	if !p.Contains(MustParseAddr("192.168.55.1")) {
+		t.Error("prefix should contain inner address")
+	}
+	if p.Contains(MustParseAddr("192.169.0.1")) {
+		t.Error("prefix should not contain outside address")
+	}
+	all := MakePrefix(0, 0)
+	if !all.Contains(MustParseAddr("8.8.8.8")) {
+		t.Error("/0 should contain everything")
+	}
+	host := MustParsePrefix("10.0.0.5/32")
+	if !host.Contains(MustParseAddr("10.0.0.5")) || host.Contains(MustParseAddr("10.0.0.6")) {
+		t.Error("/32 must match exactly one address")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.5.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes must overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+}
+
+func TestPrefixNth(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/24")
+	if got := p.Nth(0); got != MustParseAddr("10.0.0.0") {
+		t.Errorf("Nth(0) = %v", got)
+	}
+	if got := p.Nth(255); got != MustParseAddr("10.0.0.255") {
+		t.Errorf("Nth(255) = %v", got)
+	}
+	if p.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Nth out of range did not panic")
+		}
+	}()
+	p.Nth(256)
+}
+
+func TestPacketFlowReverse(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Proto: TCP, SrcPort: 1000, DstPort: 80}
+	k := p.Flow()
+	r := k.Reverse()
+	if r.Src != 2 || r.Dst != 1 || r.SrcPort != 80 || r.DstPort != 1000 {
+		t.Errorf("Reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Size: 100, Payload: []byte{1, 2, 3}}
+	q := p.Clone()
+	q.Payload[0] = 99
+	q.Src = 5
+	if p.Payload[0] != 1 || p.Src != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestPacketValidate(t *testing.T) {
+	ok := &Packet{Size: 100, Payload: make([]byte, 72)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid packet rejected: %v", err)
+	}
+	tooSmall := &Packet{Size: 10}
+	if err := tooSmall.Validate(); err == nil {
+		t.Error("undersized packet accepted")
+	}
+	overPayload := &Packet{Size: 40, Payload: make([]byte, 40)}
+	if err := overPayload.Validate(); err == nil {
+		t.Error("payload larger than size accepted")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	p := &Packet{
+		Src: MustParseAddr("10.1.2.3"), Dst: MustParseAddr("172.16.0.9"),
+		Proto: TCP, TTL: 61, SrcPort: 31337, DstPort: 80,
+		Flags: FlagSYN | FlagACK, Seq: 0xdeadbeef,
+		Size: 120, Payload: []byte("GET / HTTP/1.0\r\n"),
+	}
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Src != p.Src || q.Dst != p.Dst || q.Proto != p.Proto || q.TTL != p.TTL ||
+		q.SrcPort != p.SrcPort || q.DstPort != p.DstPort || q.Flags != p.Flags ||
+		q.Seq != p.Seq || q.Size != p.Size || string(q.Payload) != string(p.Payload) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", q, *p)
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(src, dst, seq uint32, sp, dp uint16, ttl, flags uint8, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		p := &Packet{
+			Src: Addr(src), Dst: Addr(dst), Proto: UDP, TTL: ttl,
+			SrcPort: sp, DstPort: dp, Flags: flags, Seq: seq,
+			Size: MinHeaderBytes + len(payload), Payload: payload,
+		}
+		buf, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var q Packet
+		if err := q.UnmarshalBinary(buf); err != nil {
+			return false
+		}
+		return q.Digest() == p.Digest() && q.Size == p.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var p Packet
+	if err := p.UnmarshalBinary(make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	good, _ := (&Packet{Size: 50, Payload: []byte("xy")}).MarshalBinary()
+	bad := append([]byte(nil), good...)
+	bad = bad[:len(bad)-1] // truncate payload
+	if err := p.UnmarshalBinary(bad); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestMarshalInvalidPacket(t *testing.T) {
+	if _, err := (&Packet{Size: 1}).MarshalBinary(); err == nil {
+		t.Error("marshal of invalid packet succeeded")
+	}
+}
+
+func TestDigestTTLInvariant(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Proto: TCP, TTL: 64, Size: 40}
+	d1 := p.Digest()
+	p.TTL = 10
+	if p.Digest() != d1 {
+		t.Error("digest changed with TTL; traceback would not recognize the packet downstream")
+	}
+}
+
+func TestDigestDiscriminates(t *testing.T) {
+	base := Packet{Src: 1, Dst: 2, Proto: TCP, SrcPort: 5, DstPort: 80, Seq: 7, Size: 40}
+	variants := []Packet{base, base, base, base, base, base}
+	variants[1].Src = 9
+	variants[2].Dst = 9
+	variants[3].SrcPort = 9
+	variants[4].Seq = 9
+	variants[5].Size = 41
+	d0 := variants[0].Digest()
+	for i := 1; i < len(variants); i++ {
+		if variants[i].Digest() == d0 {
+			t.Errorf("variant %d has same digest as base", i)
+		}
+	}
+}
+
+func TestDigestWithSaltIndependence(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Size: 40}
+	if p.DigestWithSalt(1) == p.DigestWithSalt(2) {
+		t.Error("different salts produced identical digests")
+	}
+}
+
+func TestKindAndProtoStrings(t *testing.T) {
+	if TCP.String() != "TCP" || UDP.String() != "UDP" || ICMP.String() != "ICMP" {
+		t.Error("proto names wrong")
+	}
+	if Proto(99).String() != "proto(99)" {
+		t.Error("unknown proto formatting wrong")
+	}
+	if KindAttack.String() != "attack" || KindLegit.String() != "legit" ||
+		KindReflect.String() != "reflect" || KindControl.String() != "control" ||
+		KindService.String() != "service" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Src: MustParseAddr("1.2.3.4"), Dst: MustParseAddr("5.6.7.8"),
+		Proto: TCP, TTL: 64, SrcPort: 10, DstPort: 80, Size: 40}
+	s := p.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

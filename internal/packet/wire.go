@@ -1,0 +1,123 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format: a fixed 28-byte header followed by the payload.
+//
+//	offset  field
+//	0       src addr (4, big endian)
+//	4       dst addr (4)
+//	8       proto (1)
+//	9       ttl (1)
+//	10      flags / icmp type (1)
+//	11      icmp code (1)
+//	12      src port (2)
+//	14      dst port (2)
+//	16      seq (4)
+//	20      total size (4)
+//	24      payload length (4)
+//	28      payload bytes
+//
+// The format is a stable, simulator-defined encoding (not RFC 791): it
+// exists so traceback digests, logs and the control plane operate on real
+// bytes, and so packets can cross process boundaries in the live demo.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, MinHeaderBytes+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Dst))
+	buf[8] = uint8(p.Proto)
+	buf[9] = p.TTL
+	buf[10] = p.Flags
+	buf[11] = p.ICMPCode
+	binary.BigEndian.PutUint16(buf[12:], p.SrcPort)
+	binary.BigEndian.PutUint16(buf[14:], p.DstPort)
+	binary.BigEndian.PutUint32(buf[16:], p.Seq)
+	binary.BigEndian.PutUint32(buf[20:], uint32(p.Size))
+	binary.BigEndian.PutUint32(buf[24:], uint32(len(p.Payload)))
+	copy(buf[MinHeaderBytes:], p.Payload)
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Packet) UnmarshalBinary(buf []byte) error {
+	if len(buf) < MinHeaderBytes {
+		return fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+	}
+	plen := binary.BigEndian.Uint32(buf[24:])
+	if int(plen) != len(buf)-MinHeaderBytes {
+		return fmt.Errorf("packet: payload length %d does not match buffer %d", plen, len(buf)-MinHeaderBytes)
+	}
+	p.Src = Addr(binary.BigEndian.Uint32(buf[0:]))
+	p.Dst = Addr(binary.BigEndian.Uint32(buf[4:]))
+	p.Proto = Proto(buf[8])
+	p.TTL = buf[9]
+	p.Flags = buf[10]
+	p.ICMPCode = buf[11]
+	p.SrcPort = binary.BigEndian.Uint16(buf[12:])
+	p.DstPort = binary.BigEndian.Uint16(buf[14:])
+	p.Seq = binary.BigEndian.Uint32(buf[16:])
+	p.Size = int(binary.BigEndian.Uint32(buf[20:]))
+	if plen > 0 {
+		p.Payload = append(p.Payload[:0], buf[MinHeaderBytes:]...)
+	} else {
+		p.Payload = nil
+	}
+	return p.Validate()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest returns a 64-bit hash over the hop-invariant parts of the packet:
+// addresses, protocol, ports, flags, sequence number, size and up to the
+// first 8 payload bytes. TTL is deliberately excluded — it changes at every
+// hop, and SPIE-style traceback must recognize the same packet at different
+// routers. Simulator metadata is likewise excluded.
+func (p *Packet) Digest() uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint64, bytes int) {
+		for i := 0; i < bytes; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	mix(uint64(p.Src), 4)
+	mix(uint64(p.Dst), 4)
+	mix(uint64(p.Proto), 1)
+	mix(uint64(p.Flags), 1)
+	mix(uint64(p.ICMPCode), 1)
+	mix(uint64(p.SrcPort), 2)
+	mix(uint64(p.DstPort), 2)
+	mix(uint64(p.Seq), 4)
+	mix(uint64(p.Size), 4)
+	n := len(p.Payload)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		h ^= uint64(p.Payload[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// DigestWithSalt mixes a router-specific salt into the digest so each
+// traceback Bloom filter uses independent hash functions, as in SPIE.
+func (p *Packet) DigestWithSalt(salt uint64) uint64 {
+	h := p.Digest()
+	h ^= salt
+	h *= fnvPrime64
+	h ^= h >> 29
+	return h
+}

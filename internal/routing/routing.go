@@ -1,0 +1,202 @@
+// Package routing computes shortest-path forwarding state over a topology
+// graph. The simulator forwards hop by hop: each router asks its routing
+// table for the next hop toward a destination node.
+//
+// Tables are built per destination as a shortest-path tree rooted at the
+// destination (one Dijkstra run), and cached lazily. DDoS experiments have
+// many sources converging on few destinations, so per-destination trees are
+// both the cheapest and the most natural representation. For symmetric
+// metrics the reverse paths coincide with forward paths, matching the
+// paper's assumption that devices on the path see both directions.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dtc/internal/topology"
+)
+
+// WeightFunc returns the cost of the edge between adjacent nodes a and b.
+// It must be positive and symmetric.
+type WeightFunc func(a, b int) float64
+
+// UniformWeight assigns cost 1 to every edge (hop-count routing).
+func UniformWeight(a, b int) float64 { return 1 }
+
+// NoRoute marks an unreachable destination in a Tree.
+const NoRoute = -1
+
+// Tree is a shortest-path tree rooted at Dst: Next[v] is v's next hop
+// toward Dst (NoRoute if unreachable, Dst's own entry is Dst), and Dist[v]
+// is the total path cost.
+type Tree struct {
+	Dst  int
+	Next []int
+	Dist []float64
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// BuildTree runs Dijkstra from dst and returns the shortest-path tree
+// toward dst. Edge weights must be positive.
+func BuildTree(g *topology.Graph, dst int, w WeightFunc) (*Tree, error) {
+	n := g.Len()
+	if dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: destination %d out of range [0,%d)", dst, n)
+	}
+	if w == nil {
+		w = UniformWeight
+	}
+	t := &Tree{Dst: dst, Next: make([]int, n), Dist: make([]float64, n)}
+	for i := range t.Next {
+		t.Next[i] = NoRoute
+		t.Dist[i] = math.Inf(1)
+	}
+	t.Next[dst] = dst
+	t.Dist[dst] = 0
+
+	q := pq{{node: dst, dist: 0}}
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, u := range g.Neighbors(v) {
+			c := w(v, u)
+			if c <= 0 {
+				return nil, fmt.Errorf("routing: non-positive weight %v on edge (%d,%d)", c, v, u)
+			}
+			if nd := t.Dist[v] + c; nd < t.Dist[u] {
+				t.Dist[u] = nd
+				// Traffic from u toward dst goes via v.
+				t.Next[u] = v
+				heap.Push(&q, pqItem{node: u, dist: nd})
+			}
+		}
+	}
+	return t, nil
+}
+
+// Path returns the node sequence from src to the tree's destination,
+// inclusive of both endpoints, or nil if unreachable.
+func (t *Tree) Path(src int) []int {
+	if src < 0 || src >= len(t.Next) || t.Next[src] == NoRoute {
+		return nil
+	}
+	path := []int{src}
+	for v := src; v != t.Dst; {
+		v = t.Next[v]
+		path = append(path, v)
+		if len(path) > len(t.Next) {
+			// Defensive: a corrupted tree would loop forever otherwise.
+			return nil
+		}
+	}
+	return path
+}
+
+// Hops returns the path length in hops from src, or -1 if unreachable.
+func (t *Tree) Hops(src int) int {
+	p := t.Path(src)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// Table provides next-hop lookup toward any destination, building and
+// caching one tree per destination on demand. It is not safe for concurrent
+// use; each simulation owns one.
+type Table struct {
+	g      *topology.Graph
+	w      WeightFunc
+	trees  map[int]*Tree
+	builds int
+}
+
+// NewTable returns a routing table over g with edge weights w (nil means
+// hop count).
+func NewTable(g *topology.Graph, w WeightFunc) *Table {
+	if w == nil {
+		w = UniformWeight
+	}
+	return &Table{g: g, w: w, trees: make(map[int]*Tree)}
+}
+
+// TreeTo returns the (cached) shortest-path tree toward dst.
+func (t *Table) TreeTo(dst int) (*Tree, error) {
+	if tr, ok := t.trees[dst]; ok {
+		return tr, nil
+	}
+	tr, err := BuildTree(t.g, dst, t.w)
+	if err != nil {
+		return nil, err
+	}
+	t.trees[dst] = tr
+	t.builds++
+	return tr, nil
+}
+
+// NextHop returns the next hop from cur toward dst. ok is false if dst is
+// unreachable from cur.
+func (t *Table) NextHop(cur, dst int) (next int, ok bool) {
+	tr, err := t.TreeTo(dst)
+	if err != nil {
+		return NoRoute, false
+	}
+	if cur < 0 || cur >= len(tr.Next) {
+		return NoRoute, false
+	}
+	n := tr.Next[cur]
+	return n, n != NoRoute
+}
+
+// FeasibleIngress reports whether a packet originating at node src may
+// legitimately arrive at node `at` from neighbor `from` under shortest-path
+// routing — i.e. whether `from` lies on *some* shortest path from src to
+// `at`. This is the reverse-path check route-based packet filtering needs;
+// unlike comparing against the single installed next hop, it tolerates
+// equal-cost path choices made by other routers.
+func (t *Table) FeasibleIngress(at, from, src int) bool {
+	tr, err := t.TreeTo(src)
+	if err != nil {
+		return false
+	}
+	if at < 0 || at >= len(tr.Next) || from < 0 || from >= len(tr.Next) {
+		return false
+	}
+	if tr.Next[at] == NoRoute || tr.Next[from] == NoRoute {
+		return false
+	}
+	if !t.g.HasEdge(from, at) {
+		return false
+	}
+	const eps = 1e-9
+	d := tr.Dist[from] + t.w(from, at) - tr.Dist[at]
+	return d > -eps && d < eps
+}
+
+// Invalidate drops all cached trees; callers must invoke it after topology
+// or weight changes (the paper's adaptive devices may be reconfigured on
+// routing updates).
+func (t *Table) Invalidate() { t.trees = make(map[int]*Tree) }
+
+// Builds reports how many trees have been computed (cache-miss count).
+func (t *Table) Builds() int { return t.builds }

@@ -1,0 +1,57 @@
+package service_test
+
+import (
+	"fmt"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+)
+
+// ExampleSpec_Compile builds a declarative service description — the JSON
+// object that travels the control plane — and compiles it into an
+// executable device graph.
+func ExampleSpec_Compile() {
+	spec := &service.Spec{
+		Name:  "web-shield",
+		Stage: "dest",
+		Components: []service.ComponentSpec{
+			{Type: "stats", Label: "count"},
+			{Type: "filter", Label: "drop-telnet", Rules: []service.MatchSpec{
+				{Proto: "tcp", DstPort: 23},
+			}},
+		},
+	}
+	compiled, err := spec.Compile()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("components:", compiled.Graph.Len())
+	fmt.Println("stage:", compiled.Stage)
+	fmt.Println("valid:", compiled.Graph.Validate(modules.NewRegistry()) == nil)
+	// Output:
+	// components: 2
+	// stage: dest
+	// valid: true
+}
+
+// ExampleProtocolMisuseShield demonstrates the preset that stops forged
+// RST / ICMP teardown attacks (paper §4.3).
+func ExampleProtocolMisuseShield() {
+	compiled, _ := service.ProtocolMisuseShield("shield").Compile()
+	shield := compiled.Components["shield"].(*modules.Filter)
+
+	rst := &packet.Packet{Proto: packet.TCP, Flags: packet.FlagRST, Size: 40}
+	data := &packet.Packet{Proto: packet.TCP, Flags: packet.FlagACK, Size: 400}
+	env := &device.Env{}
+
+	_, v1 := shield.Process(rst, env)
+	_, v2 := shield.Process(data, env)
+	fmt.Println("forged RST discarded:", v1 == device.Discard)
+	fmt.Println("data forwarded:", v2 == device.Forward)
+	// Output:
+	// forged RST discarded: true
+	// data forwarded: true
+}

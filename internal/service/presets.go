@@ -1,0 +1,142 @@
+package service
+
+import (
+	"dtc/internal/device/modules"
+	"dtc/internal/packet"
+)
+
+// Preset specs for the applications the paper names. Each returns a fresh
+// Spec so callers may tweak fields before deploying.
+
+// AntiSpoofing is the paper's headline defense (§4.3): deployed in the
+// source-owner stage, it drops packets that claim the owner's addresses as
+// source but enter the Internet where those addresses cannot originate.
+// Deploying it "worldwide" amounts to scoping it to every participating
+// ISP's border devices.
+func AntiSpoofing(name string) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "source",
+		Components: []ComponentSpec{
+			{Type: modules.TypeAntiSpoof, Label: "ingress-filter"},
+		},
+	}
+}
+
+// AntiSpoofingInbound is the complementary deployment for direct spoofed
+// floods: bound to the victim's addresses in the destination stage, it
+// drops packets *toward* the owner whose claimed source fails the
+// reverse-path check at the device. strict=true additionally checks
+// transit interfaces (route-based filtering à la Park & Lee).
+func AntiSpoofingInbound(name string, strict bool) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeAntiSpoof, Label: "ingress-filter", Strict: strict},
+		},
+	}
+}
+
+// FirewallDrop drops traffic to the owner (destination stage) matching the
+// given rules — the distributed-firewall application (§4.2).
+func FirewallDrop(name string, rules ...MatchSpec) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeFilter, Label: "firewall", Rules: rules},
+		},
+	}
+}
+
+// RateLimit bounds matching traffic toward the owner to rate packets/s.
+func RateLimit(name string, match MatchSpec, rate, burst float64) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeRateLimiter, Label: "limit", Match: &match, Rate: rate, Burst: burst},
+		},
+	}
+}
+
+// BlacklistSources drops traffic from the listed source addresses
+// (source IP blacklisting, §4.2).
+func BlacklistSources(name string, addrs ...packet.Addr) *Spec {
+	ss := make([]string, len(addrs))
+	for i, a := range addrs {
+		ss[i] = a.String()
+	}
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeBlacklist, Label: "blacklist", Addrs: ss},
+		},
+	}
+}
+
+// Traceback records SPIE digests of the owner's traffic for later path
+// reconstruction (§4.4). windowMS controls digest granularity.
+func Traceback(name string, windowMS int64, retain int, salt uint64) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeSPIE, Label: "spie", WindowMS: windowMS, RetainWindows: retain, Salt: salt},
+		},
+	}
+}
+
+// TrafficStats counts the owner's traffic per rule (§4.4 statistics
+// collection; also the substrate for network debugging).
+func TrafficStats(name string, rules ...MatchSpec) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeStats, Label: "stats", Rules: rules},
+		},
+	}
+}
+
+// AutoRateLimit is the automated-reaction preset (§4.4): a trigger watches
+// the rate of matching packets; when it exceeds threshold per window, a
+// switch steers traffic through a rate limiter until the anomaly subsides.
+func AutoRateLimit(name string, match MatchSpec, windowMS int64, threshold uint64, rate, burst float64) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeTrigger, Label: "detect", Match: &match, WindowMS: windowMS, Threshold: threshold,
+				OnFire:  []TriggerAction{{Target: "gate", SetOn: true}},
+				OnClear: []TriggerAction{{Target: "gate", SetOn: false}}},
+			{Type: modules.TypeSwitch, Label: "gate"},
+			{Type: modules.TypeRateLimiter, Label: "limit", Match: &match, Rate: rate, Burst: burst},
+		},
+		Wires: []WireSpec{
+			{From: "detect", Port: 0, To: "gate"},
+			{From: "gate", Port: 0, To: ""},      // calm: exit directly
+			{From: "gate", Port: 1, To: "limit"}, // anomaly: limit
+			{From: "limit", Port: 0, To: ""},
+		},
+	}
+}
+
+// ProtocolMisuseShield drops forged connection-teardown packets aimed at
+// the owner: bare TCP RSTs and ICMP unreachable/time-exceeded floods
+// (§2.1, §4.3).
+func ProtocolMisuseShield(name string) *Spec {
+	return &Spec{
+		Name:  name,
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeFilter, Label: "shield", Rules: []MatchSpec{
+				{Proto: "tcp", FlagsAll: []string{"rst"}},
+				{Proto: "icmp", ICMPType: "unreachable"},
+				{Proto: "icmp", ICMPType: "time-exceeded"},
+			}},
+		},
+	}
+}

@@ -1,0 +1,382 @@
+// Package service defines the declarative, JSON-serializable description of
+// a traffic-control service that travels the control plane (user -> TCSP ->
+// ISP network management), and compiles it into an executable device graph.
+//
+// The control plane deliberately transports *data*, never code: an NMS
+// compiles a spec only from the component types in its security-reviewed
+// registry, so the paper's "new service modules must be checked for
+// security compliance before deployment" rule is structural.
+package service
+
+import (
+	"fmt"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// MatchSpec is the wire form of modules.Match.
+type MatchSpec struct {
+	Src          string   `json:"src,omitempty"`   // CIDR, empty = any
+	Dst          string   `json:"dst,omitempty"`   // CIDR, empty = any
+	Proto        string   `json:"proto,omitempty"` // "tcp"|"udp"|"icmp"
+	SrcPort      uint16   `json:"src_port,omitempty"`
+	DstPort      uint16   `json:"dst_port,omitempty"`
+	FlagsAll     []string `json:"flags_all,omitempty"` // "syn","ack","rst","fin","psh"
+	FlagsNone    []string `json:"flags_none,omitempty"`
+	ICMPType     string   `json:"icmp_type,omitempty"` // "unreachable"|"time-exceeded"|"echo"|"echo-reply"
+	MinSize      int      `json:"min_size,omitempty"`
+	PayloadToken string   `json:"payload_token,omitempty"`
+}
+
+func flagBits(names []string) (uint8, error) {
+	var b uint8
+	for _, n := range names {
+		switch n {
+		case "fin":
+			b |= packet.FlagFIN
+		case "syn":
+			b |= packet.FlagSYN
+		case "rst":
+			b |= packet.FlagRST
+		case "psh":
+			b |= packet.FlagPSH
+		case "ack":
+			b |= packet.FlagACK
+		default:
+			return 0, fmt.Errorf("service: unknown TCP flag %q", n)
+		}
+	}
+	return b, nil
+}
+
+// Compile converts the spec into an executable match predicate.
+func (m *MatchSpec) Compile() (modules.Match, error) {
+	var out modules.Match
+	var err error
+	if m.Src != "" {
+		if out.Src, err = packet.ParsePrefix(m.Src); err != nil {
+			return out, fmt.Errorf("service: match src: %w", err)
+		}
+	}
+	if m.Dst != "" {
+		if out.Dst, err = packet.ParsePrefix(m.Dst); err != nil {
+			return out, fmt.Errorf("service: match dst: %w", err)
+		}
+	}
+	switch m.Proto {
+	case "":
+	case "tcp":
+		out.Proto = packet.TCP
+	case "udp":
+		out.Proto = packet.UDP
+	case "icmp":
+		out.Proto = packet.ICMP
+	default:
+		return out, fmt.Errorf("service: unknown proto %q", m.Proto)
+	}
+	out.SrcPort, out.DstPort = m.SrcPort, m.DstPort
+	if out.FlagsAll, err = flagBits(m.FlagsAll); err != nil {
+		return out, err
+	}
+	if out.FlagsNone, err = flagBits(m.FlagsNone); err != nil {
+		return out, err
+	}
+	switch m.ICMPType {
+	case "":
+	case "unreachable":
+		out.ICMPType, out.ICMPTypeSet = packet.ICMPUnreachable, true
+	case "time-exceeded":
+		out.ICMPType, out.ICMPTypeSet = packet.ICMPTimeExceeded, true
+	case "echo":
+		out.ICMPType, out.ICMPTypeSet = packet.ICMPEchoRequest, true
+	case "echo-reply":
+		out.ICMPType, out.ICMPTypeSet = packet.ICMPEchoReply, true
+	default:
+		return out, fmt.Errorf("service: unknown icmp type %q", m.ICMPType)
+	}
+	out.MinSize = m.MinSize
+	out.PayloadToken = m.PayloadToken
+	return out, nil
+}
+
+// TriggerAction describes what a firing trigger does to another component
+// in the same graph (currently: flip a switch).
+type TriggerAction struct {
+	Target string `json:"target"` // label of a switch component
+	SetOn  bool   `json:"set_on"`
+}
+
+// ComponentSpec describes one component instance.
+type ComponentSpec struct {
+	Type  string `json:"type"`
+	Label string `json:"label"`
+
+	// Filter / classifier / stats.
+	Rules     []MatchSpec `json:"rules,omitempty"`
+	AllowMode bool        `json:"allow_mode,omitempty"`
+
+	// Rate limiter.
+	Match    *MatchSpec `json:"match,omitempty"`
+	Rate     float64    `json:"rate,omitempty"`
+	Burst    float64    `json:"burst,omitempty"`
+	ByteMode bool       `json:"byte_mode,omitempty"`
+
+	// Blacklist.
+	Addrs []string `json:"addrs,omitempty"`
+
+	// Anti-spoof: apply the reverse-path check on transit interfaces too.
+	Strict bool `json:"strict,omitempty"`
+
+	// Logger / sampler.
+	Capacity int `json:"capacity,omitempty"`
+	SampleN  int `json:"sample_n,omitempty"`
+
+	// Trigger.
+	WindowMS  int64           `json:"window_ms,omitempty"`
+	Threshold uint64          `json:"threshold,omitempty"`
+	OnFire    []TriggerAction `json:"on_fire,omitempty"`
+	OnClear   []TriggerAction `json:"on_clear,omitempty"`
+
+	// SPIE.
+	RetainWindows int    `json:"retain_windows,omitempty"`
+	BloomBits     uint32 `json:"bloom_bits,omitempty"`
+	Salt          uint64 `json:"salt,omitempty"`
+}
+
+// WireSpec connects one component's output port to another component.
+type WireSpec struct {
+	From string `json:"from"`
+	Port int    `json:"port"`
+	To   string `json:"to"` // empty = exit
+}
+
+// Spec is a complete deployable service description.
+type Spec struct {
+	Name       string          `json:"name"`
+	Stage      string          `json:"stage"` // "source" or "dest"
+	Components []ComponentSpec `json:"components"`
+	// Wires overrides the default linear chain. When empty, components are
+	// chained in declaration order (all ports to the next component).
+	Wires []WireSpec `json:"wires,omitempty"`
+}
+
+// StageValue maps the wire stage name to the device stage.
+func (s *Spec) StageValue() (device.Stage, error) {
+	switch s.Stage {
+	case "source":
+		return device.StageSource, nil
+	case "dest":
+		return device.StageDest, nil
+	default:
+		return 0, fmt.Errorf("service: unknown stage %q", s.Stage)
+	}
+}
+
+// Compiled couples the executable graph with handles to the live component
+// instances so the control plane can read counters and logs back.
+type Compiled struct {
+	Graph      *device.Graph
+	Stage      device.Stage
+	Components map[string]device.TypedComponent
+}
+
+// Compile builds the executable graph. All referenced labels must exist,
+// trigger actions may only target switches, and the result still passes
+// the registry's static validation before installation.
+func (s *Spec) Compile() (*Compiled, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("service: spec without name")
+	}
+	stage, err := s.StageValue()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Components) == 0 {
+		return nil, fmt.Errorf("service: spec %q has no components", s.Name)
+	}
+	byLabel := make(map[string]device.TypedComponent, len(s.Components))
+	var order []device.TypedComponent
+	for i := range s.Components {
+		cs := &s.Components[i]
+		if cs.Label == "" {
+			return nil, fmt.Errorf("service: component %d has no label", i)
+		}
+		if _, dup := byLabel[cs.Label]; dup {
+			return nil, fmt.Errorf("service: duplicate label %q", cs.Label)
+		}
+		comp, err := buildComponent(cs)
+		if err != nil {
+			return nil, err
+		}
+		byLabel[cs.Label] = comp
+		order = append(order, comp)
+	}
+	// Resolve trigger actions now that all instances exist.
+	for i := range s.Components {
+		cs := &s.Components[i]
+		if cs.Type != modules.TypeTrigger {
+			continue
+		}
+		trig := byLabel[cs.Label].(*modules.Trigger)
+		fire, err := compileActions(cs.OnFire, byLabel)
+		if err != nil {
+			return nil, err
+		}
+		clear, err := compileActions(cs.OnClear, byLabel)
+		if err != nil {
+			return nil, err
+		}
+		trig.OnFire = fire
+		trig.OnClear = clear
+	}
+
+	g := device.NewGraph(s.Name)
+	idx := make(map[string]int, len(order))
+	for i := range s.Components {
+		idx[s.Components[i].Label] = g.Add(order[i])
+	}
+	if len(s.Wires) == 0 {
+		for i := 0; i+1 < len(order); i++ {
+			for p := 0; p < order[i].Ports(); p++ {
+				if err := g.Wire(i, p, i+1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		for _, w := range s.Wires {
+			from, ok := idx[w.From]
+			if !ok {
+				return nil, fmt.Errorf("service: wire from unknown label %q", w.From)
+			}
+			to := device.Exit
+			if w.To != "" {
+				if to, ok = idx[w.To]; !ok {
+					return nil, fmt.Errorf("service: wire to unknown label %q", w.To)
+				}
+			}
+			if err := g.Wire(from, w.Port, to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Compiled{Graph: g, Stage: stage, Components: byLabel}, nil
+}
+
+func compileActions(actions []TriggerAction, byLabel map[string]device.TypedComponent) (func(sim.Time), error) {
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	type bound struct {
+		sw *modules.Switch
+		on bool
+	}
+	var bounds []bound
+	for _, a := range actions {
+		c, ok := byLabel[a.Target]
+		if !ok {
+			return nil, fmt.Errorf("service: trigger action targets unknown label %q", a.Target)
+		}
+		sw, ok := c.(*modules.Switch)
+		if !ok {
+			return nil, fmt.Errorf("service: trigger action target %q is %T, not a switch", a.Target, c)
+		}
+		bounds = append(bounds, bound{sw: sw, on: a.SetOn})
+	}
+	return func(sim.Time) {
+		for _, b := range bounds {
+			b.sw.Set(b.on)
+		}
+	}, nil
+}
+
+func buildComponent(cs *ComponentSpec) (device.TypedComponent, error) {
+	rules := make([]modules.Match, 0, len(cs.Rules))
+	for i := range cs.Rules {
+		m, err := cs.Rules[i].Compile()
+		if err != nil {
+			return nil, fmt.Errorf("component %q rule %d: %w", cs.Label, i, err)
+		}
+		rules = append(rules, m)
+	}
+	var match modules.Match
+	if cs.Match != nil {
+		var err error
+		if match, err = cs.Match.Compile(); err != nil {
+			return nil, fmt.Errorf("component %q match: %w", cs.Label, err)
+		}
+	}
+	switch cs.Type {
+	case modules.TypeFilter:
+		return &modules.Filter{Label: cs.Label, Rules: rules, AllowMode: cs.AllowMode}, nil
+	case modules.TypeClassifier:
+		return &modules.Classifier{Label: cs.Label, Rules: rules}, nil
+	case modules.TypeRateLimiter:
+		if cs.Rate <= 0 || cs.Burst <= 0 {
+			return nil, fmt.Errorf("component %q: rate limiter needs positive rate and burst", cs.Label)
+		}
+		return &modules.RateLimiter{Label: cs.Label, Match: match, Rate: cs.Rate, Burst: cs.Burst, ByteMode: cs.ByteMode}, nil
+	case modules.TypeBlacklist:
+		b := modules.NewBlacklist(cs.Label)
+		for _, a := range cs.Addrs {
+			addr, err := packet.ParseAddr(a)
+			if err != nil {
+				return nil, fmt.Errorf("component %q: %w", cs.Label, err)
+			}
+			b.Add(addr)
+		}
+		return b, nil
+	case modules.TypeAntiSpoof:
+		return &modules.AntiSpoof{Label: cs.Label, Strict: cs.Strict}, nil
+	case modules.TypePayloadScrub:
+		return &modules.PayloadScrub{Label: cs.Label}, nil
+	case modules.TypeLogger:
+		capacity := cs.Capacity
+		if capacity == 0 {
+			capacity = 1024
+		}
+		return modules.NewLogger(cs.Label, capacity), nil
+	case modules.TypeStats:
+		return modules.NewStats(cs.Label, rules...), nil
+	case modules.TypeSampler:
+		n := cs.SampleN
+		if n == 0 {
+			n = 100
+		}
+		capacity := cs.Capacity
+		if capacity == 0 {
+			capacity = 1024
+		}
+		return modules.NewSampler(cs.Label, n, capacity), nil
+	case modules.TypeTrigger:
+		if cs.Threshold == 0 {
+			return nil, fmt.Errorf("component %q: trigger needs a threshold", cs.Label)
+		}
+		w := sim.Time(cs.WindowMS) * sim.Millisecond
+		if w <= 0 {
+			w = sim.Second
+		}
+		return &modules.Trigger{Label: cs.Label, Match: match, Window: w, Threshold: cs.Threshold}, nil
+	case modules.TypeSPIE:
+		w := sim.Time(cs.WindowMS) * sim.Millisecond
+		if w <= 0 {
+			w = 100 * sim.Millisecond
+		}
+		retain := cs.RetainWindows
+		if retain == 0 {
+			retain = 16
+		}
+		bits := cs.BloomBits
+		if bits == 0 {
+			bits = 1 << 18
+		}
+		return modules.NewSPIE(cs.Label, w, retain, bits, cs.Salt), nil
+	case modules.TypeSwitch:
+		return &modules.Switch{Label: cs.Label}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown component type %q", cs.Type)
+	}
+}

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+func TestMatchSpecCompile(t *testing.T) {
+	ms := MatchSpec{
+		Src: "10.0.0.0/8", Dst: "20.0.0.0/16", Proto: "tcp",
+		SrcPort: 5, DstPort: 80, FlagsAll: []string{"syn", "ack"},
+		FlagsNone: []string{"rst"}, MinSize: 100, PayloadToken: "xyz",
+	}
+	m, err := ms.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Src.String() != "10.0.0.0/8" || m.Dst.String() != "20.0.0.0/16" {
+		t.Error("prefixes wrong")
+	}
+	if m.Proto != packet.TCP || m.DstPort != 80 || m.SrcPort != 5 {
+		t.Error("proto/ports wrong")
+	}
+	if m.FlagsAll != packet.FlagSYN|packet.FlagACK || m.FlagsNone != packet.FlagRST {
+		t.Error("flags wrong")
+	}
+	if m.MinSize != 100 || m.PayloadToken != "xyz" {
+		t.Error("size/payload wrong")
+	}
+}
+
+func TestMatchSpecICMPAndErrors(t *testing.T) {
+	for _, typ := range []string{"unreachable", "time-exceeded", "echo", "echo-reply"} {
+		m, err := (&MatchSpec{Proto: "icmp", ICMPType: typ}).Compile()
+		if err != nil {
+			t.Errorf("icmp type %q: %v", typ, err)
+		}
+		if !m.ICMPTypeSet {
+			t.Errorf("icmp type %q not set", typ)
+		}
+	}
+	bad := []MatchSpec{
+		{Src: "garbage"},
+		{Dst: "1.2.3.4"},
+		{Proto: "sctp"},
+		{FlagsAll: []string{"xmas"}},
+		{FlagsNone: []string{"nope"}},
+		{ICMPType: "redirect"},
+	}
+	for i, ms := range bad {
+		if _, err := ms.Compile(); err == nil {
+			t.Errorf("bad spec %d compiled", i)
+		}
+	}
+}
+
+func TestSpecCompileChain(t *testing.T) {
+	spec := &Spec{
+		Name:  "chain",
+		Stage: "dest",
+		Components: []ComponentSpec{
+			{Type: modules.TypeStats, Label: "st"},
+			{Type: modules.TypeFilter, Label: "f", Rules: []MatchSpec{{DstPort: 666}}},
+			{Type: modules.TypeLogger, Label: "lg", Capacity: 8},
+		},
+	}
+	c, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stage != device.StageDest {
+		t.Error("stage wrong")
+	}
+	if c.Graph.Len() != 3 {
+		t.Errorf("graph len = %d", c.Graph.Len())
+	}
+	if err := c.Graph.Validate(modules.NewRegistry()); err != nil {
+		t.Errorf("compiled graph fails validation: %v", err)
+	}
+	if _, ok := c.Components["f"].(*modules.Filter); !ok {
+		t.Error("filter handle missing")
+	}
+}
+
+func TestSpecCompileErrors(t *testing.T) {
+	bad := []*Spec{
+		{Name: "", Stage: "dest", Components: []ComponentSpec{{Type: "filter", Label: "x"}}},
+		{Name: "s", Stage: "weird", Components: []ComponentSpec{{Type: "filter", Label: "x"}}},
+		{Name: "s", Stage: "dest"},
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "filter", Label: ""}}},
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "filter", Label: "a"}, {Type: "filter", Label: "a"}}},
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "nosuch", Label: "a"}}},
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "ratelimit", Label: "a"}}},                                                   // no rate
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "trigger", Label: "a"}}},                                                     // no threshold
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "blacklist", Label: "a", Addrs: []string{"zz"}}}},                            // bad addr
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "filter", Label: "a", Rules: []MatchSpec{{Src: "bad"}}}}},                    // bad rule
+		{Name: "s", Stage: "dest", Components: []ComponentSpec{{Type: "ratelimit", Label: "a", Rate: 1, Burst: 1, Match: &MatchSpec{Proto: "x"}}}}, // bad match
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("bad spec %d compiled", i)
+		}
+	}
+}
+
+func TestSpecWireErrors(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{Name: "s", Stage: "dest", Components: []ComponentSpec{
+			{Type: "filter", Label: "a"},
+			{Type: "filter", Label: "b"},
+		}}
+	}
+	s1 := base()
+	s1.Wires = []WireSpec{{From: "zz", Port: 0, To: "b"}}
+	if _, err := s1.Compile(); err == nil {
+		t.Error("unknown from label accepted")
+	}
+	s2 := base()
+	s2.Wires = []WireSpec{{From: "a", Port: 0, To: "zz"}}
+	if _, err := s2.Compile(); err == nil {
+		t.Error("unknown to label accepted")
+	}
+	s3 := base()
+	s3.Wires = []WireSpec{{From: "a", Port: 5, To: "b"}}
+	if _, err := s3.Compile(); err == nil {
+		t.Error("bad port accepted")
+	}
+	ok := base()
+	ok.Wires = []WireSpec{{From: "a", Port: 0, To: "b"}, {From: "b", Port: 0, To: ""}}
+	if _, err := ok.Compile(); err != nil {
+		t.Errorf("valid wiring rejected: %v", err)
+	}
+}
+
+func TestTriggerActionCompile(t *testing.T) {
+	spec := AutoRateLimit("auto", MatchSpec{DstPort: 80}, 100, 5, 50, 10)
+	c, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig := c.Components["detect"].(*modules.Trigger)
+	gate := c.Components["gate"].(*modules.Switch)
+	if trig.OnFire == nil || trig.OnClear == nil {
+		t.Fatal("trigger actions not bound")
+	}
+	trig.OnFire(0)
+	if !gate.On() {
+		t.Error("OnFire did not flip switch")
+	}
+	trig.OnClear(0)
+	if gate.On() {
+		t.Error("OnClear did not reset switch")
+	}
+}
+
+func TestTriggerActionErrors(t *testing.T) {
+	s := &Spec{Name: "s", Stage: "dest", Components: []ComponentSpec{
+		{Type: "trigger", Label: "t", Threshold: 1, OnFire: []TriggerAction{{Target: "nope", SetOn: true}}},
+	}}
+	if _, err := s.Compile(); err == nil {
+		t.Error("action on unknown target accepted")
+	}
+	s2 := &Spec{Name: "s", Stage: "dest", Components: []ComponentSpec{
+		{Type: "trigger", Label: "t", Threshold: 1, OnFire: []TriggerAction{{Target: "f", SetOn: true}}},
+		{Type: "filter", Label: "f"},
+	}}
+	if _, err := s2.Compile(); err == nil {
+		t.Error("action on non-switch accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := AutoRateLimit("auto", MatchSpec{DstPort: 80, Proto: "tcp"}, 100, 5, 50, 10)
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	c, err := got.Compile()
+	if err != nil {
+		t.Fatalf("round-tripped spec fails to compile: %v", err)
+	}
+	if c.Graph.Len() != 3 {
+		t.Errorf("graph len = %d", c.Graph.Len())
+	}
+}
+
+func TestPresetsCompileAndValidate(t *testing.T) {
+	reg := modules.NewRegistry()
+	specs := []*Spec{
+		AntiSpoofing("as"),
+		FirewallDrop("fw", MatchSpec{DstPort: 666}),
+		RateLimit("rl", MatchSpec{Proto: "udp"}, 100, 10),
+		BlacklistSources("bl", packet.MustParseAddr("6.6.6.6")),
+		Traceback("tb", 100, 8, 42),
+		TrafficStats("ts", MatchSpec{Proto: "tcp"}),
+		AutoRateLimit("ar", MatchSpec{}, 100, 10, 50, 5),
+		ProtocolMisuseShield("pm"),
+	}
+	for _, s := range specs {
+		c, err := s.Compile()
+		if err != nil {
+			t.Errorf("preset %q: %v", s.Name, err)
+			continue
+		}
+		if err := c.Graph.Validate(reg); err != nil {
+			t.Errorf("preset %q graph invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestProtocolMisuseShieldBehaviour(t *testing.T) {
+	c, err := ProtocolMisuseShield("pm").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shield := c.Components["shield"].(*modules.Filter)
+	env := &device.Env{Now: 0}
+
+	rst := &packet.Packet{Proto: packet.TCP, Flags: packet.FlagRST, Size: 40}
+	if _, res := shield.Process(rst, env); res != device.Discard {
+		t.Error("RST not dropped")
+	}
+	unreach := &packet.Packet{Proto: packet.ICMP, Flags: packet.ICMPUnreachable, Size: 40}
+	if _, res := shield.Process(unreach, env); res != device.Discard {
+		t.Error("ICMP unreachable not dropped")
+	}
+	data := &packet.Packet{Proto: packet.TCP, Flags: packet.FlagACK | packet.FlagPSH, Size: 400}
+	if _, res := shield.Process(data, env); res != device.Forward {
+		t.Error("normal data dropped")
+	}
+	syn := &packet.Packet{Proto: packet.TCP, Flags: packet.FlagSYN, Size: 40}
+	if _, res := shield.Process(syn, env); res != device.Forward {
+		t.Error("SYN dropped")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := &Spec{Name: "d", Stage: "dest", Components: []ComponentSpec{
+		{Type: "logger", Label: "lg"},
+		{Type: "sampler", Label: "sm"},
+		{Type: "spie", Label: "sp"},
+		{Type: "trigger", Label: "tr", Threshold: 1},
+	}}
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Components["lg"].(*modules.Logger).Cap != 1024 {
+		t.Error("logger default capacity")
+	}
+	if c.Components["sm"].(*modules.Sampler).N != 100 {
+		t.Error("sampler default N")
+	}
+	if c.Components["tr"].(*modules.Trigger).Window != sim.Second {
+		t.Error("trigger default window")
+	}
+}

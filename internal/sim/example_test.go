@@ -1,0 +1,48 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"dtc/internal/sim"
+)
+
+// ExampleSimulation shows the deterministic event loop all experiments
+// run on.
+func ExampleSimulation() {
+	s := sim.New(42)
+	s.AfterFunc(2*sim.Millisecond, func(now sim.Time) {
+		fmt.Println("second at", now)
+	})
+	s.AfterFunc(sim.Millisecond, func(now sim.Time) {
+		fmt.Println("first at", now)
+		s.AfterFunc(5*sim.Millisecond, func(now sim.Time) {
+			fmt.Println("third at", now)
+		})
+	})
+	end, _ := s.RunAll()
+	fmt.Println("done at", end)
+	// Output:
+	// first at 1ms
+	// second at 2ms
+	// third at 6ms
+	// done at 6ms
+}
+
+// ExampleSimulation_NewTicker demonstrates periodic work.
+func ExampleSimulation_NewTicker() {
+	s := sim.New(1)
+	n := 0
+	var tk *sim.Ticker
+	tk = s.NewTicker(10*sim.Millisecond, func(now sim.Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	if _, err := s.RunAll(); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Println("ticks:", n)
+	// Output:
+	// ticks: 3
+}

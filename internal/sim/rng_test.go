@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched on %d/100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const mean, draws = 4.0, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if got := sum / draws; math.Abs(got-mean) > 0.1 {
+		t.Errorf("empirical mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRNG(17)
+	const xm, alpha = 2.0, 1.5
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(xm, alpha); v < xm {
+			t.Fatalf("Pareto produced %v below scale %v", v, xm)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(19)
+	const mean, sd, draws = 10.0, 3.0, 200000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / draws
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("mean = %v, want ~%v", m, mean)
+	}
+	if v := sumsq/draws - m*m; math.Abs(math.Sqrt(v)-sd) > 0.05 {
+		t.Errorf("stddev = %v, want ~%v", math.Sqrt(v), sd)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	for _, n := range []int{0, 1, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(29)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint32() == f2.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams matched on %d/100 draws", same)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+	diff := false
+	for i := range xs {
+		if xs[i] != orig[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Log("shuffle left slice unchanged (possible but unlikely)")
+	}
+}
+
+// Property: Perm output is always a bijection.
+func TestPropertyPerm(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		p := NewRNG(seed).Perm(int(n))
+		seen := make(map[int]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.AfterFunc(30*Millisecond, func(Time) { got = append(got, 3) })
+	s.AfterFunc(10*Millisecond, func(Time) { got = append(got, 1) })
+	s.AfterFunc(20*Millisecond, func(Time) { got = append(got, 2) })
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.AfterFunc(5*Millisecond, func(Time) { got = append(got, i) })
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events fired out of scheduling order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.AfterFunc(7*Second, func(now Time) { at = now })
+	end, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 7*Second {
+		t.Errorf("event saw now=%v, want 7s", at)
+	}
+	if end != 7*Second {
+		t.Errorf("RunAll returned %v, want 7s", end)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.AfterFunc(1*Second, func(Time) { fired++ })
+	s.AfterFunc(3*Second, func(Time) { fired++ })
+	end, err := s.Run(2 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if end != 2*Second {
+		t.Errorf("end = %v, want 2s", end)
+	}
+	// The remaining event still fires on a later Run.
+	if _, err := s.Run(4 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("after second run fired = %d, want 2", fired)
+	}
+}
+
+func TestEventAtDeadlineFires(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.AfterFunc(2*Second, func(Time) { fired = true })
+	if _, err := s.Run(2 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event scheduled exactly at deadline did not fire")
+	}
+}
+
+func TestSchedulingDuringEvent(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.AfterFunc(1*Second, func(now Time) {
+		order = append(order, "a")
+		s.AfterFunc(1*Second, func(Time) { order = append(order, "c") })
+	})
+	s.AfterFunc(1500*Millisecond, func(Time) { order = append(order, "b") })
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	h := s.AfterFunc(1*Second, func(Time) { fired = true })
+	s.Cancel(h)
+	if !h.Cancelled() {
+		t.Error("handle not marked cancelled")
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	s.Cancel(h) // double cancel is a no-op
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var got []int
+	var handles []Handle
+	for i := 0; i < 10; i++ {
+		i := i
+		handles = append(handles, s.AfterFunc(Time(i+1)*Millisecond, func(Time) { got = append(got, i) }))
+	}
+	s.Cancel(handles[4])
+	s.Cancel(handles[7])
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.AfterFunc(Time(i)*Second, func(Time) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (Stop should halt the loop)", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.AfterFunc(5*Second, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1*Second, EventFunc(func(Time) {}))
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	New(1).After(-1, EventFunc(func(Time) {}))
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New(1)
+	s.EventLimit = 10
+	var tick func(now Time)
+	tick = func(now Time) { s.AfterFunc(Millisecond, tick) }
+	s.AfterFunc(Millisecond, tick)
+	_, err := s.RunAll()
+	if err == nil {
+		t.Fatal("expected event-limit error for unbounded self-scheduling")
+	}
+	if !IsEventLimit(err) {
+		t.Fatalf("err = %v, want event-limit error", err)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.AfterFunc(Millisecond, func(Time) { fired++ })
+	s.AfterFunc(2*Millisecond, func(Time) { fired++ })
+	ok, err := s.Step()
+	if err != nil || !ok {
+		t.Fatalf("Step = %v, %v", ok, err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after one step", fired)
+	}
+	if s.Now() != Millisecond {
+		t.Fatalf("now = %v, want 1ms", s.Now())
+	}
+	ok, _ = s.Step()
+	if !ok || fired != 2 {
+		t.Fatal("second step did not fire second event")
+	}
+	ok, _ = s.Step()
+	if ok {
+		t.Fatal("Step reported firing with empty queue")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var times []Time
+	tk := s.NewTicker(10*Millisecond, func(now Time) {
+		times = append(times, now)
+		if len(times) == 5 {
+			// Stop from within the callback.
+		}
+	})
+	s.AfterFunc(55*Millisecond, func(Time) { tk.Stop() })
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(times))
+	}
+	for i, tm := range times {
+		if want := Time(i+1) * 10 * Millisecond; tm != want {
+			t.Errorf("tick %d at %v, want %v", i, tm, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.NewTicker(Millisecond, func(Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("ticker fired %d times after in-callback Stop, want 3", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		s := New(seed)
+		var vals []uint64
+		for i := 0; i < 50; i++ {
+			d := Time(s.RNG().Intn(1000)) * Microsecond
+			s.AfterFunc(d, func(now Time) { vals = append(vals, uint64(now)^s.RNG().Uint64()) })
+		}
+		if _, err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.5s" {
+		t.Errorf("String = %q, want 1.5s", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+}
+
+func TestRunAllAdvancesToLastEvent(t *testing.T) {
+	s := New(1)
+	s.AfterFunc(3*Second, func(Time) {})
+	end, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 3*Second {
+		t.Errorf("end = %v, want 3s", end)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of the
+// order they were scheduled in.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var fired []Time
+		for _, d := range delays {
+			s.AfterFunc(Time(d)*Microsecond, func(now Time) { fired = append(fired, now) })
+		}
+		if _, err := s.RunAll(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a subset of events fires exactly the complement.
+func TestPropertyCancelComplement(t *testing.T) {
+	f := func(delays []uint8, cancelMask []bool) bool {
+		s := New(9)
+		fired := make(map[int]bool)
+		var handles []Handle
+		for i, d := range delays {
+			i := i
+			handles = append(handles, s.AfterFunc(Time(d)*Microsecond, func(Time) { fired[i] = true }))
+		}
+		cancelled := make(map[int]bool)
+		for i, h := range handles {
+			if i < len(cancelMask) && cancelMask[i] {
+				s.Cancel(h)
+				cancelled[i] = true
+			}
+		}
+		if _, err := s.RunAll(); err != nil {
+			return false
+		}
+		for i := range delays {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

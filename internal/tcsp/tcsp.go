@@ -1,0 +1,245 @@
+// Package tcsp implements the Traffic Control Service Provider — the
+// coordinating role the paper introduces so a network user registers once
+// instead of once per ISP (§5.1):
+//
+//   - Registration (Figure 4): the TCSP checks the user's identity (proof
+//     of key possession), verifies claimed address ownership against the
+//     Internet number authority, and issues a signed certificate binding
+//     the user's key to the verified prefixes.
+//   - Deployment (Figure 5): the TCSP maps a user's service request onto
+//     the network management systems of participating ISPs, which compile
+//     and install the service components on their adaptive devices.
+//   - Control: activation, parameter changes and log readback are relayed
+//     the same way.
+package tcsp
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dtc/internal/auth"
+	"dtc/internal/nms"
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+)
+
+// Backend is a participating ISP's management interface. *nms.NMS
+// satisfies it in-process; the ctl package provides a TCP-backed client
+// with the same shape.
+type Backend interface {
+	Deploy(cert *auth.Certificate, sreq *auth.SignedRequest) (*nms.DeployResult, error)
+	Control(cert *auth.Certificate, sreq *auth.SignedRequest) (*nms.ControlResult, error)
+}
+
+// DefaultCertTTL is the certificate lifetime in seconds.
+const DefaultCertTTL = 365 * 24 * 3600
+
+// TCSP is the traffic control service provider.
+type TCSP struct {
+	id        *auth.Identity
+	authority *ownership.Registry
+	clock     func() int64
+
+	CertTTL int64
+
+	isps    map[string]Backend
+	ispList []string
+	certs   map[uint64]*auth.Certificate
+	byOwner map[string]uint64
+	revoked map[uint64]bool
+	serial  uint64
+}
+
+// New creates a TCSP with its own signing identity, the number-authority
+// database it verifies ownership against, and a seconds clock.
+func New(id *auth.Identity, authority *ownership.Registry, clock func() int64) *TCSP {
+	return &TCSP{
+		id: id, authority: authority, clock: clock,
+		CertTTL: DefaultCertTTL,
+		isps:    make(map[string]Backend),
+		certs:   make(map[uint64]*auth.Certificate),
+		byOwner: make(map[string]uint64),
+		revoked: make(map[uint64]bool),
+	}
+}
+
+// PublicKey returns the TCSP's certificate-signing key; ISPs configure it
+// as their trust anchor.
+func (t *TCSP) PublicKey() ed25519.PublicKey { return t.id.Pub }
+
+// AddISP registers a participating ISP (contract setup, §5.1).
+func (t *TCSP) AddISP(name string, b Backend) error {
+	if name == "" || b == nil {
+		return fmt.Errorf("tcsp: invalid ISP registration")
+	}
+	if _, dup := t.isps[name]; dup {
+		return fmt.Errorf("tcsp: ISP %q already registered", name)
+	}
+	t.isps[name] = b
+	t.ispList = append(t.ispList, name)
+	sort.Strings(t.ispList)
+	return nil
+}
+
+// ISPs returns the names of participating ISPs.
+func (t *TCSP) ISPs() []string { return append([]string(nil), t.ispList...) }
+
+// RegistrationBytes is the canonical byte string a user signs to prove key
+// possession during registration.
+func RegistrationBytes(user string, pub ed25519.PublicKey, prefixes []string) []byte {
+	var b bytes.Buffer
+	w := func(s string) {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		b.Write(l[:])
+		b.WriteString(s)
+	}
+	w("dtc-register")
+	w(user)
+	b.Write(pub)
+	for _, p := range prefixes {
+		w(p)
+	}
+	return b.Bytes()
+}
+
+// Register implements Figure 4: verify the user's identity (signature with
+// the presented key), verify claimed ownership of every prefix with the
+// number authority, then issue and record a certificate.
+func (t *TCSP) Register(user string, pub ed25519.PublicKey, prefixes []string, sig []byte) (*auth.Certificate, error) {
+	if user == "" {
+		return nil, fmt.Errorf("tcsp: empty user name")
+	}
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("tcsp: registration without prefixes")
+	}
+	if !auth.Verify(pub, RegistrationBytes(user, pub, prefixes), sig) {
+		return nil, fmt.Errorf("tcsp: identity check failed for %q", user)
+	}
+	parsed := make([]packet.Prefix, 0, len(prefixes))
+	for _, s := range prefixes {
+		p, err := packet.ParsePrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("tcsp: %w", err)
+		}
+		if !t.authority.Verify(p, ownership.OwnerID(user)) {
+			return nil, fmt.Errorf("tcsp: number authority does not confirm %q owns %v", user, p)
+		}
+		parsed = append(parsed, p)
+	}
+	t.serial++
+	now := t.clock()
+	subject := &auth.Identity{Name: user, Pub: pub}
+	cert, err := auth.IssueCertificate(t.id, subject, parsed, t.serial, now, now+t.CertTTL)
+	if err != nil {
+		return nil, err
+	}
+	t.certs[cert.Serial] = cert
+	t.byOwner[user] = cert.Serial
+	return cert, nil
+}
+
+// CertificateFor returns the latest certificate issued to owner.
+func (t *TCSP) CertificateFor(owner string) (*auth.Certificate, bool) {
+	s, ok := t.byOwner[owner]
+	if !ok {
+		return nil, false
+	}
+	return t.certs[s], true
+}
+
+// lookupCert resolves the signed request's certificate serial. Users do
+// not resend the full certificate on every request; the TCSP issued it and
+// keeps it.
+func (t *TCSP) lookupCert(sreq *auth.SignedRequest) (*auth.Certificate, error) {
+	if t.revoked[sreq.CertSerial] {
+		return nil, fmt.Errorf("tcsp: certificate serial %d has been revoked", sreq.CertSerial)
+	}
+	cert, ok := t.certs[sreq.CertSerial]
+	if !ok {
+		return nil, fmt.Errorf("tcsp: unknown certificate serial %d", sreq.CertSerial)
+	}
+	if err := cert.Verify(t.id.Pub, t.clock()); err != nil {
+		return nil, err
+	}
+	if err := auth.VerifyRequest(cert, sreq); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+// Revoke withdraws a certificate: further TCSP-mediated requests under
+// that serial fail (e.g. because the registered address range changed
+// hands at the number authority). Revocation is TCSP-side; ISPs that
+// accept direct requests learn of it when they next sync — the same
+// freshness trade-off real CAs make.
+func (t *TCSP) Revoke(serial uint64) error {
+	if _, ok := t.certs[serial]; !ok {
+		return fmt.Errorf("tcsp: unknown certificate serial %d", serial)
+	}
+	t.revoked[serial] = true
+	return nil
+}
+
+// Revoked reports whether a serial has been revoked.
+func (t *TCSP) Revoked(serial uint64) bool { return t.revoked[serial] }
+
+// selectISPs resolves an ISP name list (empty = all).
+func (t *TCSP) selectISPs(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return t.ispList, nil
+	}
+	for _, n := range names {
+		if _, ok := t.isps[n]; !ok {
+			return nil, fmt.Errorf("tcsp: unknown ISP %q", n)
+		}
+	}
+	return names, nil
+}
+
+// Deploy implements Figure 5: verify the request once, then instruct each
+// selected ISP's management system. Per-ISP failures abort with an error
+// identifying the ISP; partial results are returned alongside.
+func (t *TCSP) Deploy(sreq *auth.SignedRequest, isps []string) ([]*nms.DeployResult, error) {
+	cert, err := t.lookupCert(sreq)
+	if err != nil {
+		return nil, err
+	}
+	selected, err := t.selectISPs(isps)
+	if err != nil {
+		return nil, err
+	}
+	var results []*nms.DeployResult
+	for _, name := range selected {
+		r, err := t.isps[name].Deploy(cert, sreq)
+		if err != nil {
+			return results, fmt.Errorf("tcsp: ISP %q: %w", name, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Control relays a control request to the selected ISPs.
+func (t *TCSP) Control(sreq *auth.SignedRequest, isps []string) ([]*nms.ControlResult, error) {
+	cert, err := t.lookupCert(sreq)
+	if err != nil {
+		return nil, err
+	}
+	selected, err := t.selectISPs(isps)
+	if err != nil {
+		return nil, err
+	}
+	var results []*nms.ControlResult
+	for _, name := range selected {
+		r, err := t.isps[name].Control(cert, sreq)
+		if err != nil {
+			return results, fmt.Errorf("tcsp: ISP %q: %w", name, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -1,0 +1,37 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// ExampleBarabasiAlbert builds the power-law AS graph the deployment
+// experiments run on and shows its heavy-tailed core.
+func ExampleBarabasiAlbert() {
+	g, err := topology.BarabasiAlbert(1000, 2, sim.NewRNG(42))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("nodes:", g.Len())
+	fmt.Println("connected:", g.Connected())
+	top := g.NodesByDegree()[0]
+	fmt.Println("hub degree >= 40:", g.Degree(top) >= 40)
+	// Output:
+	// nodes: 1000
+	// connected: true
+	// hub degree >= 40: true
+}
+
+// ExampleDumbbell shows the classic congestion topology used by the
+// pushback experiments.
+func ExampleDumbbell() {
+	g := topology.Dumbbell(2, 2, 2)
+	fmt.Println("nodes:", g.Len())
+	fmt.Println("core edge:", g.HasEdge(4, 5))
+	// Output:
+	// nodes: 6
+	// core edge: true
+}

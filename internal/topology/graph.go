@@ -1,0 +1,431 @@
+// Package topology builds the network graphs that experiments run on.
+//
+// The headline experiments (E1, E4) require an Internet-like AS-level graph:
+// Park & Lee's result on ingress-filtering effectiveness — which the paper
+// cites to argue that ~20% AS deployment already defeats source spoofing —
+// holds specifically on power-law topologies. The Barabási–Albert generator
+// here produces such graphs deterministically from a seed. Smaller
+// structured generators (star, dumbbell, line, transit-stub) support
+// protocol tests and micro-experiments.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dtc/internal/sim"
+)
+
+// Role classifies an AS node, mirroring the paper's distinction between
+// transit providers and peripheral (stub) ISPs — the adaptive-device
+// anti-spoofing logic must know whether it sees transit traffic or
+// customer traffic (paper §4.2).
+type Role uint8
+
+// AS roles.
+const (
+	RoleStub    Role = iota // peripheral ISP: only originates/sinks traffic
+	RoleTransit             // carries third-party traffic
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == RoleTransit {
+		return "transit"
+	}
+	return "stub"
+}
+
+// Node is one vertex (an AS, or a router in the smaller topologies).
+type Node struct {
+	ID   int
+	Role Role
+}
+
+// Edge is an undirected link between two nodes.
+type Edge struct {
+	A, B int
+}
+
+// Graph is an undirected graph with adjacency lists.
+type Graph struct {
+	Nodes []Node
+	adj   [][]int
+	edges []Edge
+}
+
+// NewGraph returns a graph with n isolated nodes, all stubs.
+func NewGraph(n int) *Graph {
+	g := &Graph{Nodes: make([]Node, n), adj: make([][]int, n)}
+	for i := range g.Nodes {
+		g.Nodes[i] = Node{ID: i, Role: RoleStub}
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the edge list (shared slice; callers must not mutate).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge inserts an undirected edge. Self-loops and duplicates are
+// rejected with an error.
+func (g *Graph) AddEdge(a, b int) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop at %d", a)
+	}
+	if a < 0 || b < 0 || a >= g.Len() || b >= g.Len() {
+		return fmt.Errorf("topology: edge (%d,%d) out of range", a, b)
+	}
+	for _, n := range g.adj[a] {
+		if n == b {
+			return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.edges = append(g.edges, Edge{A: a, B: b})
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (a, b) and reports whether it
+// existed. Used to model link failures.
+func (g *Graph) RemoveEdge(a, b int) bool {
+	if a < 0 || b < 0 || a >= g.Len() || b >= g.Len() || !g.HasEdge(a, b) {
+		return false
+	}
+	drop := func(list []int, v int) []int {
+		for i, n := range list {
+			if n == v {
+				return append(list[:i:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	g.adj[a] = drop(g.adj[a], b)
+	g.adj[b] = drop(g.adj[b], a)
+	for i, e := range g.edges {
+		if (e.A == a && e.B == b) || (e.A == b && e.B == a) {
+			g.edges = append(g.edges[:i:i], g.edges[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// HasEdge reports whether a and b are adjacent.
+func (g *Graph) HasEdge(a, b int) bool {
+	for _, n := range g.adj[a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of node id (shared slice).
+func (g *Graph) Neighbors(id int) []int { return g.adj[id] }
+
+// Degree returns the degree of node id.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if g.Len() == 0 {
+		return true
+	}
+	seen := make([]bool, g.Len())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.Len()
+}
+
+// ClassifyRoles marks every node with degree > stubMaxDegree as transit.
+// BA graphs have no built-in hierarchy, so the experiments treat high-degree
+// nodes as the transit core (matching how Park & Lee pick filter sites).
+func (g *Graph) ClassifyRoles(stubMaxDegree int) {
+	for i := range g.Nodes {
+		if g.Degree(i) > stubMaxDegree {
+			g.Nodes[i].Role = RoleTransit
+		} else {
+			g.Nodes[i].Role = RoleStub
+		}
+	}
+}
+
+// NodesByDegree returns node IDs sorted by descending degree (ties by ID).
+// E1 uses this to pick "top-degree" deployment sites.
+func (g *Graph) NodesByDegree() []int {
+	ids := make([]int, g.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Stubs returns the IDs of all stub nodes.
+func (g *Graph) Stubs() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Role == RoleStub {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: it starts from a
+// small clique of m+1 nodes and attaches each new node to m distinct
+// existing nodes with probability proportional to their degree. The result
+// has a power-law degree distribution like the AS-level Internet.
+func BarabasiAlbert(n, m int, rng *sim.RNG) (*Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("topology: BarabasiAlbert needs n >= m+1 >= 2, got n=%d m=%d", n, m)
+	}
+	g := NewGraph(n)
+	// Seed clique.
+	for a := 0; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			if err := g.AddEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// repeated holds each node ID once per unit of degree; sampling a
+	// uniform element implements preferential attachment exactly.
+	var repeated []int
+	for a := 0; a <= m; a++ {
+		for b := 0; b < m; b++ {
+			repeated = append(repeated, a)
+		}
+	}
+	chosen := make([]int, 0, m)
+	for v := m + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			c := repeated[rng.Intn(len(repeated))]
+			dup := false
+			for _, w := range chosen {
+				if w == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, c)
+			}
+		}
+		for _, w := range chosen {
+			if err := g.AddEdge(v, w); err != nil {
+				return nil, err
+			}
+			repeated = append(repeated, v, w)
+		}
+	}
+	g.ClassifyRoles(2 * m)
+	return g, nil
+}
+
+// Waxman generates the classic Waxman random graph: nodes are placed
+// uniformly in the unit square and each pair is connected with probability
+// alpha*exp(-d/(beta*L)), where d is their Euclidean distance and L the
+// maximum distance. The result is patched to a single component by linking
+// each stray component to the giant one. Waxman graphs lack the power-law
+// tail of BA graphs; the E1-family experiments use them to check that
+// conclusions do not hinge on degree skew.
+func Waxman(n int, alpha, beta float64, rng *sim.RNG) (*Graph, error) {
+	if n < 2 || alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topology: invalid Waxman(n=%d, alpha=%v, beta=%v)", n, alpha, beta)
+	}
+	g := NewGraph(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	l := math.Sqrt2 // max distance in the unit square
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*l)) {
+				if err := g.AddEdge(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Patch to connectivity: attach every non-giant component to node of
+	// the first component via its lowest-ID member.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		stack := []int{i}
+		comp[i] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	for i := 0; i < n; i++ {
+		if comp[i] > 0 && (i == 0 || comp[i] != comp[i-1] || comp[i-1] == 0) {
+			// First member of a stray component: bridge it.
+			if !g.HasEdge(i, 0) && i != 0 {
+				if err := g.AddEdge(i, 0); err != nil {
+					return nil, err
+				}
+			}
+			// Mark whole component as merged.
+			c := comp[i]
+			for j := i; j < n; j++ {
+				if comp[j] == c {
+					comp[j] = 0
+				}
+			}
+		}
+	}
+	g.ClassifyRoles(4)
+	return g, nil
+}
+
+// Star returns a hub-and-spoke graph: node 0 is the hub.
+func Star(leaves int) *Graph {
+	g := NewGraph(leaves + 1)
+	g.Nodes[0].Role = RoleTransit
+	for i := 1; i <= leaves; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			panic(err) // unreachable for valid construction
+		}
+	}
+	return g
+}
+
+// Line returns a path graph of n nodes: 0-1-2-…-(n-1). Interior nodes are
+// transit.
+func Line(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i+1 < n; i++ {
+		g.Nodes[i].Role = RoleTransit
+	}
+	return g
+}
+
+// Dumbbell returns two stars joined by a path of coreLen transit nodes:
+// classic congestion topology for pushback experiments. Left leaves come
+// first, then right leaves, then the core.
+func Dumbbell(leftLeaves, rightLeaves, coreLen int) *Graph {
+	if coreLen < 1 {
+		coreLen = 1
+	}
+	n := leftLeaves + rightLeaves + coreLen
+	g := NewGraph(n)
+	coreStart := leftLeaves + rightLeaves
+	for i := 0; i < coreLen; i++ {
+		g.Nodes[coreStart+i].Role = RoleTransit
+		if i > 0 {
+			if err := g.AddEdge(coreStart+i-1, coreStart+i); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < leftLeaves; i++ {
+		if err := g.AddEdge(i, coreStart); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < rightLeaves; i++ {
+		if err := g.AddEdge(leftLeaves+i, coreStart+coreLen-1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TransitStub builds a two-level hierarchy: a connected core of transit
+// nodes (ring plus random chords) with stub nodes each homed to one or two
+// transit nodes. It is a simplified GT-ITM-style topology.
+func TransitStub(transit, stubsPerTransit int, multihomeFrac float64, rng *sim.RNG) (*Graph, error) {
+	if transit < 1 || stubsPerTransit < 0 {
+		return nil, fmt.Errorf("topology: invalid TransitStub(%d,%d)", transit, stubsPerTransit)
+	}
+	n := transit + transit*stubsPerTransit
+	g := NewGraph(n)
+	for i := 0; i < transit; i++ {
+		g.Nodes[i].Role = RoleTransit
+		if next := (i + 1) % transit; transit > 1 && next != i && !g.HasEdge(i, next) {
+			if err := g.AddEdge(i, next); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Random chords across the core to shorten paths.
+	for i := 0; i < transit/2; i++ {
+		a, b := rng.Intn(transit), rng.Intn(transit)
+		if a != b && !g.HasEdge(a, b) {
+			if err := g.AddEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	id := transit
+	for t := 0; t < transit; t++ {
+		for s := 0; s < stubsPerTransit; s++ {
+			if err := g.AddEdge(id, t); err != nil {
+				return nil, err
+			}
+			if transit > 1 && rng.Float64() < multihomeFrac {
+				other := rng.Intn(transit)
+				if other != t {
+					if err := g.AddEdge(id, other); err != nil {
+						return nil, err
+					}
+				}
+			}
+			id++
+		}
+	}
+	return g, nil
+}

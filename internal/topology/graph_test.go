@@ -1,0 +1,415 @@
+package topology
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dtc/internal/sim"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("reversed duplicate edge accepted")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := Star(4)
+	if g.Degree(0) != 4 {
+		t.Errorf("hub degree = %d", g.Degree(0))
+	}
+	for i := 1; i <= 4; i++ {
+		if g.Degree(i) != 1 {
+			t.Errorf("leaf %d degree = %d", i, g.Degree(i))
+		}
+	}
+	n := g.Neighbors(0)
+	if len(n) != 4 {
+		t.Errorf("hub neighbors = %v", n)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := NewGraph(4)
+	if g.Connected() {
+		t.Error("edgeless 4-node graph reported connected")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 3)
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	mustEdge(t, g, 1, 2)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	if !NewGraph(0).Connected() || !NewGraph(1).Connected() {
+		t.Error("trivial graphs must be connected")
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, a, b int) {
+	t.Helper()
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	rng := sim.NewRNG(42)
+	g, err := BarabasiAlbert(500, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 500 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("BA graph disconnected")
+	}
+	// Edge count: clique of m+1=3 nodes has 3 edges; each later node adds m=2.
+	want := 3 + (500-3)*2
+	if g.NumEdges() != want {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if g.Degree(i) < 2 {
+			t.Errorf("node %d degree %d < m", i, g.Degree(i))
+		}
+	}
+}
+
+func TestBarabasiAlbertPowerLaw(t *testing.T) {
+	rng := sim.NewRNG(7)
+	g, err := BarabasiAlbert(2000, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: the max degree should far exceed the mean, and the
+	// degree distribution should be monotone-decreasing in log bins.
+	degrees := make([]int, g.Len())
+	sum := 0
+	for i := range degrees {
+		degrees[i] = g.Degree(i)
+		sum += degrees[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degrees)))
+	mean := float64(sum) / float64(len(degrees))
+	if float64(degrees[0]) < 8*mean {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", degrees[0], mean)
+	}
+	// Top 1% of nodes should hold a disproportionate share of edge ends.
+	topShare := 0
+	for _, d := range degrees[:20] {
+		topShare += d
+	}
+	if float64(topShare)/float64(sum) < 0.10 {
+		t.Errorf("top 1%% of nodes hold only %.1f%% of degree mass", 100*float64(topShare)/float64(sum))
+	}
+}
+
+func TestBarabasiAlbertDeterminism(t *testing.T) {
+	g1, err := BarabasiAlbert(300, 3, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BarabasiAlbert(300, 3, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(2, 2, sim.NewRNG(1)); err == nil {
+		t.Error("n < m+1 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, sim.NewRNG(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestClassifyRolesAndStubs(t *testing.T) {
+	g, err := BarabasiAlbert(300, 2, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ClassifyRoles(4)
+	stubs := g.Stubs()
+	transit := g.Len() - len(stubs)
+	if transit == 0 || len(stubs) == 0 {
+		t.Fatalf("degenerate classification: %d transit, %d stubs", transit, len(stubs))
+	}
+	for _, id := range stubs {
+		if g.Degree(id) > 4 {
+			t.Errorf("stub %d has degree %d", id, g.Degree(id))
+		}
+	}
+	if len(stubs) < transit {
+		t.Errorf("power-law graph should have more stubs (%d) than transit (%d)", len(stubs), transit)
+	}
+}
+
+func TestNodesByDegree(t *testing.T) {
+	g := Star(5)
+	ids := g.NodesByDegree()
+	if ids[0] != 0 {
+		t.Errorf("hub not first: %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if g.Degree(ids[i]) > g.Degree(ids[i-1]) {
+			t.Errorf("not sorted by degree at %d", i)
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	g := Line(5)
+	if !g.Connected() {
+		t.Error("line disconnected")
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Error("line degrees wrong")
+	}
+	if g.Nodes[0].Role != RoleStub || g.Nodes[2].Role != RoleTransit {
+		t.Error("line roles wrong")
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(3, 4, 2)
+	if !g.Connected() {
+		t.Error("dumbbell disconnected")
+	}
+	if g.Len() != 9 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	// Left leaves attach to core node 7, right leaves to core node 8.
+	for i := 0; i < 3; i++ {
+		if !g.HasEdge(i, 7) {
+			t.Errorf("left leaf %d not attached to core", i)
+		}
+	}
+	for i := 3; i < 7; i++ {
+		if !g.HasEdge(i, 8) {
+			t.Errorf("right leaf %d not attached to core", i)
+		}
+	}
+	if !g.HasEdge(7, 8) {
+		t.Error("core not connected")
+	}
+}
+
+func TestTransitStub(t *testing.T) {
+	g, err := TransitStub(8, 5, 0.3, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 8+40 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("transit-stub disconnected")
+	}
+	for i := 0; i < 8; i++ {
+		if g.Nodes[i].Role != RoleTransit {
+			t.Errorf("core node %d not transit", i)
+		}
+	}
+	for i := 8; i < g.Len(); i++ {
+		if g.Nodes[i].Role != RoleStub {
+			t.Errorf("stub node %d misclassified", i)
+		}
+		if d := g.Degree(i); d < 1 || d > 2 {
+			t.Errorf("stub %d degree %d, want 1..2", i, d)
+		}
+	}
+}
+
+func TestTransitStubSmall(t *testing.T) {
+	for _, transit := range []int{1, 2, 3} {
+		g, err := TransitStub(transit, 2, 0.5, sim.NewRNG(11))
+		if err != nil {
+			t.Fatalf("transit=%d: %v", transit, err)
+		}
+		if !g.Connected() {
+			t.Errorf("transit=%d: disconnected", transit)
+		}
+	}
+	if _, err := TransitStub(0, 1, 0, sim.NewRNG(1)); err == nil {
+		t.Error("TransitStub(0,…) accepted")
+	}
+}
+
+// Property: BA graphs are connected and have the exact predicted edge count
+// for all valid (n, m) pairs.
+func TestPropertyBarabasiAlbert(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		m := 1 + int(mRaw)%4
+		n := m + 1 + int(nRaw)%120
+		g, err := BarabasiAlbert(n, m, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		wantEdges := m*(m+1)/2 + (n-m-1)*m
+		return g.Connected() && g.NumEdges() == wantEdges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleStub.String() != "stub" || RoleTransit.String() != "transit" {
+		t.Error("role strings wrong")
+	}
+}
+
+// Sanity: degree distribution second moment is finite-sample stable enough
+// for deterministic tests across seeds.
+func TestBADegreeMoments(t *testing.T) {
+	var maxima []float64
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, err := BarabasiAlbert(1000, 2, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0
+		for i := 0; i < g.Len(); i++ {
+			if d := g.Degree(i); d > max {
+				max = d
+			}
+		}
+		maxima = append(maxima, float64(max))
+	}
+	for _, m := range maxima {
+		if m < 20 || math.IsNaN(m) {
+			t.Errorf("max degree %v implausibly small for BA(1000,2)", m)
+		}
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Line(4)
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge on existing edge returned false")
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("edge still present after removal")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Connected() {
+		t.Error("cut line still connected")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Error("double removal returned true")
+	}
+	if g.RemoveEdge(0, 3) {
+		t.Error("removing a non-edge returned true")
+	}
+	if g.RemoveEdge(-1, 0) || g.RemoveEdge(0, 99) {
+		t.Error("out-of-range removal returned true")
+	}
+	// Reverse orientation also works.
+	if !g.RemoveEdge(1, 0) {
+		t.Error("reverse-orientation removal failed")
+	}
+	if g.Degree(0) != 0 || g.Degree(1) != 0 {
+		t.Errorf("degrees after removal: %d, %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	g, err := Waxman(200, 0.4, 0.15, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 200 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("Waxman graph disconnected after patching")
+	}
+	if g.NumEdges() < 200 {
+		t.Errorf("suspiciously sparse: %d edges", g.NumEdges())
+	}
+	// Determinism.
+	g2, err := Waxman(200, 0.4, 0.15, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != g2.NumEdges() {
+		t.Error("Waxman not deterministic")
+	}
+	// No heavy tail: max degree should be far smaller than BA's.
+	max := 0
+	for i := 0; i < g.Len(); i++ {
+		if d := g.Degree(i); d > max {
+			max = d
+		}
+	}
+	mean := float64(2*g.NumEdges()) / float64(g.Len())
+	if float64(max) > 6*mean {
+		t.Errorf("Waxman degree tail too heavy: max %d vs mean %.1f", max, mean)
+	}
+	// Parameter validation.
+	for _, bad := range [][3]float64{{1, 0.5, 0.1}, {10, 0, 0.1}, {10, 1.5, 0.1}, {10, 0.5, 0}} {
+		if _, err := Waxman(int(bad[0]), bad[1], bad[2], sim.NewRNG(1)); err == nil {
+			t.Errorf("Waxman(%v) accepted", bad)
+		}
+	}
+}
+
+func TestPropertyWaxmanConnected(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%150
+		g, err := Waxman(n, 0.3, 0.12, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		return g.Connected() && g.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

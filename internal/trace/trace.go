@@ -1,0 +1,181 @@
+// Package trace records and replays timestamped packet traces — the
+// forensic-analysis support the paper lists among the service's
+// applications. A capture hook attached to a router writes every matching
+// packet (wire format, prefixed with the capture timestamp and node) to an
+// io.Writer; the reader replays records for offline analysis or re-injects
+// them into a fresh simulation.
+//
+// The format is length-prefixed binary:
+//
+//	offset  field
+//	0       magic "DTCT" (4)
+//	4       version (1)
+//	— per record —
+//	0       timestamp nanos (8, big endian)
+//	8       node id (4)
+//	12      record length (4)
+//	16      packet wire bytes (see packet.MarshalBinary)
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+var magic = [5]byte{'D', 'T', 'C', 'T', 1}
+
+// Record is one captured packet.
+type Record struct {
+	At     sim.Time
+	Node   int
+	Packet packet.Packet
+}
+
+// Writer streams trace records.
+type Writer struct {
+	w       io.Writer
+	started bool
+	n       int
+}
+
+// NewWriter wraps w; the header is written lazily with the first record.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write appends one record.
+func (t *Writer) Write(at sim.Time, node int, pkt *packet.Packet) error {
+	if !t.started {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("trace: header: %w", err)
+		}
+		t.started = true
+	}
+	body, err := pkt.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(at))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(node))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(body)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(body); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() int { return t.n }
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r       io.Reader
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// maxRecordBytes bounds one record to keep hostile traces from ballooning.
+const maxRecordBytes = 1 << 20
+
+// Next returns the next record, or io.EOF at the clean end of the trace.
+func (t *Reader) Next() (*Record, error) {
+	if !t.started {
+		var hdr [5]byte
+		if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: missing header: %w", err)
+		}
+		if hdr != magic {
+			return nil, errors.New("trace: bad magic")
+		}
+		t.started = true
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("trace: truncated record header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[12:])
+	if n > maxRecordBytes {
+		return nil, fmt.Errorf("trace: record of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(t.r, body); err != nil {
+		return nil, fmt.Errorf("trace: truncated record body: %w", err)
+	}
+	rec := &Record{
+		At:   sim.Time(binary.BigEndian.Uint64(hdr[0:])),
+		Node: int(int32(binary.BigEndian.Uint32(hdr[8:]))),
+	}
+	if err := rec.Packet.UnmarshalBinary(body); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadAll drains the trace.
+func (t *Reader) ReadAll() ([]*Record, error) {
+	var out []*Record
+	for {
+		rec, err := t.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Capture attaches a trace writer to a router: every packet matching keep
+// (nil = all) is recorded as it passes node. Returns the hook name for
+// later removal.
+func Capture(net *netsim.Network, node int, w *Writer, keep func(*packet.Packet) bool) string {
+	name := fmt.Sprintf("trace-capture@%d", node)
+	net.AddHook(node, netsim.HookFunc{
+		Label: name,
+		Fn: func(now sim.Time, pkt *packet.Packet, ctx netsim.HookContext) netsim.Verdict {
+			if keep == nil || keep(pkt) {
+				// Capture errors must never disturb the data path; the
+				// writer's counter exposes gaps to the analyst.
+				_ = w.Write(now, ctx.Node, pkt)
+			}
+			return netsim.Pass
+		},
+	})
+	return name
+}
+
+// Replay re-injects a trace into a network through the given host,
+// preserving inter-record timing relative to the first record and the
+// original header fields (sources included — replay is a forensic tool).
+// It returns the number of records scheduled.
+func Replay(net *netsim.Network, from *netsim.Host, records []*Record, start sim.Time) int {
+	if len(records) == 0 {
+		return 0
+	}
+	base := records[0].At
+	for _, rec := range records {
+		pkt := rec.Packet // copy
+		offset := rec.At - base
+		net.Sim.At(start+offset, sim.EventFunc(func(now sim.Time) {
+			p := pkt
+			p.TTL = packet.DefaultTTL
+			from.Send(now, &p)
+		}))
+	}
+	return len(records)
+}

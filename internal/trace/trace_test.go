@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+func mkPkt(seq uint32) *packet.Packet {
+	return &packet.Packet{
+		Src: packet.MustParseAddr("10.0.0.1"), Dst: packet.MustParseAddr("20.0.0.1"),
+		Proto: packet.TCP, TTL: 60, SrcPort: 5, DstPort: 80,
+		Seq: seq, Size: 100, Payload: []byte("abc"),
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.Write(sim.Time(i)*sim.Millisecond, i%3, mkPkt(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.At != sim.Time(i)*sim.Millisecond || r.Node != i%3 {
+			t.Errorf("record %d: at=%v node=%d", i, r.At, r.Node)
+		}
+		if r.Packet.Seq != uint32(i) || string(r.Packet.Payload) != "abc" {
+			t.Errorf("record %d packet mismatch: %+v", i, r.Packet)
+		}
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := NewReader(bytes.NewReader([]byte("XXXXX"))).Next(); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Clean empty trace: header then EOF.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(0, 0, mkPkt(1)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncated mid-record.
+	r := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+	// Oversized record length.
+	bad := append([]byte(nil), data[:5]...)
+	hdr := make([]byte, 16)
+	hdr[12], hdr[13], hdr[14], hdr[15] = 0xff, 0xff, 0xff, 0xff
+	bad = append(bad, hdr...)
+	if _, err := NewReader(bytes.NewReader(bad)).Next(); err == nil {
+		t.Error("oversized record accepted")
+	}
+	// Completely empty stream.
+	if _, err := NewReader(bytes.NewReader(nil)).Next(); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestReaderEOFAfterRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(5, 1, mkPkt(9)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestCaptureAndReplay(t *testing.T) {
+	// Capture attack traffic at node 1, then replay it in a fresh network
+	// and verify the same packets arrive.
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(3), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(2)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	Capture(net, 1, w, func(p *packet.Packet) bool { return p.Kind == packet.KindAttack })
+
+	for i := 0; i < 5; i++ {
+		src.Send(sim.Time(i)*sim.Millisecond, &packet.Packet{
+			Src: src.Addr, Dst: dst.Addr, Seq: uint32(i), Size: 80, Kind: packet.KindAttack})
+		src.Send(sim.Time(i)*sim.Millisecond, &packet.Packet{
+			Src: src.Addr, Dst: dst.Addr, Seq: uint32(100 + i), Size: 80, Kind: packet.KindLegit})
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5 {
+		t.Fatalf("captured %d records, want 5 (filter must exclude legit)", w.Count())
+	}
+
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timestamps preserve capture spacing.
+	if recs[1].At-recs[0].At != sim.Millisecond {
+		t.Errorf("record spacing = %v", recs[1].At-recs[0].At)
+	}
+
+	// Fresh network; replay from node 0.
+	s2 := sim.New(2)
+	net2, err := netsim.New(s2, topology.Line(3), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replSrc, _ := net2.AttachHost(0)
+	dst2, _ := net2.AttachHost(2) // same address as dst in net1
+	var seqs []uint32
+	dst2.Recv = func(_ sim.Time, p *packet.Packet) { seqs = append(seqs, p.Seq) }
+	if n := Replay(net2, replSrc, recs, 10*sim.Millisecond); n != 5 {
+		t.Fatalf("Replay scheduled %d", n)
+	}
+	if _, err := s2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("replayed delivery = %d", len(seqs))
+	}
+	for i, q := range seqs {
+		if q != uint32(i) {
+			t.Errorf("replay order wrong: %v", seqs)
+		}
+	}
+	// Replaying nothing is a no-op.
+	if Replay(net2, replSrc, nil, 0) != 0 {
+		t.Error("empty replay scheduled records")
+	}
+}
+
+func TestCaptureAllWhenKeepNil(t *testing.T) {
+	s := sim.New(1)
+	net, err := netsim.New(s, topology.Line(2), netsim.DefaultLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := net.AttachHost(0)
+	dst, _ := net.AttachHost(1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	name := Capture(net, 1, w, nil)
+	src.Send(0, &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 50})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Errorf("captured %d", w.Count())
+	}
+	net.RemoveHook(1, name)
+	src.Send(s.Now(), &packet.Packet{Src: src.Addr, Dst: dst.Addr, Size: 50})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Error("capture survived hook removal")
+	}
+}
