@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench experiments examples clean
+.PHONY: all build test race race-experiment vet fmtcheck fuzz bench benchfull experiments examples clean
 
-all: build vet test
+all: build vet fmtcheck test
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file needs gofmt. Part of tier-1 via `make all`.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Race-check the experiment fan-out specifically: RunMany drives many
+# independent simulations on worker goroutines.
+race-experiment:
+	$(GO) test -race ./internal/experiment
 
 # Short fuzz pass over the wire-format and parser fuzz targets.
 fuzz:
@@ -25,7 +36,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzParsePrefix -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzParseAddr -fuzztime=10s ./internal/packet/
 
+# Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
+# Bump BENCH_OUT in the PR that changes performance-relevant code.
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding
+BENCH_OUT ?= BENCH_PR1.json
+
 bench:
+	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Every benchmark in the repo (figure/claim reproductions included).
+benchfull:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Regenerate every paper table/figure at full size (results/full_run.txt).

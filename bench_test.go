@@ -120,6 +120,26 @@ func BenchmarkTrieLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledTrieLookup measures the flattened dispatch structure
+// Device.Process actually consults, over the same 10k bound prefixes.
+func BenchmarkCompiledTrieLookup(b *testing.B) {
+	var tr ownership.Trie[int]
+	for i := 0; i < 10000; i++ {
+		tr.Insert(packet.MakePrefix(packet.Addr(uint32(i)<<12), 20), i)
+	}
+	c := tr.Compiled()
+	rng := sim.NewRNG(7)
+	addrs := make([]packet.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = packet.Addr(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addrs[i%len(addrs)])
+	}
+}
+
 // BenchmarkSPIEObserve measures traceback digest insertion.
 func BenchmarkSPIEObserve(b *testing.B) {
 	sp := modules.NewSPIE("spie", sim.Second, 16, 1<<20, 42)

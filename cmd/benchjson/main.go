@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into a deterministic JSON file mapping benchmark name to ns/op,
+// B/op and allocs/op. The Makefile's bench target uses it to record the
+// per-PR performance trajectory (BENCH_PR1.json and successors).
+//
+// Usage:
+//
+//	go test -bench='...' -benchmem -run='^$' . | go run ./cmd/benchjson -out BENCH_PR1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result holds the benchmem metrics of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEventQueue-8   13161582   88.37 ns/op   0 B/op   0 allocs/op
+//
+// The GOMAXPROCS suffix and the memory columns are optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			if strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL") {
+				return nil, fmt.Errorf("benchmark run failed: %s", line)
+			}
+			continue
+		}
+		res := Result{}
+		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	outPath := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// json.MarshalIndent sorts map keys, so the file is reproducible.
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(results), *outPath)
+}

@@ -1,0 +1,54 @@
+package device_test
+
+// Zero-allocation regression guards for the per-packet dispatch path. The
+// fast path (no bound owner matches) runs for every packet crossing every
+// hooked router, so a single allocation here multiplies across whole
+// experiments.
+
+import (
+	"testing"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+func TestProcessFastPathZeroAllocs(t *testing.T) {
+	dev := device.New(0, modules.NewRegistry(), sim.NewRNG(1))
+	if err := dev.BindOwner(packet.MustParsePrefix("10.0.0.0/8"), "acme"); err != nil {
+		t.Fatal(err)
+	}
+	p := &packet.Packet{
+		Src: packet.MustParseAddr("30.0.0.1"),
+		Dst: packet.MustParseAddr("40.0.0.1"),
+		TTL: 60, Size: 100,
+	}
+	// Warm up: the first Process compiles the owner trie.
+	if !dev.Process(0, p, -1) {
+		t.Fatal("fast-path packet dropped")
+	}
+	avg := testing.AllocsPerRun(1000, func() { dev.Process(0, p, -1) })
+	if avg != 0 {
+		t.Errorf("fast path allocates %v per packet, want 0", avg)
+	}
+}
+
+// A redirected packet whose owner has no installed service graph must also
+// stay allocation-free: redirection alone is not an excuse to allocate.
+func TestProcessRedirectNoServiceZeroAllocs(t *testing.T) {
+	dev := device.New(0, modules.NewRegistry(), sim.NewRNG(1))
+	if err := dev.BindOwner(packet.MustParsePrefix("10.0.0.0/8"), "acme"); err != nil {
+		t.Fatal(err)
+	}
+	p := &packet.Packet{
+		Src: packet.MustParseAddr("10.0.0.1"),
+		Dst: packet.MustParseAddr("40.0.0.1"),
+		TTL: 60, Size: 100,
+	}
+	dev.Process(0, p, -1)
+	avg := testing.AllocsPerRun(1000, func() { dev.Process(0, p, -1) })
+	if avg != 0 {
+		t.Errorf("redirect-without-service path allocates %v per packet, want 0", avg)
+	}
+}

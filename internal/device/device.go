@@ -139,7 +139,9 @@ func (d *Device) Quarantined(owner string, stage Stage) bool {
 func (d *Device) Stats() Stats { return d.stats }
 
 // OwnerOf returns the owner bound for address a, if any.
-func (d *Device) OwnerOf(a packet.Addr) (string, bool) { return d.owners.Lookup(a) }
+func (d *Device) OwnerOf(a packet.Addr) (string, bool) {
+	return d.owners.Compiled().Lookup(a)
+}
 
 // Process runs a packet through the device. It implements the semantics of
 // netsim.Hook (the dtc facade adapts it) and returns true to forward,
@@ -150,8 +152,12 @@ func (d *Device) OwnerOf(a packet.Addr) (string, bool) { return d.owners.Lookup(
 // path through the router untouched.
 func (d *Device) Process(now sim.Time, pkt *packet.Packet, from int) bool {
 	d.stats.Seen++
-	srcOwner, srcBound := d.owners.Lookup(pkt.Src)
-	dstOwner, dstBound := d.owners.Lookup(pkt.Dst)
+	// Dispatch through the flattened trie: two longest-prefix matches per
+	// packet with no pointer chasing and no allocation (rebuilt lazily
+	// after Bind/Unbind, which only happen on the control plane).
+	owners := d.owners.Compiled()
+	srcOwner, srcBound := owners.Lookup(pkt.Src)
+	dstOwner, dstBound := owners.Lookup(pkt.Dst)
 	if !srcBound && !dstBound {
 		return true // fast path
 	}

@@ -70,11 +70,12 @@ func runA1(opts Options) (*metrics.Table, error) {
 }
 
 // runA2 ablates the owner-dispatch data structure (DESIGN.md §5.4): the
-// trie's longest-prefix match versus a naive linear scan over bindings,
+// pointer trie's longest-prefix match, the flattened compiled trie the
+// device dispatches through, and a naive linear scan over bindings,
 // measured at the rates the device sustains.
 func runA2(opts Options) (*metrics.Table, error) {
 	tbl := metrics.NewTable(
-		"A2: owner dispatch — prefix trie vs linear scan",
+		"A2: owner dispatch — prefix trie vs compiled trie vs linear scan",
 		"bindings", "structure", "lookups", "Mlookups_per_sec", "slowdown_vs_trie")
 
 	n := 2000000
@@ -110,6 +111,16 @@ func runA2(opts Options) (*metrics.Table, error) {
 		}
 		trieRate := float64(n) / time.Since(start).Seconds() / 1e6
 
+		compiled := trie.Compiled()
+		start = time.Now()
+		var compHits int
+		for i := 0; i < n; i++ {
+			if _, ok := compiled.Lookup(addrs[i%len(addrs)]); ok {
+				compHits++
+			}
+		}
+		compRate := float64(n) / time.Since(start).Seconds() / 1e6
+
 		start = time.Now()
 		var linHits int
 		for i := 0; i < n; i++ {
@@ -123,12 +134,13 @@ func runA2(opts Options) (*metrics.Table, error) {
 		}
 		linRate := float64(n) / time.Since(start).Seconds() / 1e6
 
-		if hits != linHits {
-			// Both structures must agree; a mismatch is a bug, not noise.
+		if hits != linHits || hits != compHits {
+			// All structures must agree; a mismatch is a bug, not noise.
 			tbl.AddRow(size, "MISMATCH", n, 0.0, 0.0)
 			continue
 		}
 		tbl.AddRow(size, "trie", n, trieRate, 1.0)
+		tbl.AddRow(size, "compiled", n, compRate, ratio(trieRate, compRate))
 		tbl.AddRow(size, "linear", n, linRate, ratio(trieRate, linRate))
 	}
 	return tbl, nil

@@ -101,15 +101,39 @@ func (s *Server) recv(now sim.Time, pkt *packet.Packet) {
 	}
 	done := start + s.ServiceTime
 	s.busyUntil = done
-	s.Host.net.Sim.AfterFunc(done-now, func(t sim.Time) {
-		s.queued--
-		if int(pkt.Kind) < len(s.Served) {
-			s.Served[pkt.Kind]++
-		}
-		if s.OnServe != nil {
-			s.OnServe(t, pkt)
-		}
-	})
+	s.Host.net.Sim.At(done, s.Host.net.newServe(s, pkt))
+}
+
+// serveEvent is a pooled completion event for one accepted request.
+// Recycled through Network.servePool so accepting a request does not
+// allocate a closure per packet.
+type serveEvent struct {
+	srv *Server
+	pkt *packet.Packet
+}
+
+// Fire implements sim.Event.
+func (e *serveEvent) Fire(now sim.Time) {
+	s, pkt := e.srv, e.pkt
+	e.srv, e.pkt = nil, nil
+	s.Host.net.servePool = append(s.Host.net.servePool, e)
+	s.queued--
+	if int(pkt.Kind) < len(s.Served) {
+		s.Served[pkt.Kind]++
+	}
+	if s.OnServe != nil {
+		s.OnServe(now, pkt)
+	}
+}
+
+func (n *Network) newServe(s *Server, pkt *packet.Packet) *serveEvent {
+	if k := len(n.servePool); k > 0 {
+		e := n.servePool[k-1]
+		n.servePool = n.servePool[:k-1]
+		e.srv, e.pkt = s, pkt
+		return e
+	}
+	return &serveEvent{srv: s, pkt: pkt}
 }
 
 // Utilization returns the fraction of time [0, now] the server was busy,

@@ -32,6 +32,55 @@ func newLink(n *Network, from, to int, cfg LinkConfig) *link {
 	return &link{net: n, from: from, to: to, cfg: cfg}
 }
 
+// dequeueEvent marks the end of a packet's serialization: the packet
+// leaves the drop-tail queue and begins propagation. Instances are
+// recycled through Network.dqPool so steady-state forwarding allocates
+// nothing per hop.
+type dequeueEvent struct{ l *link }
+
+// Fire implements sim.Event.
+func (e *dequeueEvent) Fire(now sim.Time) {
+	l := e.l
+	e.l = nil
+	l.net.dqPool = append(l.net.dqPool, e)
+	l.queued--
+}
+
+// arrivalEvent carries a forwarded packet across a link's propagation
+// delay and injects it at the far router. Recycled through Network.arrPool.
+type arrivalEvent struct {
+	l   *link
+	pkt *packet.Packet
+}
+
+// Fire implements sim.Event.
+func (e *arrivalEvent) Fire(now sim.Time) {
+	l, pkt := e.l, e.pkt
+	e.l, e.pkt = nil, nil
+	l.net.arrPool = append(l.net.arrPool, e)
+	l.net.inject(now, pkt, l.to, l.from)
+}
+
+func (n *Network) newDequeue(l *link) *dequeueEvent {
+	if k := len(n.dqPool); k > 0 {
+		e := n.dqPool[k-1]
+		n.dqPool = n.dqPool[:k-1]
+		e.l = l
+		return e
+	}
+	return &dequeueEvent{l: l}
+}
+
+func (n *Network) newArrival(l *link, pkt *packet.Packet) *arrivalEvent {
+	if k := len(n.arrPool); k > 0 {
+		e := n.arrPool[k-1]
+		n.arrPool = n.arrPool[:k-1]
+		e.l, e.pkt = l, pkt
+		return e
+	}
+	return &arrivalEvent{l: l, pkt: pkt}
+}
+
 // txTime returns the serialization time of sz bytes at the link rate.
 func (l *link) txTime(sz int) sim.Time {
 	return sim.Time(float64(sz*8) / l.cfg.Bandwidth * float64(sim.Second))
@@ -60,13 +109,9 @@ func (l *link) send(now sim.Time, pkt *packet.Packet) {
 	l.net.Stats.addHop(pkt)
 
 	// Absolute scheduling: `now` may legitimately lie ahead of the
-	// simulation clock when callers pre-inject future traffic.
-	l.net.Sim.At(done, sim.EventFunc(func(sim.Time) {
-		// Serialization finished: the packet leaves the queue and begins
-		// propagation.
-		l.queued--
-	}))
-	l.net.Sim.At(done+l.cfg.Delay, sim.EventFunc(func(arr sim.Time) {
-		l.net.inject(arr, pkt, l.to, l.from)
-	}))
+	// simulation clock when callers pre-inject future traffic. The two
+	// events (dequeue at serialization end, arrival one propagation delay
+	// later) come from free lists rather than fresh closures.
+	l.net.Sim.At(done, l.net.newDequeue(l))
+	l.net.Sim.At(done+l.cfg.Delay, l.net.newArrival(l, pkt))
 }

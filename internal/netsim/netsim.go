@@ -92,6 +92,14 @@ type Network struct {
 	nextID   uint64                // packet ID allocator
 	dropObs  []func(now sim.Time, pkt *packet.Packet, reason DropReason, node int)
 	routeObs []func()
+
+	// Free lists for the per-packet event objects (link dequeue, link
+	// arrival, server completion). The simulator is single-threaded, so a
+	// plain slice recycled in Fire keeps the hot path allocation-free
+	// without sync.Pool's overhead or its nondeterministic emptying.
+	dqPool    []*dequeueEvent
+	arrPool   []*arrivalEvent
+	servePool []*serveEvent
 }
 
 // New builds a network over g. Every edge gets cfg; use SetLinkConfig to
@@ -111,12 +119,16 @@ func New(s *sim.Simulation, g *topology.Graph, cfg LinkConfig) (*Network, error)
 	}
 	n.routers = make([]*router, g.Len())
 	for i := range n.routers {
-		n.routers[i] = &router{net: n, node: i}
+		n.routers[i] = &router{net: n, node: i, out: make(map[int]*link)}
 		n.addrMap.Insert(NodePrefix(i), i)
 	}
 	for _, e := range g.Edges() {
-		n.links[[2]int{e.A, e.B}] = newLink(n, e.A, e.B, cfg)
-		n.links[[2]int{e.B, e.A}] = newLink(n, e.B, e.A, cfg)
+		ab := newLink(n, e.A, e.B, cfg)
+		ba := newLink(n, e.B, e.A, cfg)
+		n.links[[2]int{e.A, e.B}] = ab
+		n.links[[2]int{e.B, e.A}] = ba
+		n.routers[e.A].out[e.B] = ab
+		n.routers[e.B].out[e.A] = ba
 	}
 	return n, nil
 }
@@ -128,9 +140,10 @@ func NodePrefix(id int) packet.Prefix {
 	return packet.MakePrefix(packet.Addr(uint32(id)<<16), 16)
 }
 
-// NodeOfAddr returns the topology node owning address a.
+// NodeOfAddr returns the topology node owning address a. It resolves
+// through the compiled address map: this runs once per packet per hop.
 func (n *Network) NodeOfAddr(a packet.Addr) (int, bool) {
-	return n.addrMap.Lookup(a)
+	return n.addrMap.Compiled().Lookup(a)
 }
 
 // SetLinkConfig reconfigures the directed link a->b (and only that
@@ -235,6 +248,8 @@ func (n *Network) FailLink(a, b int) error {
 	}
 	delete(n.links, [2]int{a, b})
 	delete(n.links, [2]int{b, a})
+	delete(n.routers[a].out, b)
+	delete(n.routers[b].out, a)
 	n.Table.Invalidate()
 	for _, fn := range n.routeObs {
 		fn()

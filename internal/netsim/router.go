@@ -11,6 +11,7 @@ type router struct {
 	net   *Network
 	node  int
 	hooks []Hook
+	out   map[int]*link // neighbor -> outgoing link, kept in sync by FailLink
 }
 
 // receive processes a packet entering this router from neighbor `from`
@@ -55,7 +56,7 @@ func (r *router) receive(now sim.Time, pkt *packet.Packet, from int) {
 		r.net.drop(now, pkt, DropNoRoute, r.node)
 		return
 	}
-	l := r.net.links[[2]int{r.node, next}]
+	l := r.out[next]
 	if l == nil {
 		// Routing said "next hop" but no link exists: treat as no route.
 		r.net.drop(now, pkt, DropNoRoute, r.node)

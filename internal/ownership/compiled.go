@@ -1,0 +1,159 @@
+package ownership
+
+import (
+	"fmt"
+	"sort"
+
+	"dtc/internal/packet"
+)
+
+// stride is the number of address bits consumed per compiled-trie level.
+// A stride of 4 turns the worst-case 32 pointer dereferences of the binary
+// trie into at most 8 indexed loads from one contiguous slice.
+const stride = 4
+
+const fanout = 1 << stride
+
+// cslot is one stride entry of a compiled node: the index of the child
+// node one level down and the value index of the longest stored prefix
+// that ends inside this node and covers the entry (leaf-pushed within the
+// node). Both are -1 when absent.
+type cslot struct {
+	child int32
+	val   int32
+}
+
+// clocal records one stored prefix rooted in a node, kept so Covering can
+// report every match, not just the longest one the slot table retains.
+type clocal struct {
+	plen uint8 // full prefix length in bits
+	key  uint8 // the plen-depth in-node bits of the prefix
+	val  int32
+}
+
+// cnode is one level of the flattened trie. Nodes live in a single slice
+// and reference each other by index, so a lookup chases no pointers.
+type cnode struct {
+	slots  [fanout]cslot
+	locals []clocal // prefixes rooted here, sorted shortest first
+}
+
+// Compiled is an immutable, flattened longest-prefix-match form of a Trie,
+// built by Trie.Compiled. Lookups allocate nothing and touch at most
+// 32/stride nodes. It is safe for concurrent readers.
+type Compiled[V any] struct {
+	nodes    []cnode
+	vals     []V
+	prefixes []packet.Prefix // parallel to vals
+	def      int32           // value index of the zero-length prefix, -1 if none
+	n        int
+}
+
+func emptyNode() cnode {
+	var n cnode
+	for i := range n.slots {
+		n.slots[i] = cslot{child: -1, val: -1}
+	}
+	return n
+}
+
+// compile flattens the pointer trie. Walk hands prefixes parent-first, but
+// slot filling compares prefix lengths explicitly so order does not matter.
+func (t *Trie[V]) compile() *Compiled[V] {
+	c := &Compiled[V]{def: -1, n: t.n}
+	c.nodes = append(c.nodes, emptyNode())
+	// plens mirrors nodes: the prefix length currently winning each slot,
+	// 0 = none. Build scaffolding only; discarded when compile returns.
+	plens := make([][fanout]uint8, 1)
+	t.Walk(func(p packet.Prefix, v V) bool {
+		vi := int32(len(c.vals))
+		c.vals = append(c.vals, v)
+		c.prefixes = append(c.prefixes, p)
+		if p.Bits == 0 {
+			c.def = vi
+			return true
+		}
+		// The prefix lives in the node covering bits [depth, depth+stride).
+		depth := (int(p.Bits) - 1) / stride * stride
+		ni := int32(0)
+		for d := 0; d < depth; d += stride {
+			e := int(uint32(p.Addr)>>(32-stride-d)) & (fanout - 1)
+			if c.nodes[ni].slots[e].child < 0 {
+				c.nodes = append(c.nodes, emptyNode())
+				plens = append(plens, [fanout]uint8{})
+				c.nodes[ni].slots[e].child = int32(len(c.nodes) - 1)
+			}
+			ni = c.nodes[ni].slots[e].child
+		}
+		k := int(p.Bits) - depth // 1..stride bits used inside the node
+		key := int(uint32(p.Addr)>>(32-int(p.Bits))) & (1<<k - 1)
+		for e := key << (stride - k); e < (key+1)<<(stride-k); e++ {
+			if p.Bits > plens[ni][e] {
+				plens[ni][e] = p.Bits
+				c.nodes[ni].slots[e].val = vi
+			}
+		}
+		c.nodes[ni].locals = append(c.nodes[ni].locals, clocal{plen: p.Bits, key: uint8(key), val: vi})
+		return true
+	})
+	for i := range c.nodes {
+		ls := c.nodes[i].locals
+		sort.Slice(ls, func(a, b int) bool { return ls[a].plen < ls[b].plen })
+	}
+	return c
+}
+
+// Len returns the number of stored prefixes.
+func (c *Compiled[V]) Len() int { return c.n }
+
+// Lookup returns the value of the longest prefix containing a.
+func (c *Compiled[V]) Lookup(a packet.Addr) (V, bool) {
+	best := c.def
+	nodes := c.nodes
+	ni := int32(0)
+	for shift := uint(32 - stride); ; shift -= stride {
+		sl := &nodes[ni].slots[(uint32(a)>>shift)&(fanout-1)]
+		if sl.val >= 0 {
+			best = sl.val
+		}
+		ni = sl.child
+		if ni < 0 {
+			break
+		}
+	}
+	if best < 0 {
+		var zero V
+		return zero, false
+	}
+	return c.vals[best], true
+}
+
+// Covering returns all stored prefixes that contain address a, shortest
+// first, matching Trie.Covering on the trie this was compiled from.
+func (c *Compiled[V]) Covering(a packet.Addr) []packet.Prefix {
+	var out []packet.Prefix
+	if c.def >= 0 {
+		out = append(out, packet.MakePrefix(0, 0))
+	}
+	ni := int32(0)
+	for shift := uint(32 - stride); ; shift -= stride {
+		nd := &c.nodes[ni]
+		depth := 32 - stride - shift
+		for _, lc := range nd.locals {
+			// The path to this node already matches a; check the in-node bits.
+			k := uint(lc.plen) - depth
+			if uint8(uint32(a)>>(32-uint(lc.plen)))&(1<<k-1) == lc.key {
+				out = append(out, packet.MakePrefix(a, lc.plen))
+			}
+		}
+		ni = nd.slots[(uint32(a)>>shift)&(fanout-1)].child
+		if ni < 0 {
+			break
+		}
+	}
+	return out
+}
+
+func (c *Compiled[V]) String() string {
+	return fmt.Sprintf("compiled-trie(%d prefixes, %d nodes)", c.n, len(c.nodes))
+}

@@ -1,0 +1,189 @@
+package ownership
+
+// Property tests for the compiled trie: random insert/remove/lookup
+// sequences must agree exactly between the pointer trie (the mutable
+// builder) and its flattened compiled form, including the nested-delegation
+// Covering chains the registry relies on, and compiled lookups must not
+// allocate.
+
+import (
+	"testing"
+
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// randomPrefix draws prefixes biased toward nesting: a small pool of base
+// addresses combined with random lengths yields many covering chains.
+func randomPrefix(rng *sim.RNG) packet.Prefix {
+	bases := [...]uint32{
+		0x0A000000, // 10.0.0.0
+		0x0A010000, // 10.1.0.0
+		0xC0A80000, // 192.168.0.0
+		0x80000000, // 128.0.0.0
+		0x00000000,
+	}
+	base := bases[rng.Intn(len(bases))] | rng.Uint32()&0x0000FFFF
+	return packet.MakePrefix(packet.Addr(base), uint8(rng.Intn(33)))
+}
+
+// probeAddrs returns addresses worth checking: each stored prefix's base,
+// its last address, and a spread of random addresses.
+func probeAddrs(t *Trie[int], rng *sim.RNG) []packet.Addr {
+	var out []packet.Addr
+	t.Walk(func(p packet.Prefix, _ int) bool {
+		out = append(out, p.Addr, p.Nth(p.NumAddrs()-1))
+		return true
+	})
+	for i := 0; i < 64; i++ {
+		out = append(out, packet.Addr(rng.Uint32()))
+	}
+	return out
+}
+
+func compareForms(t *testing.T, tr *Trie[int], rng *sim.RNG) {
+	t.Helper()
+	c := tr.Compiled()
+	if c.Len() != tr.Len() {
+		t.Fatalf("Len: compiled %d, trie %d", c.Len(), tr.Len())
+	}
+	for _, a := range probeAddrs(tr, rng) {
+		wantV, wantOK := tr.Lookup(a)
+		gotV, gotOK := c.Lookup(a)
+		if wantOK != gotOK || wantV != gotV {
+			t.Fatalf("Lookup(%v): compiled (%v,%v), trie (%v,%v)", a, gotV, gotOK, wantV, wantOK)
+		}
+		wantCov := tr.Covering(a)
+		gotCov := c.Covering(a)
+		if len(wantCov) != len(gotCov) {
+			t.Fatalf("Covering(%v): compiled %v, trie %v", a, gotCov, wantCov)
+		}
+		for i := range wantCov {
+			if wantCov[i] != gotCov[i] {
+				t.Fatalf("Covering(%v)[%d]: compiled %v, trie %v", a, i, gotCov[i], wantCov[i])
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesTrieRandomOps(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for round := 0; round < 30; round++ {
+		var tr Trie[int]
+		var inserted []packet.Prefix
+		ops := 1 + rng.Intn(120)
+		for op := 0; op < ops; op++ {
+			switch {
+			case len(inserted) > 0 && rng.Intn(4) == 0:
+				// Remove a previously inserted prefix (possibly already gone).
+				p := inserted[rng.Intn(len(inserted))]
+				tr.Remove(p)
+			default:
+				p := randomPrefix(rng)
+				tr.Insert(p, rng.Intn(1000))
+				inserted = append(inserted, p)
+			}
+		}
+		compareForms(t, &tr, rng)
+	}
+}
+
+// Explicit nested-delegation chain (ISP /8 -> customer /16 -> subnet /24
+// -> host /32): Lookup must return the deepest owner and Covering the full
+// chain, in both forms.
+func TestCompiledNestedDelegation(t *testing.T) {
+	var tr Trie[int]
+	chain := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.1.2.3/32"}
+	for i, s := range chain {
+		tr.Insert(packet.MustParsePrefix(s), i)
+	}
+	c := tr.Compiled()
+	a := packet.MustParseAddr("10.1.2.3")
+	if v, ok := c.Lookup(a); !ok || v != 3 {
+		t.Fatalf("Lookup = %v,%v, want deepest delegation 3", v, ok)
+	}
+	cov := c.Covering(a)
+	if len(cov) != 4 {
+		t.Fatalf("Covering = %v, want the 4-link chain", cov)
+	}
+	for i, s := range chain {
+		if cov[i] != packet.MustParsePrefix(s) {
+			t.Fatalf("Covering[%d] = %v, want %v", i, cov[i], s)
+		}
+	}
+	// Shorter probes see only their covering part of the chain.
+	if got := c.Covering(packet.MustParseAddr("10.1.9.9")); len(got) != 2 {
+		t.Fatalf("Covering(10.1.9.9) = %v, want /8 and /16 only", got)
+	}
+}
+
+// Mutating the trie must invalidate the compiled cache; the next Compiled
+// call reflects the change.
+func TestCompiledCacheInvalidation(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(packet.MustParsePrefix("10.0.0.0/8"), 1)
+	c1 := tr.Compiled()
+	if tr.Compiled() != c1 {
+		t.Fatal("Compiled not cached between mutations")
+	}
+	tr.Insert(packet.MustParsePrefix("10.1.0.0/16"), 2)
+	c2 := tr.Compiled()
+	if c2 == c1 {
+		t.Fatal("Insert did not invalidate the compiled cache")
+	}
+	if v, _ := c2.Lookup(packet.MustParseAddr("10.1.0.1")); v != 2 {
+		t.Fatalf("recompiled lookup = %d, want 2", v)
+	}
+	// The old compiled form is immutable: it still answers from its era.
+	if v, _ := c1.Lookup(packet.MustParseAddr("10.1.0.1")); v != 1 {
+		t.Fatalf("old compiled form changed: lookup = %d, want 1", v)
+	}
+	tr.Remove(packet.MustParsePrefix("10.1.0.0/16"))
+	if v, _ := tr.Compiled().Lookup(packet.MustParseAddr("10.1.0.1")); v != 1 {
+		t.Fatalf("lookup after Remove = %d, want 1", v)
+	}
+	// A no-op Remove must not throw away the cache.
+	c3 := tr.Compiled()
+	tr.Remove(packet.MustParsePrefix("99.0.0.0/8"))
+	if tr.Compiled() != c3 {
+		t.Fatal("failed Remove invalidated the compiled cache")
+	}
+}
+
+func TestCompiledEmptyAndDefault(t *testing.T) {
+	var tr Trie[int]
+	c := tr.Compiled()
+	if _, ok := c.Lookup(0); ok {
+		t.Fatal("empty compiled trie matched")
+	}
+	if cov := c.Covering(0); len(cov) != 0 {
+		t.Fatalf("empty Covering = %v", cov)
+	}
+	tr.Insert(packet.MakePrefix(0, 0), 7)
+	c = tr.Compiled()
+	if v, ok := c.Lookup(packet.Addr(0xFFFFFFFF)); !ok || v != 7 {
+		t.Fatalf("default route lookup = %v,%v, want 7", v, ok)
+	}
+	if cov := c.Covering(0); len(cov) != 1 || cov[0] != packet.MakePrefix(0, 0) {
+		t.Fatalf("default Covering = %v", cov)
+	}
+}
+
+// Compiled lookups are on the per-packet path twice over; they must not
+// allocate.
+func TestCompiledLookupZeroAllocs(t *testing.T) {
+	var tr Trie[string]
+	rng := sim.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(packet.MakePrefix(packet.Addr(rng.Uint32()), uint8(8+rng.Intn(25))), "owner")
+	}
+	c := tr.Compiled()
+	a := packet.Addr(rng.Uint32())
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Lookup(a)
+		a = a*1664525 + 1013904223
+	})
+	if avg != 0 {
+		t.Errorf("compiled Lookup allocates %v per op, want 0", avg)
+	}
+}

@@ -25,9 +25,25 @@ type trieNode[V any] struct {
 
 // Trie is a binary radix trie keyed by IPv4 prefixes. The zero value is an
 // empty trie ready to use. It is not safe for concurrent mutation.
+//
+// The pointer trie is the mutable builder; hot paths should dispatch
+// through the flattened form returned by Compiled, which is rebuilt lazily
+// after mutation.
 type Trie[V any] struct {
-	root trieNode[V]
-	n    int
+	root     trieNode[V]
+	n        int
+	compiled *Compiled[V] // cache; nil after any mutation
+}
+
+// Compiled returns the flattened longest-prefix-match form of the trie,
+// compiling it on first use and after every mutation. The returned value
+// is immutable: later Insert/Remove calls invalidate the cache rather
+// than changing compiled forms already handed out.
+func (t *Trie[V]) Compiled() *Compiled[V] {
+	if t.compiled == nil {
+		t.compiled = t.compile()
+	}
+	return t.compiled
 }
 
 func bitAt(a packet.Addr, i uint8) int {
@@ -49,6 +65,7 @@ func (t *Trie[V]) Insert(p packet.Prefix, v V) {
 		t.n++
 	}
 	n.val, n.set = v, true
+	t.compiled = nil
 }
 
 // Remove deletes the value at exactly prefix p and reports whether one was
@@ -69,6 +86,7 @@ func (t *Trie[V]) Remove(p packet.Prefix) bool {
 	var zero V
 	n.val, n.set = zero, false
 	t.n--
+	t.compiled = nil
 	return true
 }
 

@@ -208,6 +208,145 @@ func TestEventLimit(t *testing.T) {
 	}
 }
 
+// Reaching the event limit must not drop the pending event: it stays
+// queued, and raising the limit resumes exactly where the run stopped.
+func TestEventLimitKeepsPendingEvent(t *testing.T) {
+	s := New(1)
+	s.EventLimit = 2
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.AfterFunc(Time(i+1)*Millisecond, func(Time) { got = append(got, i) })
+	}
+	if _, err := s.RunAll(); !IsEventLimit(err) {
+		t.Fatalf("err = %v, want event-limit error", err)
+	}
+	if len(got) != 2 || s.Fired() != 2 {
+		t.Fatalf("fired %v (Fired=%d), want exactly the first 2 events", got, s.Fired())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the limited event still queued", s.Pending())
+	}
+	s.EventLimit = 0
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 2 {
+		t.Fatalf("resumed run fired %v, want the third event", got)
+	}
+}
+
+// Step must enforce the same limit semantics as Run: error before popping,
+// event retained.
+func TestStepEventLimit(t *testing.T) {
+	s := New(1)
+	s.EventLimit = 1
+	fired := 0
+	s.AfterFunc(Millisecond, func(Time) { fired++ })
+	s.AfterFunc(2*Millisecond, func(Time) { fired++ })
+	ok, err := s.Step()
+	if !ok || err != nil {
+		t.Fatalf("first Step = %v, %v", ok, err)
+	}
+	ok, err = s.Step()
+	if ok || !IsEventLimit(err) {
+		t.Fatalf("second Step = %v, %v, want event-limit error", ok, err)
+	}
+	if fired != 1 || s.Pending() != 1 {
+		t.Fatalf("fired = %d pending = %d, want 1/1 (event retained)", fired, s.Pending())
+	}
+	s.EventLimit = 0
+	if ok, err := s.Step(); !ok || err != nil {
+		t.Fatalf("Step after raising limit = %v, %v", ok, err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+// Step resets the stop flag on entry, exactly like Run: a stale Stop from
+// a previous run or from outside a run does not suppress stepping.
+func TestStepResetsStopFlag(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.AfterFunc(Millisecond, func(Time) { fired++ })
+	s.Stop()
+	ok, err := s.Step()
+	if !ok || err != nil || fired != 1 {
+		t.Fatalf("Step after Stop = %v, %v (fired=%d), want it to fire", ok, err, fired)
+	}
+}
+
+// Step must skip lazily-cancelled events rather than firing or counting
+// them.
+func TestStepSkipsCancelled(t *testing.T) {
+	s := New(1)
+	fired := 0
+	h := s.AfterFunc(Millisecond, func(Time) { t.Error("cancelled event fired") })
+	s.AfterFunc(2*Millisecond, func(Time) { fired++ })
+	s.Cancel(h)
+	ok, err := s.Step()
+	if !ok || err != nil || fired != 1 {
+		t.Fatalf("Step = %v, %v (fired=%d), want the live event to fire", ok, err, fired)
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("Fired = %d, cancelled event must not count", s.Fired())
+	}
+}
+
+// Handles must read as Cancelled once their event fires, even after the
+// internal slot is recycled by later scheduling.
+func TestHandleInvalidAfterFire(t *testing.T) {
+	s := New(1)
+	h := s.AfterFunc(Millisecond, func(Time) {})
+	if h.Cancelled() {
+		t.Fatal("fresh handle reads cancelled")
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Cancelled() {
+		t.Fatal("handle still live after event fired")
+	}
+	// Recycle the slot; the stale handle must stay dead and cancelling it
+	// must not kill the new event.
+	fired := false
+	s.AfterFunc(Millisecond, func(Time) { fired = true })
+	if !h.Cancelled() {
+		t.Fatal("stale handle revived by slot reuse")
+	}
+	s.Cancel(h)
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("cancelling a stale handle killed an unrelated event")
+	}
+}
+
+// The AfterFunc+Run steady state must not allocate: scheduling reuses
+// queue capacity and liveness slots, and firing pops by value.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := New(1)
+	fn := func(Time) {}
+	for i := 0; i < 64; i++ {
+		s.AfterFunc(Time(i)*Microsecond, fn)
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		s.AfterFunc(Microsecond, fn)
+		s.AfterFunc(2*Microsecond, fn)
+		if _, err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AfterFunc+Run steady state allocates %v per op, want 0", avg)
+	}
+}
+
 func TestStep(t *testing.T) {
 	s := New(1)
 	fired := 0
