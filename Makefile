@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-experiment vet fmtcheck fuzz bench benchfull experiments examples clean
+.PHONY: all build test race race-experiment vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
 
 all: build vet fmtcheck test
 
@@ -25,10 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Race-check the experiment fan-out specifically: RunMany drives many
-# independent simulations on worker goroutines.
+# Race-check the concurrent machinery specifically: RunMany drives many
+# independent simulations on worker goroutines, and the sweep runner +
+# shared substrate carry every in-experiment parallel sweep.
 race-experiment:
-	$(GO) test -race ./internal/experiment
+	$(GO) test -race ./internal/experiment ./internal/sweep ./internal/routing ./internal/flowsim
 
 # Short fuzz pass over the wire-format and parser fuzz targets.
 fuzz:
@@ -38,11 +39,17 @@ fuzz:
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.
-MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding
-BENCH_OUT ?= BENCH_PR1.json
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR1.json
 
 bench:
 	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Compare the current recording against the previous PR's baseline; fails
+# on a >20% ns/op or allocs/op regression in any shared benchmark.
+benchcmp:
+	$(GO) run ./cmd/benchjson -old $(BENCH_BASE) -new $(BENCH_OUT)
 
 # Every benchmark in the repo (figure/claim reproductions included).
 benchfull:

@@ -15,11 +15,13 @@ import (
 	"dtc/internal/device"
 	"dtc/internal/device/modules"
 	"dtc/internal/experiment"
+	"dtc/internal/flowsim"
 	"dtc/internal/netsim"
 	"dtc/internal/ownership"
 	"dtc/internal/packet"
 	"dtc/internal/routing"
 	"dtc/internal/sim"
+	"dtc/internal/sweep"
 	"dtc/internal/topology"
 )
 
@@ -221,3 +223,102 @@ func BenchmarkE10InternetScale(b *testing.B) { benchExperiment(b, "e10") }
 
 // BenchmarkE11SYNFlood runs the SYN-flood mitigation experiment.
 func BenchmarkE11SYNFlood(b *testing.B) { benchExperiment(b, "e11") }
+
+// sweepBenchWorld builds the fixed E10-shaped workload the sweep
+// benchmarks share: a power-law graph, a spoofed flow set, and the
+// deployment points of one placement sweep.
+func sweepBenchWorld(b *testing.B) (*topology.Graph, []flowsim.Flow, [][]int) {
+	b.Helper()
+	rng := sim.NewRNG(42)
+	g, err := topology.BarabasiAlbert(1500, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stubs := g.Stubs()
+	flows := make([]flowsim.Flow, 300)
+	for i := range flows {
+		flows[i] = flowsim.Flow{
+			From: stubs[1+rng.Intn(len(stubs)-1)], To: stubs[0],
+			Rate: 100, Size: 200, Src: flowsim.SrcUnallocated,
+		}
+	}
+	byDegree := g.NodesByDegree()
+	var points [][]int
+	for _, f := range []float64{0, 0.01, 0.05, 0.10, 0.20, 0.50} {
+		points = append(points, byDegree[:int(f*float64(g.Len()))])
+	}
+	return g, flows, points
+}
+
+// BenchmarkSweepE10 measures one full E10-style deployment sweep per op,
+// three ways: the pre-substrate shape (every point builds its own routing
+// table, i.e. a fresh Dijkstra cache), the shared substrate serially, and
+// the shared substrate on GOMAXPROCS workers. The rebuild/substrate gap is
+// the Dijkstra work the substrate removes; serial/parallel is the worker
+// pool's scaling on this machine.
+func BenchmarkSweepE10(b *testing.B) {
+	g, flows, points := sweepBenchWorld(b)
+	run := func(b *testing.B, share bool, workers int) {
+		nFlows := float64(len(flows) * len(points))
+		for i := 0; i < b.N; i++ {
+			// A fresh Shared per sweep keeps the tree builds inside the
+			// measurement — a warm cache would hide the rebuild cost the
+			// substrate exists to amortise across points, not iterations.
+			var routes *routing.Shared
+			if share {
+				routes = routing.NewShared(g, nil)
+			}
+			rows, err := sweep.Run(len(points), workers, 42, func(pi int, _ *sim.RNG) (flowsim.Sweep, error) {
+				var m *flowsim.Model
+				if share {
+					m = flowsim.NewOnRoutes(g, routes)
+				} else {
+					m = flowsim.New(g)
+				}
+				if err := m.Deploy(points[pi], true); err != nil {
+					return flowsim.Sweep{}, err
+				}
+				return m.EvalBatch(flows)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != len(points) {
+				b.Fatal("short sweep")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nFlows, "ns/flow")
+	}
+	b.Run("rebuild-serial", func(b *testing.B) { run(b, false, 1) })
+	b.Run("substrate-serial", func(b *testing.B) { run(b, true, 1) })
+	b.Run("substrate-parallel", func(b *testing.B) { run(b, true, 0) })
+}
+
+// BenchmarkFlowEvalBatch compares the per-flow Route loop against the
+// batched hop-synchronous pass over the same warm routing table.
+func BenchmarkFlowEvalBatch(b *testing.B) {
+	g, flows, points := sweepBenchWorld(b)
+	m := flowsim.New(g)
+	if err := m.Deploy(points[3], true); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Evaluate(flows); err != nil { // warm the routing trees
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, eval func([]flowsim.Flow) (flowsim.Sweep, error)) {
+		var last flowsim.Sweep
+		for i := 0; i < b.N; i++ {
+			s, err := eval(flows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = s
+		}
+		if last.Flows != len(flows) {
+			b.Fatal("short sweep")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(flows)), "ns/flow")
+	}
+	b.Run("route-per-flow", func(b *testing.B) { run(b, m.Evaluate) })
+	b.Run("batched", func(b *testing.B) { run(b, m.EvalBatch) })
+}

@@ -3,9 +3,16 @@
 // B/op and allocs/op. The Makefile's bench target uses it to record the
 // per-PR performance trajectory (BENCH_PR1.json and successors).
 //
+// With -old it instead compares a previously recorded file against new
+// results (stdin, or a second recorded file via -new) and prints per-
+// benchmark ns/op and allocs/op deltas, exiting nonzero if any shared
+// benchmark regressed by more than 20%.
+//
 // Usage:
 //
 //	go test -bench='...' -benchmem -run='^$' . | go run ./cmd/benchjson -out BENCH_PR1.json
+//	go test -bench='...' -benchmem -run='^$' . | go run ./cmd/benchjson -old BENCH_PR1.json
+//	go run ./cmd/benchjson -old BENCH_PR1.json -new BENCH_PR3.json
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,9 +39,11 @@ type Result struct {
 //
 //	BenchmarkEventQueue-8   13161582   88.37 ns/op   0 B/op   0 allocs/op
 //
-// The GOMAXPROCS suffix and the memory columns are optional.
+// The GOMAXPROCS suffix and the memory columns are optional, and custom
+// metrics reported via b.ReportMetric (e.g. "202.1 ns/flow") may sit
+// between ns/op and the memory columns.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:(?:\s+[\d.]+ [^\s/]+/\S+)*\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 func parse(r io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
@@ -58,11 +68,93 @@ func parse(r io.Reader) (map[string]Result, error) {
 	return out, sc.Err()
 }
 
+// regressionLimit is the fractional slowdown tolerated before compare
+// mode fails the run.
+const regressionLimit = 0.20
+
+// delta formats a fractional change, e.g. +12.3% or -4.0%.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "±0.0%"
+		}
+		return "new>0" // from zero, any growth is an infinite ratio
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// regressed reports whether a metric got more than regressionLimit worse.
+// Growth from an exact zero (e.g. 0 allocs/op becoming nonzero) always
+// counts: the zero was the point.
+func regressed(old, new float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return (new-old)/old > regressionLimit
+}
+
+// compare prints an old-vs-new table to w and reports whether every shared
+// benchmark stayed within the regression limit on ns/op and allocs/op.
+func compare(w io.Writer, old, new map[string]Result) bool {
+	names := make([]string, 0, len(new))
+	for name := range new {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		n := new[name]
+		o, shared := old[name]
+		if !shared {
+			fmt.Fprintf(w, "%-40s %12.1f ns/op %10.0f allocs/op   (new)\n", name, n.NsPerOp, n.AllocsPerOp)
+			continue
+		}
+		mark := ""
+		if regressed(o.NsPerOp, n.NsPerOp) || regressed(o.AllocsPerOp, n.AllocsPerOp) {
+			ok = false
+			mark = "   REGRESSION"
+		}
+		fmt.Fprintf(w, "%-40s %12.1f -> %-12.1f ns/op (%s)   %.0f -> %.0f allocs/op (%s)%s\n",
+			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp), mark)
+	}
+	for name := range old {
+		if _, still := new[name]; !still {
+			fmt.Fprintf(w, "%-40s (dropped)\n", name)
+		}
+	}
+	return ok
+}
+
+func loadResults(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
 func main() {
 	outPath := flag.String("out", "", "output JSON path (default stdout)")
+	oldPath := flag.String("old", "", "baseline JSON to compare against; exit 1 on >20% ns/op or allocs/op regression")
+	newPath := flag.String("new", "", "recorded JSON to compare instead of parsing stdin (requires -old)")
 	flag.Parse()
 
-	results, err := parse(os.Stdin)
+	var results map[string]Result
+	var err error
+	if *newPath != "" {
+		if *oldPath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -new requires -old")
+			os.Exit(1)
+		}
+		results, err = loadResults(*newPath)
+	} else {
+		results, err = parse(os.Stdin)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -70,6 +162,18 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *oldPath != "" {
+		old, err := loadResults(*oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !compare(os.Stdout, old, results) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% vs %s\n", 100*regressionLimit, *oldPath)
+			os.Exit(1)
+		}
+		return
 	}
 	// json.MarshalIndent sorts map keys, so the file is reproducible.
 	data, err := json.MarshalIndent(results, "", "  ")

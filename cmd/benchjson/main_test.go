@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+BenchmarkEventQueue-8   13161582   88.37 ns/op   0 B/op   0 allocs/op
+BenchmarkNoMem   100   250.5 ns/op
+PASS
+`
+	res, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res["BenchmarkEventQueue"]; r.NsPerOp != 88.37 || r.AllocsPerOp != 0 {
+		t.Errorf("EventQueue = %+v", r)
+	}
+	if r := res["BenchmarkNoMem"]; r.NsPerOp != 250.5 {
+		t.Errorf("NoMem = %+v", r)
+	}
+	custom := "BenchmarkSweepE10/substrate-serial  6508  363708 ns/op  202.1 ns/flow  219681 B/op  3136 allocs/op\n"
+	res, err = parse(strings.NewReader(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res["BenchmarkSweepE10/substrate-serial"]; r.NsPerOp != 363708 || r.BytesPerOp != 219681 || r.AllocsPerOp != 3136 {
+		t.Errorf("custom-metric line = %+v", r)
+	}
+	if _, err := parse(strings.NewReader("--- FAIL: TestX\n")); err == nil {
+		t.Error("FAIL line not rejected")
+	}
+}
+
+func TestRegressed(t *testing.T) {
+	cases := []struct {
+		old, new float64
+		want     bool
+	}{
+		{100, 119, false}, // within 20%
+		{100, 121, true},  // beyond 20%
+		{100, 50, false},  // improvement
+		{0, 0, false},     // still zero
+		{0, 1, true},      // zero-alloc guarantee lost
+	}
+	for _, c := range cases {
+		if got := regressed(c.old, c.new); got != c.want {
+			t.Errorf("regressed(%v, %v) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 2},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkGone": {NsPerOp: 1},
+	}
+
+	var b strings.Builder
+	ok := compare(&b, old, map[string]Result{
+		"BenchmarkA":   {NsPerOp: 90, AllocsPerOp: 2},
+		"BenchmarkB":   {NsPerOp: 110, AllocsPerOp: 0},
+		"BenchmarkNew": {NsPerOp: 5},
+	})
+	out := b.String()
+	if !ok {
+		t.Errorf("improvements flagged as regression:\n%s", out)
+	}
+	for _, want := range []string{"BenchmarkA", "(new)", "(dropped)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if compare(&b, old, map[string]Result{"BenchmarkA": {NsPerOp: 130, AllocsPerOp: 2}}) {
+		t.Error("30% ns/op slowdown not flagged")
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("REGRESSION marker missing:\n%s", b.String())
+	}
+
+	b.Reset()
+	if compare(&b, old, map[string]Result{"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1}}) {
+		t.Error("lost zero-alloc guarantee not flagged")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"dtc/internal/nms"
 	"dtc/internal/ownership"
 	"dtc/internal/packet"
+	"dtc/internal/routing"
 	"dtc/internal/service"
 	"dtc/internal/sim"
 	"dtc/internal/tcsp"
@@ -44,6 +45,14 @@ type WorldConfig struct {
 	// ISPPartition assigns router nodes to ISPs ("isp1", "isp2", …).
 	// Nil means a single ISP operating every router.
 	ISPPartition [][]int
+	// Routes, if non-nil, is a precomputed concurrency-safe routing source
+	// (typically *routing.Shared from a sweep substrate) shared with other
+	// worlds over the same topology. Nil means a private table.
+	Routes routing.Source
+	// NodeOwners, if non-nil, is the precomputed compiled NodePrefix(i)->i
+	// address map for Topology, shared with other worlds. Nil means build
+	// a private one.
+	NodeOwners *ownership.Compiled[int]
 }
 
 // World is a fully wired instance of the paper's role model.
@@ -68,7 +77,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		link = netsim.DefaultLink
 	}
 	s := sim.New(cfg.Seed)
-	net, err := netsim.New(s, cfg.Topology, link)
+	net, err := netsim.NewOnSubstrate(s, cfg.Topology, link, cfg.Routes, cfg.NodeOwners)
 	if err != nil {
 		return nil, err
 	}

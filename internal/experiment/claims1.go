@@ -11,6 +11,7 @@ import (
 	"dtc/internal/packet"
 	"dtc/internal/service"
 	"dtc/internal/sim"
+	"dtc/internal/sweep"
 	"dtc/internal/topology"
 
 	root "dtc"
@@ -23,125 +24,178 @@ func init() {
 	register("e4", "§4.6/§6: filtering close to the source frees bandwidth — attack byte-hops vs deployment", runE4)
 }
 
+// e1Columns is the E1 table schema, shared with A3's re-derivation.
+var e1Columns = []string{"nodes", "placement", "mode", "deploy_%", "attack_sent", "reach_victim_%", "legit_delivery_%"}
+
+// e1Params are the workload knobs E1 and A3 share.
+func e1Params(opts Options) (nNodes, agents int, rate float64, fractions []float64) {
+	nNodes, agents, rate = 1000, 40, 200.0
+	fractions = []float64{0, 0.05, 0.10, 0.20, 0.40, 1.0}
+	if opts.Quick {
+		nNodes, agents, rate = 300, 20, 100
+		fractions = []float64{0, 0.20, 1.0}
+	}
+	return
+}
+
+// e1Substrate builds (or fetches) the shared immutable state of the E1
+// scenario: the BA graph derived exactly as every point used to derive it
+// privately, plus shared routing trees and the compiled address map.
+func e1Substrate(opts Options, nNodes int) (*sweep.Substrate, error) {
+	key := sweep.Key{Name: fmt.Sprintf("e1/ba/%d", nNodes), Seed: opts.Seed}
+	return sweep.GetSubstrate(key, func() (*sweep.Substrate, error) {
+		s := sim.New(opts.Seed)
+		g, err := topology.BarabasiAlbert(nNodes, 2, s.RNG())
+		if err != nil {
+			return nil, err
+		}
+		return sweep.NewSubstrate(g), nil
+	})
+}
+
+// e1Row is the measured output of one E1 sweep cell.
+type e1Row struct {
+	nodes      int
+	attackSent uint64
+	reachPct   float64
+	legitPct   float64
+}
+
+// e1Point runs one (placement, mode, fraction) cell of the E1 sweep on the
+// shared substrate. All randomness re-derives from opts.Seed inside the
+// cell's own simulation, so cells are independent of execution order and
+// worker count.
+func e1Point(opts Options, sub *sweep.Substrate, placement string, strict bool, f float64, agents int, rate float64) (e1Row, error) {
+	g := sub.Graph
+	w, err := root.NewWorld(root.WorldConfig{
+		Topology: g, Seed: opts.Seed + 1,
+		Routes: sub.Routes, NodeOwners: sub.Owners,
+	})
+	if err != nil {
+		return e1Row{}, err
+	}
+	stubs := g.Stubs()
+	victimNode := stubs[0]
+	user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
+	if err != nil {
+		return e1Row{}, err
+	}
+	// Pick deployment nodes.
+	count := int(f * float64(g.Len()))
+	var deployNodes []int
+	switch placement {
+	case "top-degree":
+		deployNodes = g.NodesByDegree()[:count]
+	case "random":
+		perm := w.Sim.RNG().Perm(g.Len())
+		deployNodes = perm[:count]
+	}
+	if count > 0 {
+		spec := service.AntiSpoofingInbound("as", strict)
+		if _, err := user.Deploy(spec, nil, nms.Scope{Nodes: deployNodes}); err != nil {
+			return e1Row{}, err
+		}
+	}
+	victim, err := w.Net.AttachHost(victimNode)
+	if err != nil {
+		return e1Row{}, err
+	}
+	// Agents at random stubs flood with random spoofed sources.
+	rng := w.Sim.RNG().Fork()
+	var sources []*netsim.Source
+	for i := 0; i < agents; i++ {
+		node := stubs[1+rng.Intn(len(stubs)-1)]
+		h, err := w.Net.AttachHost(node)
+		if err != nil {
+			return e1Row{}, err
+		}
+		arng := rng.Fork()
+		sources = append(sources, h.StartCBR(0, rate, func(uint64) *packet.Packet {
+			return &packet.Packet{
+				Src: packet.Addr(arng.Uint32()), Dst: victim.Addr,
+				Proto: packet.UDP, Size: 200, Kind: packet.KindAttack,
+			}
+		}))
+	}
+	// One legitimate client to confirm zero collateral.
+	legit, err := w.Net.AttachHost(stubs[len(stubs)/2])
+	if err != nil {
+		return e1Row{}, err
+	}
+	lg := legit.StartCBR(0, 100, func(uint64) *packet.Packet {
+		return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
+	})
+	dur := 200 * sim.Millisecond
+	w.Sim.AfterFunc(dur, func(sim.Time) {
+		for _, src := range sources {
+			src.Stop()
+		}
+		lg.Stop()
+		w.Sim.Stop()
+	})
+	if _, err := w.Sim.Run(2 * dur); err != nil {
+		return e1Row{}, err
+	}
+	var attackSent uint64
+	for _, src := range sources {
+		attackSent += src.Sent()
+	}
+	return e1Row{
+		nodes:      g.Len(),
+		attackSent: attackSent,
+		reachPct:   pct(victim.Delivered[packet.KindAttack], attackSent),
+		legitPct:   pct(victim.Delivered[packet.KindLegit], lg.Sent()),
+	}, nil
+}
+
 // runE1 reproduces the Park & Lee claim the paper leans on: on a power-law
 // AS topology, route-based ingress filtering at ~20% of ASes (chosen by
 // degree) already suppresses almost all spoofed traffic, while random
 // placement is far weaker. Deployment here is the paper's mechanism: the
 // victim owner deploys the anti-spoofing service, scoped to a node set.
+// The cells are independent simulations, so they run on the sweep pool.
 func runE1(opts Options) (*metrics.Table, error) {
 	tbl := metrics.NewTable(
 		"E1: spoofed traffic reaching the victim vs TCS anti-spoofing deployment",
-		"nodes", "placement", "mode", "deploy_%", "attack_sent", "reach_victim_%", "legit_delivery_%")
+		e1Columns...)
 
-	nNodes := 1000
-	agents := 40
-	rate := 200.0
-	if opts.Quick {
-		nNodes, agents, rate = 300, 20, 100
-	}
+	nNodes, agents, rate, fractions := e1Params(opts)
 
-	type variant struct {
+	type point struct {
 		placement string
 		strict    bool
+		f         float64
 	}
-	variants := []variant{
-		{"top-degree", true},
-		{"random", true},
-		{"top-degree", false},
+	variants := []point{
+		{placement: "top-degree", strict: true},
+		{placement: "random", strict: true},
+		{placement: "top-degree", strict: false},
 	}
-	fractions := []float64{0, 0.05, 0.10, 0.20, 0.40, 1.0}
-	if opts.Quick {
-		fractions = []float64{0, 0.20, 1.0}
-	}
-
+	var pts []point
 	for _, v := range variants {
 		for _, f := range fractions {
 			if f == 0 && v.placement == "random" {
 				continue // identical to top-degree f=0
 			}
-			s := sim.New(opts.Seed)
-			g, err := topology.BarabasiAlbert(nNodes, 2, s.RNG())
-			if err != nil {
-				return nil, err
-			}
-			w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: opts.Seed + 1})
-			if err != nil {
-				return nil, err
-			}
-			stubs := g.Stubs()
-			victimNode := stubs[0]
-			user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
-			if err != nil {
-				return nil, err
-			}
-			// Pick deployment nodes.
-			count := int(f * float64(g.Len()))
-			var deployNodes []int
-			switch v.placement {
-			case "top-degree":
-				deployNodes = g.NodesByDegree()[:count]
-			case "random":
-				perm := w.Sim.RNG().Perm(g.Len())
-				deployNodes = perm[:count]
-			}
-			if count > 0 {
-				spec := service.AntiSpoofingInbound("as", v.strict)
-				if _, err := user.Deploy(spec, nil, nms.Scope{Nodes: deployNodes}); err != nil {
-					return nil, err
-				}
-			}
-			victim, err := w.Net.AttachHost(victimNode)
-			if err != nil {
-				return nil, err
-			}
-			// Agents at random stubs flood with random spoofed sources.
-			rng := w.Sim.RNG().Fork()
-			var sources []*netsim.Source
-			for i := 0; i < agents; i++ {
-				node := stubs[1+rng.Intn(len(stubs)-1)]
-				h, err := w.Net.AttachHost(node)
-				if err != nil {
-					return nil, err
-				}
-				arng := rng.Fork()
-				sources = append(sources, h.StartCBR(0, rate, func(uint64) *packet.Packet {
-					return &packet.Packet{
-						Src: packet.Addr(arng.Uint32()), Dst: victim.Addr,
-						Proto: packet.UDP, Size: 200, Kind: packet.KindAttack,
-					}
-				}))
-			}
-			// One legitimate client to confirm zero collateral.
-			legit, err := w.Net.AttachHost(stubs[len(stubs)/2])
-			if err != nil {
-				return nil, err
-			}
-			lg := legit.StartCBR(0, 100, func(uint64) *packet.Packet {
-				return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
-			})
-			dur := 200 * sim.Millisecond
-			w.Sim.AfterFunc(dur, func(sim.Time) {
-				for _, src := range sources {
-					src.Stop()
-				}
-				lg.Stop()
-				w.Sim.Stop()
-			})
-			if _, err := w.Sim.Run(2 * dur); err != nil {
-				return nil, err
-			}
-			var attackSent uint64
-			for _, src := range sources {
-				attackSent += src.Sent()
-			}
-			mode := "edge-only"
-			if v.strict {
-				mode = "route-based"
-			}
-			tbl.AddRow(g.Len(), v.placement, mode, f*100, attackSent,
-				pct(victim.Delivered[packet.KindAttack], attackSent),
-				pct(victim.Delivered[packet.KindLegit], lg.Sent()))
+			pts = append(pts, point{v.placement, v.strict, f})
 		}
+	}
+	sub, err := e1Substrate(opts, nNodes)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := sweep.Run(len(pts), opts.Workers, opts.Seed, func(i int, _ *sim.RNG) (e1Row, error) {
+		return e1Point(opts, sub, pts[i].placement, pts[i].strict, pts[i].f, agents, rate)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		mode := "edge-only"
+		if pts[i].strict {
+			mode = "route-based"
+		}
+		tbl.AddRow(r.nodes, pts[i].placement, mode, pts[i].f*100, r.attackSent, r.reachPct, r.legitPct)
 	}
 	return tbl, nil
 }
@@ -477,26 +531,45 @@ func runE4(opts Options) (*metrics.Table, error) {
 	if opts.Quick {
 		nNodes, agents = 150, 15
 	}
-	var baselineWaste float64
 	fractions := []float64{0, 0.25, 0.5, 0.75, 1.0}
 	if opts.Quick {
 		fractions = []float64{0, 0.5, 1.0}
 	}
-	for _, f := range fractions {
+	// Each fraction is an independent simulation over the same graph; run
+	// them on the sweep pool against one shared substrate. The f=0 row's
+	// waste normalizes the others, so rows reduce after the sweep.
+	key := sweep.Key{Name: fmt.Sprintf("e4/ba/%d", nNodes), Seed: opts.Seed}
+	sub, err := sweep.GetSubstrate(key, func() (*sweep.Substrate, error) {
 		s := sim.New(opts.Seed)
 		g, err := topology.BarabasiAlbert(nNodes, 2, s.RNG())
 		if err != nil {
 			return nil, err
 		}
-		w, err := root.NewWorld(root.WorldConfig{Topology: g, Seed: opts.Seed})
+		return sweep.NewSubstrate(g), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type e4Row struct {
+		waste    float64
+		meanHops float64
+		legitPct float64
+	}
+	rows, err := sweep.Run(len(fractions), opts.Workers, opts.Seed, func(pi int, _ *sim.RNG) (e4Row, error) {
+		f := fractions[pi]
+		g := sub.Graph
+		w, err := root.NewWorld(root.WorldConfig{
+			Topology: g, Seed: opts.Seed,
+			Routes: sub.Routes, NodeOwners: sub.Owners,
+		})
 		if err != nil {
-			return nil, err
+			return e4Row{}, err
 		}
 		stubs := g.Stubs()
 		victimNode := stubs[0]
 		user, err := w.NewUser("victim", netsim.NodePrefix(victimNode))
 		if err != nil {
-			return nil, err
+			return e4Row{}, err
 		}
 		count := int(f * float64(g.Len()))
 		if count > 0 {
@@ -504,25 +577,25 @@ func runE4(opts Options) (*metrics.Table, error) {
 			// the coverage, the closer to each source the drop happens.
 			deployNodes := g.NodesByDegree()[:count]
 			if _, err := user.Deploy(service.AntiSpoofingInbound("as", true), nil, nms.Scope{Nodes: deployNodes}); err != nil {
-				return nil, err
+				return e4Row{}, err
 			}
 		}
 		victim, err := w.Net.AttachHost(victimNode)
 		if err != nil {
-			return nil, err
+			return e4Row{}, err
 		}
 		rng := w.Sim.RNG().Fork()
 		var sources []*netsim.Source
 		tree, err := w.Net.Table.TreeTo(victimNode)
 		if err != nil {
-			return nil, err
+			return e4Row{}, err
 		}
 		var pathHops float64
 		for i := 0; i < agents; i++ {
 			node := stubs[1+rng.Intn(len(stubs)-1)]
 			h, err := w.Net.AttachHost(node)
 			if err != nil {
-				return nil, err
+				return e4Row{}, err
 			}
 			pathHops += float64(tree.Hops(node))
 			arng := rng.Fork()
@@ -533,7 +606,7 @@ func runE4(opts Options) (*metrics.Table, error) {
 		}
 		legit, err := w.Net.AttachHost(stubs[len(stubs)/2])
 		if err != nil {
-			return nil, err
+			return e4Row{}, err
 		}
 		lg := legit.StartCBR(0, 100, func(uint64) *packet.Packet {
 			return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
@@ -547,19 +620,27 @@ func runE4(opts Options) (*metrics.Table, error) {
 			w.Sim.Stop()
 		})
 		if _, err := w.Sim.Run(2 * dur); err != nil {
-			return nil, err
+			return e4Row{}, err
 		}
 		var attackSent uint64
 		for _, src := range sources {
 			attackSent += src.Sent()
 		}
 		waste := float64(w.Net.Stats.ByteHops[packet.KindAttack])
-		if f == 0 {
-			baselineWaste = waste
-		}
 		meanHops := ratio(waste, float64(attackSent)*500)
-		tbl.AddRow(f*100, waste/1e6, 100*ratio(waste, baselineWaste), meanHops,
-			pct(victim.Delivered[packet.KindLegit], lg.Sent()))
+		return e4Row{
+			waste:    waste,
+			meanHops: meanHops,
+			legitPct: pct(victim.Delivered[packet.KindLegit], lg.Sent()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baselineWaste := rows[0].waste // fractions[0] is always 0
+	for i, r := range rows {
+		tbl.AddRow(fractions[i]*100, r.waste/1e6, 100*ratio(r.waste, baselineWaste),
+			r.meanHops, r.legitPct)
 	}
 	return tbl, nil
 }

@@ -14,6 +14,7 @@ import (
 	"dtc/internal/packet"
 	"dtc/internal/service"
 	"dtc/internal/sim"
+	"dtc/internal/sweep"
 	"dtc/internal/topology"
 
 	root "dtc"
@@ -42,7 +43,14 @@ func runE5(opts Options) (*metrics.Table, error) {
 		n = 60000
 		subsList = []int{10, 1000}
 	}
-	for _, subs := range subsList {
+	// Runs on the sweep runner for uniformity, but pinned to one worker:
+	// the measurement is wall-clock throughput, and concurrent points would
+	// contend for the CPU and corrupt each other's timings.
+	type e5Row struct {
+		mpps, nsPerPkt float64
+	}
+	rows, err := sweep.Run(len(subsList), 1, opts.Seed, func(pi int, _ *sim.RNG) (e5Row, error) {
+		subs := subsList[pi]
 		reg := modules.NewRegistry()
 		rng := sim.NewRNG(opts.Seed)
 		dev := device.New(0, reg, rng.Fork())
@@ -50,11 +58,11 @@ func runE5(opts Options) (*metrics.Table, error) {
 			owner := fmt.Sprintf("user%d", u)
 			pfx := packet.MakePrefix(packet.Addr(uint32(u)<<12), 20)
 			if err := dev.BindOwner(pfx, owner); err != nil {
-				return nil, err
+				return e5Row{}, err
 			}
 			g := device.Chain("fw", &modules.Filter{Label: "f", Rules: []modules.Match{{DstPort: 666}}})
 			if err := dev.Install(owner, device.StageDest, g); err != nil {
-				return nil, err
+				return e5Row{}, err
 			}
 		}
 		pkts := make([]*packet.Packet, 1024)
@@ -71,7 +79,16 @@ func runE5(opts Options) (*metrics.Table, error) {
 			dev.Process(0, &p, -1)
 		}
 		wall := time.Since(start)
-		tbl.AddRow(subs, subs, n, float64(n)/wall.Seconds()/1e6, float64(wall.Nanoseconds())/float64(n))
+		return e5Row{
+			mpps:     float64(n) / wall.Seconds() / 1e6,
+			nsPerPkt: float64(wall.Nanoseconds()) / float64(n),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		tbl.AddRow(subsList[i], subsList[i], n, r.mpps, r.nsPerPkt)
 	}
 	return tbl, nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dtc/internal/metrics"
 )
@@ -20,6 +21,15 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers caps the concurrent sweep points inside one experiment;
+	// 0 means GOMAXPROCS. Tables are byte-identical at any value
+	// (wall-clock-measuring experiments pin their timed loops to one
+	// goroutine regardless, so only their timing columns vary run to run).
+	Workers int
+	// Timeout bounds each experiment inside RunMany; 0 means none. A
+	// timed-out experiment reports an error and releases its worker slot
+	// so the rest of the batch proceeds.
+	Timeout time.Duration
 }
 
 // Runner executes one experiment and renders its table.
@@ -76,6 +86,13 @@ func Describe(id string) string {
 // for CPU under parallelism — use workers=1 when their absolute numbers
 // matter.
 func RunMany(ids []string, opts Options, workers int) ([]*metrics.Table, []error) {
+	return runMany(ids, opts, workers, Run)
+}
+
+// runMany is RunMany with an injectable run function so the timeout path
+// can be tested without registering fake experiments (the registry's
+// contents are themselves under test).
+func runMany(ids []string, opts Options, workers int, run func(string, Options) (*metrics.Table, error)) ([]*metrics.Table, []error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -89,7 +106,31 @@ func RunMany(ids []string, opts Options, workers int) ([]*metrics.Table, []error
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			tables[i], errs[i] = Run(id, opts)
+			if opts.Timeout <= 0 {
+				tables[i], errs[i] = run(id, opts)
+				return
+			}
+			type result struct {
+				tbl *metrics.Table
+				err error
+			}
+			done := make(chan result, 1)
+			// Runners take no context (they are CPU-bound simulation
+			// loops), so a hung one cannot be interrupted — it is
+			// abandoned: its goroutine leaks until it finishes, but its
+			// worker slot frees immediately and the batch completes.
+			go func() {
+				tbl, err := run(id, opts)
+				done <- result{tbl, err}
+			}()
+			timer := time.NewTimer(opts.Timeout)
+			defer timer.Stop()
+			select {
+			case r := <-done:
+				tables[i], errs[i] = r.tbl, r.err
+			case <-timer.C:
+				errs[i] = fmt.Errorf("experiment %s: abandoned after %v", id, opts.Timeout)
+			}
 		}(i, id)
 	}
 	wg.Wait()

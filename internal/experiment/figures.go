@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"dtc/internal/attack"
@@ -18,6 +17,7 @@ import (
 	"dtc/internal/packet"
 	"dtc/internal/service"
 	"dtc/internal/sim"
+	"dtc/internal/sweep"
 	"dtc/internal/tcsp"
 	"dtc/internal/topology"
 
@@ -274,35 +274,40 @@ func runF4(opts Options) (*metrics.Table, error) {
 				return nil, err
 			}
 		}
-		var lat metrics.Series
-		var mu sync.Mutex
+		// One sweep point per client, run on exactly `conc` workers: the
+		// concurrency level *is* the variable under measurement, so the
+		// point count and worker count coincide. Each point returns its
+		// latency samples; errors surface instead of silently shrinking
+		// the sample set as the old hand-rolled fan-out did.
 		start := time.Now()
-		var wg sync.WaitGroup
-		for c := 0; c < conc; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				cl, err := ctl.Dial(ln.Addr().String())
-				if err != nil {
-					return
+		perClient, err := sweep.Run(conc, conc, opts.Seed, func(c int, _ *sim.RNG) ([]float64, error) {
+			cl, err := ctl.Dial(ln.Addr().String())
+			if err != nil {
+				return nil, fmt.Errorf("f4 client %d: %w", c, err)
+			}
+			defer cl.Close()
+			tcl := ctl.NewTCSPClient(cl)
+			samples := make([]float64, 0, regsPer)
+			for i := c * regsPer; i < (c+1)*regsPer; i++ {
+				t0 := time.Now()
+				if _, err := tcl.Register(ids[i], []string{prefixes[i]}); err != nil {
+					return nil, fmt.Errorf("f4 client %d: register %d: %w", c, i, err)
 				}
-				defer cl.Close()
-				tcl := ctl.NewTCSPClient(cl)
-				for i := c * regsPer; i < (c+1)*regsPer; i++ {
-					t0 := time.Now()
-					if _, err := tcl.Register(ids[i], []string{prefixes[i]}); err != nil {
-						return
-					}
-					d := float64(time.Since(t0).Microseconds())
-					mu.Lock()
-					lat.Add(d)
-					mu.Unlock()
-				}
-			}(c)
-		}
-		wg.Wait()
+				samples = append(samples, float64(time.Since(t0).Microseconds()))
+			}
+			return samples, nil
+		})
 		elapsed := time.Since(start).Seconds()
 		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		var lat metrics.Series
+		for _, samples := range perClient {
+			for _, d := range samples {
+				lat.Add(d)
+			}
+		}
 		if lat.Len() != total {
 			return nil, fmt.Errorf("f4: %d/%d registrations succeeded", lat.Len(), total)
 		}

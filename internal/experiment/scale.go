@@ -1,9 +1,12 @@
 package experiment
 
 import (
+	"fmt"
+
 	"dtc/internal/flowsim"
 	"dtc/internal/metrics"
 	"dtc/internal/sim"
+	"dtc/internal/sweep"
 	"dtc/internal/topology"
 )
 
@@ -33,71 +36,114 @@ func runE10(opts Options) (*metrics.Table, error) {
 	return tbl, nil
 }
 
+// e10Aux is the per-topology precomputation every sweep point reads:
+// the spoofed flow set and the two nested placement rankings.
+type e10Aux struct {
+	flows       []flowsim.Flow
+	byDegree    []int
+	randomOrder []int
+}
+
+// e10Substrate builds (or fetches) the E10 substrate for one topology
+// family: the graph and flows derived from opts.Seed exactly as the serial
+// implementation derived them, plus shared routing trees — built once
+// instead of once per (placement, fraction) row.
+func e10Substrate(opts Options, topoName string, nNodes, agents int) (*sweep.Substrate, error) {
+	key := sweep.Key{Name: fmt.Sprintf("e10/%s/%d/%d", topoName, nNodes, agents), Seed: opts.Seed}
+	return sweep.GetSubstrate(key, func() (*sweep.Substrate, error) {
+		rng := sim.NewRNG(opts.Seed)
+		var g *topology.Graph
+		var err error
+		switch topoName {
+		case "power-law":
+			g, err = topology.BarabasiAlbert(nNodes, 2, rng)
+		case "waxman":
+			// Waxman at 18k nodes is O(n^2) in generation; a quarter of the
+			// node count keeps the row comparable yet fast.
+			g, err = topology.Waxman(nNodes/4, 0.12, 0.06, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		stubs := g.Stubs()
+		victim := stubs[0]
+
+		// Spoofed flows from random stub agents; 80% unallocated random
+		// sources, 20% spoofing some other AS's space.
+		flows := make([]flowsim.Flow, agents)
+		for i := range flows {
+			flows[i] = flowsim.Flow{
+				From: stubs[1+rng.Intn(len(stubs)-1)], To: victim,
+				Rate: 100, Size: 200, Src: flowsim.SrcUnallocated,
+			}
+			if i%5 == 0 {
+				flows[i].Src = flowsim.SrcOfNode
+				flows[i].SpoofNode = stubs[rng.Intn(len(stubs))]
+			}
+		}
+		sub := sweep.NewSubstrate(g)
+		sub.Aux = &e10Aux{
+			flows:       flows,
+			byDegree:    g.NodesByDegree(),
+			randomOrder: sim.NewRNG(opts.Seed + 1).Perm(g.Len()),
+		}
+		return sub, nil
+	})
+}
+
 // runE10Topo runs the sweep on one topology family. The Waxman rows check
 // that the placement conclusion survives without a power-law degree tail.
+// Rows are independent deployments over one substrate: the routing trees
+// the old code rebuilt per row (a fresh Dijkstra cache each time) are now
+// computed once and shared, and each row walks the flows in one batched
+// pass.
 func runE10Topo(opts Options, tbl *metrics.Table, topoName string, nNodes, agents int) error {
-	rng := sim.NewRNG(opts.Seed)
-	var g *topology.Graph
-	var err error
-	switch topoName {
-	case "power-law":
-		g, err = topology.BarabasiAlbert(nNodes, 2, rng)
-	case "waxman":
-		// Waxman at 18k nodes is O(n^2) in generation; a quarter of the
-		// node count keeps the row comparable yet fast.
-		g, err = topology.Waxman(nNodes/4, 0.12, 0.06, rng)
-	}
+	sub, err := e10Substrate(opts, topoName, nNodes, agents)
 	if err != nil {
 		return err
 	}
-	stubs := g.Stubs()
-	victim := stubs[0]
+	aux := sub.Aux.(*e10Aux)
+	g := sub.Graph
 
-	// Spoofed flows from random stub agents; 80% unallocated random
-	// sources, 20% spoofing some other AS's space.
-	flows := make([]flowsim.Flow, agents)
-	for i := range flows {
-		flows[i] = flowsim.Flow{
-			From: stubs[1+rng.Intn(len(stubs)-1)], To: victim,
-			Rate: 100, Size: 200, Src: flowsim.SrcUnallocated,
-		}
-		if i%5 == 0 {
-			flows[i].Src = flowsim.SrcOfNode
-			flows[i].SpoofNode = stubs[rng.Intn(len(stubs))]
-		}
-	}
-
-	byDegree := g.NodesByDegree()
-	randomOrder := sim.NewRNG(opts.Seed + 1).Perm(g.Len())
 	fractions := []float64{0, 0.01, 0.05, 0.10, 0.20, 0.50}
 	if opts.Quick {
 		fractions = []float64{0, 0.05, 0.20}
 	}
+	type point struct {
+		placement string
+		f         float64
+	}
+	var pts []point
 	for _, placement := range []string{"top-degree", "random"} {
 		for _, f := range fractions {
 			if f == 0 && placement == "random" {
 				continue
 			}
-			m := flowsim.New(g)
-			count := int(f * float64(g.Len()))
-			// Nested subsets (a fixed ranking per placement) keep the
-			// sweep monotone in the deployment fraction.
-			var nodes []int
-			if placement == "top-degree" {
-				nodes = byDegree[:count]
-			} else {
-				nodes = randomOrder[:count]
-			}
-			if err := m.Deploy(nodes, true); err != nil {
-				return err
-			}
-			sweep, err := m.Evaluate(flows)
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(topoName, g.Len(), placement, f*100, sweep.Flows,
-				100*ratio(sweep.DeliveredRate, sweep.TotalRate), sweep.MeanDropHop)
+			pts = append(pts, point{placement, f})
 		}
+	}
+	rows, err := sweep.Run(len(pts), opts.Workers, opts.Seed, func(i int, _ *sim.RNG) (flowsim.Sweep, error) {
+		m := flowsim.NewOnRoutes(g, sub.Routes)
+		count := int(pts[i].f * float64(g.Len()))
+		// Nested subsets (a fixed ranking per placement) keep the
+		// sweep monotone in the deployment fraction.
+		var nodes []int
+		if pts[i].placement == "top-degree" {
+			nodes = aux.byDegree[:count]
+		} else {
+			nodes = aux.randomOrder[:count]
+		}
+		if err := m.Deploy(nodes, true); err != nil {
+			return flowsim.Sweep{}, err
+		}
+		return m.EvalBatch(aux.flows)
+	})
+	if err != nil {
+		return err
+	}
+	for i, s := range rows {
+		tbl.AddRow(topoName, g.Len(), pts[i].placement, pts[i].f*100, s.Flows,
+			100*ratio(s.DeliveredRate, s.TotalRate), s.MeanDropHop)
 	}
 	return nil
 }

@@ -48,21 +48,37 @@ type Result struct {
 	ByteHops  float64 // rate*size*links-traversed per unit time
 }
 
+// Routes is the routing state the flow model reads: per-destination trees
+// and the reverse-path feasibility check. Both *routing.Table (private,
+// single goroutine) and *routing.Shared (one Dijkstra cache serving many
+// concurrent models) satisfy it.
+type Routes interface {
+	TreeTo(dst int) (*routing.Tree, error)
+	FeasibleIngress(at, from, src int) bool
+}
+
 // Model evaluates flows over a topology with a deployment of
 // anti-spoofing filters.
 type Model struct {
 	g   *topology.Graph
-	tbl *routing.Table
+	tbl Routes
 
 	deployed []bool
 	strict   []bool
 }
 
-// New creates a model over g.
+// New creates a model over g with its own private routing table.
 func New(g *topology.Graph) *Model {
+	return NewOnRoutes(g, routing.NewTable(g, nil))
+}
+
+// NewOnRoutes creates a model over g reading routing state from routes,
+// letting sweep points share one tree cache. The model itself (deployment
+// bitmaps) stays private per instance.
+func NewOnRoutes(g *topology.Graph, routes Routes) *Model {
 	return &Model{
 		g:        g,
-		tbl:      routing.NewTable(g, nil),
+		tbl:      routes,
 		deployed: make([]bool, g.Len()),
 		strict:   make([]bool, g.Len()),
 	}
@@ -178,4 +194,108 @@ func (m *Model) Evaluate(flows []Flow) (Sweep, error) {
 		s.MeanDropHop = dropHops / drops
 	}
 	return s, nil
+}
+
+// EvalBatch evaluates flows as a batched structure-of-arrays pass: flows
+// are grouped by destination and each group is advanced hop-synchronously
+// along the shared tree, so one tree's Next array is walked with good
+// locality and no per-flow path materialization. The returned Sweep is
+// bit-identical to Evaluate's: per-flow fates are recorded into an array
+// and reduced in flow order with the same arithmetic. On error (an
+// out-of-range destination, surfaced for the earliest offending flow, as
+// in Evaluate) the returned Sweep is zero rather than partial.
+func (m *Model) EvalBatch(flows []Flow) (Sweep, error) {
+	res := make([]Result, len(flows))
+	// Group by destination in first-appearance order: the first group that
+	// fails TreeTo is then the destination of the earliest bad flow.
+	groups := make(map[int][]int32, 16)
+	var order []int
+	for i := range flows {
+		d := flows[i].To
+		g, ok := groups[d]
+		if !ok {
+			order = append(order, d)
+		}
+		groups[d] = append(g, int32(i))
+	}
+	for _, d := range order {
+		tr, err := m.tbl.TreeTo(d)
+		if err != nil {
+			return Sweep{}, err
+		}
+		m.walkGroup(tr, flows, groups[d], res)
+	}
+	var s Sweep
+	var dropHops, drops float64
+	for i := range flows {
+		r := res[i]
+		s.Flows++
+		s.TotalRate += flows[i].Rate
+		s.AttackByteHops += r.ByteHops
+		if r.Delivered {
+			s.Delivered++
+			s.DeliveredRate += flows[i].Rate
+		} else {
+			dropHops += float64(r.DropHop)
+			drops++
+		}
+	}
+	if drops > 0 {
+		s.MeanDropHop = dropHops / drops
+	}
+	return s, nil
+}
+
+// walkGroup advances every flow bound for tr.Dst one hop per round,
+// compacting the alive set in place. Fates land in res indexed by flow.
+func (m *Model) walkGroup(tr *routing.Tree, flows []Flow, idx []int32, res []Result) {
+	n := len(tr.Next)
+	alive := make([]int32, 0, len(idx))
+	cur := make([]int32, 0, len(idx))
+	for _, fi := range idx {
+		f := &flows[fi]
+		if f.From < 0 || f.From >= n || tr.Next[f.From] == routing.NoRoute {
+			res[fi] = Result{Delivered: false, DropHop: 0}
+			continue
+		}
+		// Hop 0: the origin node's own router (local ingress).
+		if m.filterDrops(f, f.From, f.From) {
+			res[fi] = Result{Delivered: false, DropHop: 0}
+			continue
+		}
+		if f.From == tr.Dst {
+			res[fi] = Result{Delivered: true, DropHop: -1}
+			continue
+		}
+		alive = append(alive, fi)
+		cur = append(cur, int32(f.From))
+	}
+	// Valid trees bound paths at n nodes = n-1 links (Route's defensive
+	// limit); anything still alive after that is a corrupted tree.
+	for hop := 1; len(alive) > 0 && hop <= n-1; hop++ {
+		k := 0
+		for j, fi := range alive {
+			f := &flows[fi]
+			prev := int(cur[j])
+			at := tr.Next[prev]
+			if m.filterDrops(f, at, prev) {
+				byteRate := f.Rate * float64(f.Size)
+				res[fi] = Result{Delivered: false, DropHop: hop, ByteHops: byteRate * float64(hop)}
+				continue
+			}
+			if at == tr.Dst {
+				byteRate := f.Rate * float64(f.Size)
+				res[fi] = Result{Delivered: true, DropHop: -1, ByteHops: byteRate * float64(hop)}
+				continue
+			}
+			alive[k] = fi
+			cur[k] = int32(at)
+			k++
+		}
+		alive = alive[:k]
+		cur = cur[:k]
+	}
+	for _, fi := range alive {
+		res[fi] = Result{Delivered: false, DropHop: 0}
+	}
 }

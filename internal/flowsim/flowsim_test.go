@@ -9,6 +9,7 @@ import (
 	"dtc/internal/netsim"
 	"dtc/internal/nms"
 	"dtc/internal/packet"
+	"dtc/internal/routing"
 	"dtc/internal/service"
 	"dtc/internal/sim"
 	"dtc/internal/topology"
@@ -211,6 +212,69 @@ func TestEvaluateAggregates(t *testing.T) {
 	}
 	if s.MeanDropHop != 1 {
 		t.Errorf("mean drop hop = %v", s.MeanDropHop)
+	}
+}
+
+// TestEvalBatchMatchesEvaluate is EvalBatch's contract: bit-identical
+// aggregates to the per-flow path, across source kinds, deployment styles
+// and multiple destinations, whether routes are private or shared.
+func TestEvalBatchMatchesEvaluate(t *testing.T) {
+	seed := uint64(41)
+	s := sim.New(seed)
+	g, err := topology.BarabasiAlbert(300, 2, s.RNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := g.Stubs()
+	rng := sim.NewRNG(seed + 1)
+	var flows []flowsim.Flow
+	for i := 0; i < 400; i++ {
+		f := flowsim.Flow{
+			From: stubs[rng.Intn(len(stubs))],
+			To:   stubs[rng.Intn(len(stubs))],
+			Rate: 1 + rng.Float64()*50,
+			Size: 64 + rng.Intn(1400),
+			Src:  flowsim.SourceKind(rng.Intn(3)),
+		}
+		if f.Src == flowsim.SrcOfNode {
+			f.SpoofNode = stubs[rng.Intn(len(stubs))]
+		}
+		flows = append(flows, f)
+	}
+	shared := routing.NewShared(g, nil)
+	for _, strict := range []bool{true, false} {
+		for _, frac := range []float64{0, 0.15, 0.5} {
+			deploy := g.NodesByDegree()[:int(frac*float64(g.Len()))]
+			a := flowsim.New(g)
+			b := flowsim.NewOnRoutes(g, shared)
+			for _, m := range []*flowsim.Model{a, b} {
+				if err := m.Deploy(deploy, strict); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := a.Evaluate(flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, m := range map[string]*flowsim.Model{"private": a, "shared": b} {
+				got, err := m.EvalBatch(flows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("strict=%v frac=%v %s: EvalBatch=%+v Evaluate=%+v", strict, frac, name, got, want)
+				}
+			}
+		}
+	}
+	// Error behaviour: bad destination surfaces from both paths.
+	bad := []flowsim.Flow{{From: 0, To: 1, Rate: 1, Size: 1}, {From: 0, To: -5, Rate: 1, Size: 1}}
+	m := flowsim.New(g)
+	if _, err := m.Evaluate(bad); err == nil {
+		t.Error("Evaluate accepted bad destination")
+	}
+	if _, err := m.EvalBatch(bad); err == nil {
+		t.Error("EvalBatch accepted bad destination")
 	}
 }
 

@@ -81,15 +81,17 @@ var DefaultLink = LinkConfig{Bandwidth: 100e6, Delay: sim.Millisecond, QueueCap:
 type Network struct {
 	Sim   *sim.Simulation
 	Graph *topology.Graph
-	Table *routing.Table
+	Table routing.Source
 	Stats *Stats
 
 	routers  []*router
 	links    map[[2]int]*link
-	addrMap  ownership.Trie[int]   // prefix -> node
-	hosts    map[packet.Addr]*Host // global host directory
-	byNode   map[int][]*Host       // hosts per node
-	nextID   uint64                // packet ID allocator
+	addrMap  ownership.Trie[int]      // prefix -> node; unused when owners is set
+	owners   *ownership.Compiled[int] // shared immutable prefix->node map, or nil
+	shared   bool                     // routing/ownership borrowed from a substrate
+	hosts    map[packet.Addr]*Host    // global host directory
+	byNode   map[int][]*Host          // hosts per node
+	nextID   uint64                   // packet ID allocator
 	dropObs  []func(now sim.Time, pkt *packet.Packet, reason DropReason, node int)
 	routeObs []func()
 
@@ -105,22 +107,40 @@ type Network struct {
 // New builds a network over g. Every edge gets cfg; use SetLinkConfig to
 // override individual links afterwards.
 func New(s *sim.Simulation, g *topology.Graph, cfg LinkConfig) (*Network, error) {
+	return NewOnSubstrate(s, g, cfg, nil, nil)
+}
+
+// NewOnSubstrate builds a network over g reusing precomputed read-only
+// substrate state: routes (a concurrency-safe routing.Source, typically
+// *routing.Shared) and owners (the compiled NodePrefix(i)->i address map).
+// Either may be nil, in which case the network builds its own. Sweeps use
+// this to share one Dijkstra cache and one compiled trie across every point
+// instead of rebuilding them per simulation. Networks on a shared substrate
+// must not mutate topology: FailLink returns an error.
+func NewOnSubstrate(s *sim.Simulation, g *topology.Graph, cfg LinkConfig, routes routing.Source, owners *ownership.Compiled[int]) (*Network, error) {
 	if cfg.Bandwidth <= 0 || cfg.Delay < 0 || cfg.QueueCap < 1 {
 		return nil, fmt.Errorf("netsim: invalid link config %+v", cfg)
 	}
 	n := &Network{
 		Sim:    s,
 		Graph:  g,
-		Table:  routing.NewTable(g, nil),
+		Table:  routes,
 		Stats:  NewStats(),
+		owners: owners,
+		shared: routes != nil || owners != nil,
 		links:  make(map[[2]int]*link),
 		hosts:  make(map[packet.Addr]*Host),
 		byNode: make(map[int][]*Host),
 	}
+	if n.Table == nil {
+		n.Table = routing.NewTable(g, nil)
+	}
 	n.routers = make([]*router, g.Len())
 	for i := range n.routers {
 		n.routers[i] = &router{net: n, node: i, out: make(map[int]*link)}
-		n.addrMap.Insert(NodePrefix(i), i)
+		if owners == nil {
+			n.addrMap.Insert(NodePrefix(i), i)
+		}
 	}
 	for _, e := range g.Edges() {
 		ab := newLink(n, e.A, e.B, cfg)
@@ -143,6 +163,9 @@ func NodePrefix(id int) packet.Prefix {
 // NodeOfAddr returns the topology node owning address a. It resolves
 // through the compiled address map: this runs once per packet per hop.
 func (n *Network) NodeOfAddr(a packet.Addr) (int, bool) {
+	if n.owners != nil {
+		return n.owners.Lookup(a)
+	}
 	return n.addrMap.Compiled().Lookup(a)
 }
 
@@ -243,6 +266,9 @@ func (n *Network) drop(now sim.Time, pkt *packet.Packet, reason DropReason, node
 // device configuration must adapt. Packets already in flight on the link
 // still arrive (signal propagation), but nothing new is transmitted.
 func (n *Network) FailLink(a, b int) error {
+	if n.shared {
+		return fmt.Errorf("netsim: FailLink on a network sharing substrate state (topology is immutable)")
+	}
 	if !n.Graph.RemoveEdge(a, b) {
 		return fmt.Errorf("netsim: no edge (%d,%d) to fail", a, b)
 	}

@@ -121,6 +121,35 @@ func (t *Tree) Hops(src int) int {
 	return len(p) - 1
 }
 
+// Source is the routing state consumers depend on: next-hop lookup,
+// per-destination trees, and the reverse-path feasibility check. Table
+// implements it for single-simulation use; Shared implements it for
+// concurrent sweeps where many simulations read one table.
+type Source interface {
+	TreeTo(dst int) (*Tree, error)
+	NextHop(cur, dst int) (next int, ok bool)
+	FeasibleIngress(at, from, src int) bool
+	Invalidate()
+	Builds() int
+}
+
+// feasible reports whether `from` lies on some shortest path from tr.Dst's
+// root toward `at` — the reverse-path check shared by Table and Shared.
+func feasible(g *topology.Graph, w WeightFunc, tr *Tree, at, from int) bool {
+	if at < 0 || at >= len(tr.Next) || from < 0 || from >= len(tr.Next) {
+		return false
+	}
+	if tr.Next[at] == NoRoute || tr.Next[from] == NoRoute {
+		return false
+	}
+	if !g.HasEdge(from, at) {
+		return false
+	}
+	const eps = 1e-9
+	d := tr.Dist[from] + w(from, at) - tr.Dist[at]
+	return d > -eps && d < eps
+}
+
 // Table provides next-hop lookup toward any destination, building and
 // caching one tree per destination on demand. It is not safe for concurrent
 // use; each simulation owns one.
@@ -179,18 +208,7 @@ func (t *Table) FeasibleIngress(at, from, src int) bool {
 	if err != nil {
 		return false
 	}
-	if at < 0 || at >= len(tr.Next) || from < 0 || from >= len(tr.Next) {
-		return false
-	}
-	if tr.Next[at] == NoRoute || tr.Next[from] == NoRoute {
-		return false
-	}
-	if !t.g.HasEdge(from, at) {
-		return false
-	}
-	const eps = 1e-9
-	d := tr.Dist[from] + t.w(from, at) - tr.Dist[at]
-	return d > -eps && d < eps
+	return feasible(t.g, t.w, tr, at, from)
 }
 
 // Invalidate drops all cached trees; callers must invoke it after topology

@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dtc/internal/topology"
+)
+
+// Shared is a routing table safe for concurrent readers, used by the sweep
+// runner to let every sweep point share one set of shortest-path trees
+// instead of re-running Dijkstra per point. Trees are built outside the
+// lock; two goroutines racing on the same destination both build the same
+// (deterministic) tree and one build is discarded, so no reader ever blocks
+// on a Dijkstra run it did not ask for.
+//
+// The topology graph must not be mutated while a Shared table over it is in
+// use: sweeps read fixed topologies, so Invalidate exists only to satisfy
+// Source and panics if called concurrently with readers' assumptions —
+// callers that need link failures must use a per-simulation Table.
+type Shared struct {
+	g      *topology.Graph
+	w      WeightFunc
+	mu     sync.RWMutex
+	trees  map[int]*Tree
+	builds atomic.Int64
+}
+
+var _ Source = (*Shared)(nil)
+
+// NewShared returns a concurrent routing table over g with edge weights w
+// (nil means hop count).
+func NewShared(g *topology.Graph, w WeightFunc) *Shared {
+	if w == nil {
+		w = UniformWeight
+	}
+	return &Shared{g: g, w: w, trees: make(map[int]*Tree)}
+}
+
+// TreeTo returns the (cached) shortest-path tree toward dst.
+func (s *Shared) TreeTo(dst int) (*Tree, error) {
+	s.mu.RLock()
+	tr, ok := s.trees[dst]
+	s.mu.RUnlock()
+	if ok {
+		return tr, nil
+	}
+	tr, err := BuildTree(s.g, dst, s.w)
+	if err != nil {
+		return nil, err
+	}
+	s.builds.Add(1)
+	s.mu.Lock()
+	if prev, ok := s.trees[dst]; ok {
+		// Another goroutine built the same tree first; keep theirs so every
+		// reader sees one canonical *Tree per destination.
+		tr = prev
+	} else {
+		s.trees[dst] = tr
+	}
+	s.mu.Unlock()
+	return tr, nil
+}
+
+// NextHop returns the next hop from cur toward dst. ok is false if dst is
+// unreachable from cur.
+func (s *Shared) NextHop(cur, dst int) (next int, ok bool) {
+	tr, err := s.TreeTo(dst)
+	if err != nil {
+		return NoRoute, false
+	}
+	if cur < 0 || cur >= len(tr.Next) {
+		return NoRoute, false
+	}
+	n := tr.Next[cur]
+	return n, n != NoRoute
+}
+
+// FeasibleIngress reports whether a packet from node src may legitimately
+// arrive at node `at` from neighbor `from` under shortest-path routing.
+// Semantics match Table.FeasibleIngress exactly.
+func (s *Shared) FeasibleIngress(at, from, src int) bool {
+	tr, err := s.TreeTo(src)
+	if err != nil {
+		return false
+	}
+	return feasible(s.g, s.w, tr, at, from)
+}
+
+// Invalidate drops all cached trees. Callers must guarantee no concurrent
+// readers (sweeps never mutate topology, so this is unused in practice).
+func (s *Shared) Invalidate() {
+	s.mu.Lock()
+	s.trees = make(map[int]*Tree)
+	s.mu.Unlock()
+}
+
+// Builds reports how many trees have been computed, including discarded
+// duplicate builds from racing goroutines.
+func (s *Shared) Builds() int { return int(s.builds.Load()) }

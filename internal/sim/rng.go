@@ -9,6 +9,7 @@ import "math"
 type RNG struct {
 	state uint64
 	inc   uint64
+	seed  uint64 // the seed NewRNG was called with; Substream derives from it
 }
 
 const pcgMult = 6364136223846793005
@@ -16,7 +17,7 @@ const pcgMult = 6364136223846793005
 // NewRNG returns a generator seeded with seed. Two generators with the same
 // seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	r := &RNG{inc: (seed << 1) | 1}
+	r := &RNG{inc: (seed << 1) | 1, seed: seed}
 	r.state = 0
 	r.Uint32()
 	r.state += seed
@@ -28,6 +29,26 @@ func NewRNG(seed uint64) *RNG {
 // traffic source its own stream so adding a source does not perturb others.
 func (r *RNG) Fork() *RNG {
 	return NewRNG(uint64(r.Uint32())<<32 | uint64(r.Uint32()))
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al. 2014): a bijective
+// mixer whose outputs over sequential inputs pass statistical tests, making
+// it the standard way to derive independent seeds from a counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Substream returns the i-th derived generator of r's seed. Unlike Fork,
+// the derivation depends only on the seed r was constructed with — not on
+// how much of r's stream has been consumed — so Substream(i) is identical
+// no matter when or where it is called. The parallel sweep runner gives
+// point i Substream(i), which is what makes sweep results byte-identical
+// at any worker count and any execution order.
+func (r *RNG) Substream(i uint64) *RNG {
+	return NewRNG(splitmix64(r.seed ^ splitmix64(i)))
 }
 
 // Uint32 returns the next 32 random bits.

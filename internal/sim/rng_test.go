@@ -156,6 +156,57 @@ func TestForkIndependence(t *testing.T) {
 	}
 }
 
+func TestSubstreamDeterminism(t *testing.T) {
+	a, b := NewRNG(42).Substream(7), NewRNG(42).Substream(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same substream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSubstreamIgnoresConsumption(t *testing.T) {
+	fresh := NewRNG(42)
+	drained := NewRNG(42)
+	for i := 0; i < 500; i++ {
+		drained.Uint64()
+	}
+	a, b := fresh.Substream(3), drained.Substream(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Substream depends on parent consumption position")
+		}
+	}
+}
+
+func TestSubstreamIndependence(t *testing.T) {
+	r := NewRNG(42)
+	// Distinct indices must give uncorrelated streams; also check each
+	// substream differs from the parent's own stream.
+	streams := []*RNG{r.Substream(0), r.Substream(1), r.Substream(2), NewRNG(42)}
+	const draws = 200
+	vals := make([][]uint32, len(streams))
+	for i, s := range streams {
+		vals[i] = make([]uint32, draws)
+		for j := range vals[i] {
+			vals[i][j] = s.Uint32()
+		}
+	}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			same := 0
+			for k := 0; k < draws; k++ {
+				if vals[i][k] == vals[j][k] {
+					same++
+				}
+			}
+			if same > 4 {
+				t.Errorf("streams %d and %d matched on %d/%d draws", i, j, same, draws)
+			}
+		}
+	}
+}
+
 func TestShuffle(t *testing.T) {
 	r := NewRNG(31)
 	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}

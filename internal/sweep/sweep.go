@@ -1,0 +1,92 @@
+// Package sweep runs embarrassingly-parallel experiment parameter sweeps
+// across cores without giving up the repo's determinism invariant.
+//
+// The engine in internal/sim is single-threaded by design; what CAN run
+// concurrently are whole independent simulations — one per sweep point
+// (a deployment fraction, a placement strategy, a topology size). Run
+// executes points on a bounded worker pool and guarantees the results are
+// byte-identical at any worker count:
+//
+//   - every point gets its own RNG derived by sim.RNG.Substream(point) from
+//     the sweep seed alone, so randomness never depends on which worker ran
+//     the point or in what order;
+//   - results land in a slice indexed by point, so aggregation order is the
+//     point order, not the completion order;
+//   - points may share read-only substrate (Substrate: topology, routing
+//     trees, compiled ownership tries) but own all mutable state.
+//
+// DESIGN.md §7 spells out the determinism proof obligations.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dtc/internal/sim"
+)
+
+// Run executes fn for points 0..n-1 on workers goroutines and returns the
+// results indexed by point. workers <= 0 means GOMAXPROCS. Each call gets
+// rng = sim.NewRNG(seed).Substream(point), private to the point. fn must
+// not touch state shared with other points except read-only substrate.
+//
+// On error Run cancels remaining points (points already started still
+// finish) and returns the error of the lowest-numbered failing point —
+// again independent of scheduling.
+func Run[T any](n, workers int, seed uint64, fn func(point int, rng *sim.RNG) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	root := sim.NewRNG(seed)
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, no atomics, identical results.
+		for i := 0; i < n; i++ {
+			r, err := fn(i, root.Substream(uint64(i)))
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i, root.Substream(uint64(i)))
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
