@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race race-experiment vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
+.PHONY: all check build test race race-experiment race-live vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
 
 all: build vet fmtcheck test
+
+# The pre-commit gate: everything `all` runs, one word to type.
+check: all
 
 build:
 	$(GO) build ./...
@@ -31,17 +34,24 @@ race:
 race-experiment:
 	$(GO) test -race ./internal/experiment ./internal/sweep ./internal/routing ./internal/flowsim
 
+# Race-check the live server core and the telemetry/defense subsystem it
+# drives: concurrent control-plane clients, watch streams, HTTP scrapes and
+# the wall-clock simulation loop all share one process.
+race-live:
+	$(GO) test -race ./internal/live ./internal/ctl ./internal/telemetry ./internal/defense
+
 # Short fuzz pass over the wire-format and parser fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzParsePrefix -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzParseAddr -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzSnapshotUnmarshal -fuzztime=10s ./internal/telemetry/
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.
-MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch
-BENCH_OUT ?= BENCH_PR3.json
-BENCH_BASE ?= BENCH_PR1.json
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR3.json
 
 bench:
 	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)

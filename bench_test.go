@@ -10,8 +10,11 @@ package dtc_test
 // and regenerate the full-size tables with `go run ./cmd/ddosim -all`.
 
 import (
+	"fmt"
+	"io"
 	"testing"
 
+	"dtc/internal/defense"
 	"dtc/internal/device"
 	"dtc/internal/device/modules"
 	"dtc/internal/experiment"
@@ -22,6 +25,7 @@ import (
 	"dtc/internal/routing"
 	"dtc/internal/sim"
 	"dtc/internal/sweep"
+	"dtc/internal/telemetry"
 	"dtc/internal/topology"
 )
 
@@ -223,6 +227,75 @@ func BenchmarkE10InternetScale(b *testing.B) { benchExperiment(b, "e10") }
 
 // BenchmarkE11SYNFlood runs the SYN-flood mitigation experiment.
 func BenchmarkE11SYNFlood(b *testing.B) { benchExperiment(b, "e11") }
+
+// BenchmarkE12ClosedLoop runs the telemetry-driven adaptive mitigation
+// sweep (detect → mitigate → retract over the full pipeline).
+func BenchmarkE12ClosedLoop(b *testing.B) { benchExperiment(b, "e12") }
+
+// BenchmarkTelemetryWire measures one snapshot round trip through the
+// canonical wire format — the per-device, per-report cost of the telemetry
+// pipeline.
+func BenchmarkTelemetryWire(b *testing.B) {
+	snap := &telemetry.Snapshot{Node: 3, At: 5_000_000_000, Seen: 123456, Redirected: 2345, Discarded: 99}
+	for i := 0; i < 8; i++ {
+		snap.Services = append(snap.Services, telemetry.ServiceCounters{
+			Owner: fmt.Sprintf("owner-%02d", i), Stage: uint8(i % 2), Processed: uint64(1000 * i), Discarded: uint64(i),
+		})
+	}
+	snap.Normalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out telemetry.Snapshot
+		if err := out.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorObserve measures one detector decision — the per-tick
+// control-plane cost of the defense loop.
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := defense.NewDetector(defense.DetectorConfig{Threshold: 1e12}) // never fires: steady-state path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pps := 100.0
+		if i%16 == 0 {
+			pps = 5000
+		}
+		d.Observe(sim.Time(i)*sim.Millisecond, pps)
+	}
+}
+
+// BenchmarkPromExposition measures one /metrics render over a store holding
+// 64 devices with per-owner service counters.
+func BenchmarkPromExposition(b *testing.B) {
+	store := telemetry.NewStore(0)
+	for node := 0; node < 64; node++ {
+		isp := fmt.Sprintf("isp%d", node/16)
+		for t := int64(0); t < 2; t++ {
+			store.Ingest(isp, &telemetry.Snapshot{
+				Node: uint32(node), At: 1_000_000_000 * (t + 1), Seen: uint64(1000 * (t + 1)),
+				Services: []telemetry.ServiceCounters{
+					{Owner: "alice", Stage: 1, Processed: uint64(300 * (t + 1))},
+					{Owner: "bob", Stage: 0, Processed: uint64(70 * (t + 1))},
+				},
+			})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.WriteProm(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // sweepBenchWorld builds the fixed E10-shaped workload the sweep
 // benchmarks share: a power-law graph, a spoofed flow set, and the

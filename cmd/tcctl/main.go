@@ -7,6 +7,8 @@
 //	tcctl -addr 127.0.0.1:7700 update   -keyfile demo.key -component limit -rate 500
 //	tcctl -addr 127.0.0.1:7700 counters -keyfile demo.key
 //	tcctl -addr 127.0.0.1:7700 events   -keyfile demo.key
+//	tcctl -addr 127.0.0.1:7700 watch    -n 10
+//	tcctl -addr 127.0.0.1:7700 defense
 package main
 
 import (
@@ -15,11 +17,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"time"
 
 	"dtc/internal/auth"
 	"dtc/internal/ctl"
+	"dtc/internal/defense"
+	"dtc/internal/live"
 	"dtc/internal/nms"
 	"dtc/internal/service"
 )
@@ -59,19 +65,68 @@ func (kf *keyFile) save(path string) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "TCSP address")
+	retries := flag.Int("retries", 3, "dial attempts before giving up (exponential backoff)")
+	backoff := flag.Duration("backoff", 200*time.Millisecond, "initial dial retry backoff")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (0 disables; watch streams are exempt)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tcctl [-addr host:port] register|deploy|update|counters|events|activate|deactivate [options]")
+		fmt.Fprintln(os.Stderr, "usage: tcctl [-addr host:port] register|deploy|update|counters|events|activate|deactivate|watch|defense [options]")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
-	client, err := ctl.Dial(*addr)
+	client, err := ctl.DialRetry(*addr, *retries, *backoff)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.SetTimeout(*timeout)
 	tc := ctl.NewTCSPClient(client)
+
+	switch cmd {
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		count := fs.Int("n", 0, "stop after this many updates (0 = until interrupted)")
+		if err := fs.Parse(args); err != nil {
+			log.Fatal(err)
+		}
+		st, err := client.Subscribe("watch", &live.WatchParams{Count: *count})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			var u live.WatchUpdate
+			err := st.Recv(&u)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			state := "monitoring"
+			if u.Mitigating {
+				state = "MITIGATING"
+			}
+			fmt.Printf("t=%8.2fs offered=%8.1fpps discarded=%8.1fpps devices=%d score=%6.1f %s\n",
+				float64(u.AtNanos)/1e9, u.OfferedPPS, u.DiscardedPPS, u.Devices, u.Score, state)
+		}
+
+	case "defense":
+		var st defense.Status
+		if err := client.Call("defense", nil, &st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("owner=%s mitigating=%v disabled=%v baseline=%.1fpps score=%.1f last=%.1fpps\n",
+			st.Owner, st.Mitigating, st.Disabled, st.BaselinePPS, st.Score, st.LastPPS)
+		for _, tr := range st.Transitions {
+			verb := "retracted"
+			if tr.Mitigating {
+				verb = "deployed"
+			}
+			fmt.Printf("  t=%8.2fs mitigation %s (%.1f pps)\n", float64(tr.At)/1e9, verb, tr.PPS)
+		}
+		return
+	}
 
 	switch cmd {
 	case "register":

@@ -1,190 +1,75 @@
 // Command tcsd runs a live traffic-control service: a TCSP server and one
-// NMS server per ISP on TCP loopback, managing adaptive devices on a
-// simulated Internet whose data plane advances in real time. Use cmd/tcctl
-// to register, deploy services and read counters while background traffic
-// (a legitimate client plus a UDP flood) crosses the network.
+// NMS server per ISP on TCP, managing adaptive devices on a simulated
+// Internet whose data plane advances in real time, with a telemetry
+// pipeline, an optional closed-loop defense controller, and an HTTP
+// observability endpoint (/metrics, /healthz, /debug/pprof). Use cmd/tcctl
+// to register, deploy services, read counters and watch live telemetry
+// while background traffic (a legitimate client plus a UDP flood) crosses
+// the network.
 //
-//	tcsd -addr 127.0.0.1:7700 -isps 2
+//	tcsd -addr 127.0.0.1:7700 -isps 2 -http 127.0.0.1:7790 -defense
+//
+// The heavy lifting lives in internal/live so the identical server core
+// runs under the race detector in tests.
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
-	"dtc/internal/auth"
-	"dtc/internal/ctl"
-	"dtc/internal/netsim"
-	"dtc/internal/nms"
-	"dtc/internal/ownership"
-	"dtc/internal/packet"
+	"dtc/internal/live"
 	"dtc/internal/sim"
-	"dtc/internal/tcsp"
-	"dtc/internal/topology"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7700", "TCSP listen address (NMS servers use the following ports)")
-		nISPs = flag.Int("isps", 2, "number of ISPs")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		addr      = flag.String("addr", "127.0.0.1:7700", "TCSP listen address (NMS servers use the following ports)")
+		httpAddr  = flag.String("http", "127.0.0.1:7790", "HTTP observability address (/metrics, /healthz, pprof); empty disables")
+		nISPs     = flag.Int("isps", 2, "number of ISPs")
+		seedV     = flag.Uint64("seed", 1, "simulation seed")
+		telemetry = flag.Duration("telemetry", 500*time.Millisecond, "device snapshot/report period")
+		defense   = flag.Bool("defense", false, "enable the closed-loop defense controller for the demo block")
+		limit     = flag.Float64("defense-limit", 100, "mitigation rate limit (packets/s per device)")
+		legit     = flag.Float64("legit", 50, "legitimate background traffic (pps, negative disables)")
+		attack    = flag.Float64("attack", 500, "attack background traffic (pps, negative disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *nISPs, *seed); err != nil {
+
+	srv, err := live.Start(live.Config{
+		Addr:            *addr,
+		HTTPAddr:        *httpAddr,
+		ISPs:            *nISPs,
+		Seed:            *seedV,
+		TelemetryPeriod: sim.Time(*telemetry),
+		Defense:         *defense,
+		DefenseLimitPPS: *limit,
+		LegitPPS:        *legit,
+		AttackPPS:       *attack,
+		Logf:            log.Printf,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func run(addr string, nISPs int, seed uint64) error {
-	if nISPs < 1 {
-		return fmt.Errorf("need at least one ISP")
-	}
-	// World: a line of 4 routers per ISP. The user-facing address plan is
-	// printed below.
-	nodesPerISP := 4
-	n := nISPs * nodesPerISP
-	g := topology.Line(n)
-	s := sim.New(seed)
-	network, err := netsim.New(s, g, netsim.DefaultLink)
-	if err != nil {
-		return err
-	}
-	authority := ownership.NewRegistry()
-	// The demo user may claim the last node's block; the authority is
-	// seeded accordingly (in production this is ARIN/RIPE data).
-	victimPfx := netsim.NodePrefix(n - 1)
-	if err := authority.Allocate(victimPfx, "demo"); err != nil {
-		return err
-	}
-
-	caID, err := auth.NewIdentity("tcsp", nil)
-	if err != nil {
-		return err
-	}
-	// The simulation advances on wall time; one mutex serializes data
-	// plane and control plane.
-	var mu sync.Mutex
-	start := time.Now()
-	clock := func() int64 { return int64(time.Since(start) / time.Second) }
-	tc := tcsp.New(caID, authority, clock)
-
-	locked := func(h ctl.Handler) ctl.Handler {
-		return func(method string, payload json.RawMessage) (any, error) {
-			mu.Lock()
-			defer mu.Unlock()
-			return h(method, payload)
-		}
-	}
-
-	host, portStr, err := net.SplitHostPort(addr)
-	if err != nil {
-		return err
-	}
-	var port int
-	if _, err := fmt.Sscanf(portStr, "%d", &port); err != nil {
-		return err
-	}
-
-	for i := 0; i < nISPs; i++ {
-		name := fmt.Sprintf("isp%d", i+1)
-		var nodes []int
-		for j := 0; j < nodesPerISP; j++ {
-			nodes = append(nodes, i*nodesPerISP+j)
-		}
-		m, err := nms.New(name, network, nodes, tc.PublicKey(), clock)
-		if err != nil {
-			return err
-		}
-		ln, err := net.Listen("tcp", fmt.Sprintf("%s:%d", host, port+1+i))
-		if err != nil {
-			return err
-		}
-		srv := ctl.NewServer(ln, locked(ctl.NMSHandler(m)))
-		defer srv.Close()
-		if err := tc.AddISP(name, m); err != nil {
-			return err
-		}
-		log.Printf("NMS %s listening on %s (nodes %v)", name, ln.Addr(), nodes)
-	}
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	srv := ctl.NewServer(ln, locked(ctl.TCSPHandler(tc)))
 	defer srv.Close()
-	log.Printf("TCSP listening on %s", ln.Addr())
-	log.Printf("demo user owns %v — e.g.: tcctl -addr %s register -user demo -prefix %v -keyfile /tmp/demo.key",
-		victimPfx, ln.Addr(), victimPfx)
 
-	// Background traffic: a legitimate client on node 0 and a UDP flood
-	// from node 1, both aimed at a host in the demo user's block.
-	mu.Lock()
-	victim, err := network.AttachHost(n - 1)
-	if err != nil {
-		mu.Unlock()
-		return err
-	}
-	legit, err := network.AttachHost(0)
-	if err != nil {
-		mu.Unlock()
-		return err
-	}
-	agent, err := network.AttachHost(min(1, n-1))
-	if err != nil {
-		mu.Unlock()
-		return err
-	}
-	legit.StartCBR(0, 50, func(uint64) *packet.Packet {
-		return &packet.Packet{Src: legit.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
-	})
-	agent.StartCBR(0, 500, func(uint64) *packet.Packet {
-		return &packet.Packet{Src: agent.Addr, Dst: victim.Addr, Proto: packet.UDP, DstPort: 9, Size: 400, Kind: packet.KindAttack}
-	})
-	mu.Unlock()
-	log.Printf("background traffic: legit 50 pps (TCP:80), attack 500 pps (UDP:9) -> %v", victim.Addr)
-
-	// Advance simulated time in step with wall time.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(100 * time.Millisecond)
-	defer tick.Stop()
 	report := time.NewTicker(5 * time.Second)
 	defer report.Stop()
 	for {
 		select {
-		case <-tick.C:
-			mu.Lock()
-			if _, err := s.Run(sim.Time(time.Since(start))); err != nil {
-				mu.Unlock()
-				return err
-			}
-			mu.Unlock()
 		case <-report.C:
-			mu.Lock()
-			st := network.Stats
-			log.Printf("victim: legit=%d attack=%d delivered; filter drops legit=%d attack=%d",
-				victim.Delivered[packet.KindLegit], victim.Delivered[packet.KindAttack],
-				st.Drops[netsim.DropFilter][packet.KindLegit].Packets,
-				st.Drops[netsim.DropFilter][packet.KindAttack].Packets)
-			mu.Unlock()
+			legit, attack := srv.VictimDelivered()
+			st := srv.Defense()
+			log.Printf("victim: legit=%d attack=%d delivered; defense: mitigating=%v baseline=%.0fpps score=%.0f",
+				legit, attack, st.Mitigating, st.BaselinePPS, st.Score)
 		case <-stop:
 			log.Printf("shutting down")
-			return nil
+			return
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,11 +1,13 @@
 // Reflector defense: the paper's headline scenario (Figure 1 + §4.3).
 //
 // A botnet aims DNS reflectors at a web service by spoofing the victim's
-// address on its requests. The example runs the attack three times —
+// address on its requests. The example runs the attack four times —
 // undefended, with a naive reflector blacklist (what a traceback-driven
-// reaction would install), and with the paper's source-stage anti-spoofing
-// service — and prints the victim's goodput and the collateral damage on
-// the reflectors' legitimate DNS service.
+// reaction would install), with the closed-loop adaptive controller that
+// detects the flood from the network-wide telemetry stream and deploys a
+// rate limit on its own, and with the paper's source-stage anti-spoofing
+// service — and prints the victim's goodput, the collateral damage on the
+// reflectors' legitimate DNS service, and how fast each defense engaged.
 //
 //	go run ./examples/reflector_defense
 package main
@@ -16,6 +18,7 @@ import (
 
 	dtc "dtc"
 	"dtc/internal/attack"
+	"dtc/internal/defense"
 	"dtc/internal/netsim"
 	"dtc/internal/nms"
 	"dtc/internal/packet"
@@ -30,9 +33,10 @@ type outcome struct {
 	dnsGoodput    float64
 	backscatter   uint64
 	attackDropped uint64
+	reactMS       float64 // closed loop only; -1 = manual/none
 }
 
-func run(defense string) (outcome, error) {
+func run(mode string) (outcome, error) {
 	seed := uint64(7)
 	s := sim.New(seed)
 	g, err := topology.TransitStub(6, 5, 0.2, s.RNG())
@@ -60,7 +64,39 @@ func run(defense string) (outcome, error) {
 		return outcome{}, err
 	}
 
-	switch defense {
+	var ctrl *defense.Controller
+	switch mode {
+	case "adaptive closed loop":
+		// Nobody deploys anything by hand: the controller watches the
+		// telemetry stream for UDP toward the victim and reacts itself.
+		// The limit is destination-stage, so like the blacklist it cannot
+		// tell reflected floods from the victim's own DNS replies.
+		ctrl, err = defense.NewController(defense.Config{
+			Owner:    "victim-ops",
+			Prefixes: []packet.Prefix{netsim.NodePrefix(victimNode)},
+			Match:    service.MatchSpec{Proto: "udp"},
+			LimitPPS: 100,
+			Detector: defense.DetectorConfig{Threshold: 100, Warmup: 6, Hold: 3},
+		}, world.TCSP.Telemetry())
+		if err != nil {
+			return outcome{}, err
+		}
+		for _, name := range world.ISPNames() {
+			ctrl.AddISP(name, world.ISPs[name])
+		}
+		if err := ctrl.Start(); err != nil {
+			return outcome{}, err
+		}
+		world.Sim.NewTicker(20*sim.Millisecond, func(now sim.Time) {
+			for _, name := range world.ISPNames() {
+				if err := world.TCSP.Report(name, world.ISPs[name].Snapshot(int64(now))); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := ctrl.Step(now); err != nil {
+				log.Fatal(err)
+			}
+		})
 	case "blacklist reflectors":
 		bl := service.BlacklistSources("block-reflectors")
 		for _, r := range reflectors {
@@ -110,21 +146,33 @@ func run(defense string) (outcome, error) {
 	if err != nil {
 		return outcome{}, err
 	}
+	// The attack starts after a calm window — the adaptive controller uses
+	// it to learn the victim's normal UDP load before anything burns.
+	onset := 200 * sim.Millisecond
 	dur := 500 * sim.Millisecond
-	if err := botnet.LaunchReflectorAttack(10*sim.Millisecond, reflectors, attack.ReflectDNS,
+	if err := botnet.LaunchReflectorAttack(onset, reflectors, attack.ReflectDNS,
 		web.Server.Host.Addr, 1500, dur); err != nil {
 		return outcome{}, err
 	}
 
-	world.Sim.AfterFunc(dur, func(sim.Time) {
+	world.Sim.AfterFunc(onset+dur, func(sim.Time) {
 		for _, c := range clients {
 			c.Stop()
 		}
 		dnsSrc.Stop()
 		world.Sim.Stop()
 	})
-	if _, err := world.Sim.Run(2 * dur); err != nil {
+	if _, err := world.Sim.Run(2 * (onset + dur)); err != nil {
 		return outcome{}, err
+	}
+	reactMS := -1.0
+	if ctrl != nil {
+		for _, tr := range ctrl.Transitions() {
+			if tr.Mitigating {
+				reactMS = float64(tr.At-onset) / float64(sim.Millisecond)
+				break
+			}
+		}
 	}
 
 	var req, rep uint64
@@ -135,26 +183,35 @@ func run(defense string) (outcome, error) {
 	// Counters exist only when a service was deployed; errors mean zero.
 	_, discarded, _ := owner.Counters("source")
 	return outcome{
-		defense:       defense,
+		defense:       mode,
 		webGoodput:    100 * float64(rep) / float64(req),
 		dnsGoodput:    100 * float64(dnsOK) / float64(dnsSent),
 		backscatter:   web.Server.Host.Delivered[packet.KindReflect],
 		attackDropped: discarded,
+		reactMS:       reactMS,
 	}, nil
 }
 
 func main() {
 	fmt.Println("DDoS reflector attack: 36 agents spoof the victim's address at 5 DNS reflectors")
 	fmt.Println()
-	fmt.Printf("%-22s  %12s  %12s  %12s\n", "defense", "web goodput", "DNS goodput", "backscatter")
-	for _, defense := range []string{"none", "blacklist reflectors", "TCS anti-spoofing"} {
-		o, err := run(defense)
+	fmt.Printf("%-22s  %12s  %12s  %12s  %10s\n", "defense", "web goodput", "DNS goodput", "backscatter", "reaction")
+	for _, mode := range []string{"none", "blacklist reflectors", "adaptive closed loop", "TCS anti-spoofing"} {
+		o, err := run(mode)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s  %11.1f%%  %11.1f%%  %9d pkt\n", o.defense, o.webGoodput, o.dnsGoodput, o.backscatter)
+		react := "manual"
+		if o.reactMS >= 0 {
+			react = fmt.Sprintf("%.0f ms", o.reactMS)
+		} else if o.defense == "none" {
+			react = "-"
+		}
+		fmt.Printf("%-22s  %11.1f%%  %11.1f%%  %9d pkt  %10s\n", o.defense, o.webGoodput, o.dnsGoodput, o.backscatter, react)
 	}
 	fmt.Println()
 	fmt.Println("blacklisting the reflectors restores the web server but cuts off DNS —")
-	fmt.Println("the paper's collateral-damage argument; anti-spoofing near the agents fixes both.")
+	fmt.Println("the paper's collateral-damage argument; the adaptive loop reacts without any")
+	fmt.Println("operator but shares that collateral at the destination stage; anti-spoofing")
+	fmt.Println("near the agents fixes both.")
 }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxMessageBytes bounds a single control message; oversized messages
@@ -83,6 +84,17 @@ func (c *codec) read() (*Envelope, error) {
 // Handler dispatches one request method.
 type Handler func(method string, payload json.RawMessage) (any, error)
 
+// StreamFunc is a handler return value that turns the request into a
+// server-push stream: the function is invoked after the handler returns
+// (so any locks the handler held are released), pushes as many payloads as
+// it wants, and its return ends the stream. The connection stays usable
+// for further requests afterwards.
+type StreamFunc func(push func(v any) error) error
+
+// endOfStream is the in-band sentinel closing a stream; it travels in the
+// Error field so it cannot collide with a stream payload.
+const endOfStream = "ctl: end of stream"
+
 // ServeConn answers requests on conn until it closes.
 func ServeConn(conn net.Conn, h Handler) error {
 	c := newCodec(conn)
@@ -96,6 +108,14 @@ func ServeConn(conn net.Conn, h Handler) error {
 		}
 		resp := &Envelope{ID: req.ID}
 		out, herr := h(req.Method, req.Payload)
+		if herr == nil {
+			if fn, ok := out.(StreamFunc); ok {
+				if err := serveStream(c, req.ID, fn); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		if herr != nil {
 			resp.Error = herr.Error()
 		} else if out != nil {
@@ -110,6 +130,32 @@ func ServeConn(conn net.Conn, h Handler) error {
 			return err
 		}
 	}
+}
+
+// serveStream runs one StreamFunc, pushing payloads under the request ID
+// and terminating with the end-of-stream sentinel (or the stream's error).
+func serveStream(c *codec, id uint64, fn StreamFunc) error {
+	var pushErr error // first transport failure, reported to the caller
+	push := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("ctl: marshal stream payload: %w", err)
+		}
+		if err := c.write(&Envelope{ID: id, Payload: data}); err != nil {
+			pushErr = err
+			return err
+		}
+		return nil
+	}
+	ferr := fn(push)
+	if pushErr != nil {
+		return pushErr // connection is gone; no terminator can be sent
+	}
+	end := &Envelope{ID: id, Error: endOfStream}
+	if ferr != nil {
+		end.Error = ferr.Error()
+	}
+	return c.write(end)
 }
 
 // Server accepts connections and serves a handler on each.
@@ -165,9 +211,11 @@ func (s *Server) Close() error {
 // Client issues requests over one connection. Safe for concurrent use:
 // calls are serialized.
 type Client struct {
-	c      *codec
-	mu     sync.Mutex
-	nextID uint64
+	c         *codec
+	mu        sync.Mutex
+	nextID    uint64
+	timeout   time.Duration
+	streaming bool
 }
 
 // NewClient wraps an established connection.
@@ -180,6 +228,40 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("ctl: dial %s: %w", addr, err)
 	}
 	return NewClient(conn), nil
+}
+
+// DialRetry connects like Dial but retries a refused or failing dial up to
+// attempts times with exponential backoff starting at backoff — the
+// operator-CLI path, where the server may still be coming up.
+func DialRetry(addr string, attempts int, backoff time.Duration) (*Client, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		cl, err := Dial(addr)
+		if err == nil {
+			return cl, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("ctl: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// SetTimeout bounds each subsequent Call's total round trip (write +
+// read). Zero disables deadlines. Stream receives are exempt: a watch
+// stream is expected to sit idle between pushes.
+func (cl *Client) SetTimeout(d time.Duration) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.timeout = d
 }
 
 // Call issues a request and decodes the response payload into out
@@ -195,6 +277,15 @@ func (cl *Client) Call(method string, in, out any) error {
 	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if cl.streaming {
+		return fmt.Errorf("ctl: connection busy with an active stream")
+	}
+	if cl.timeout > 0 {
+		if err := cl.c.conn.SetDeadline(time.Now().Add(cl.timeout)); err != nil {
+			return err
+		}
+		defer cl.c.conn.SetDeadline(time.Time{})
+	}
 	cl.nextID++
 	req := &Envelope{ID: cl.nextID, Method: method, Payload: payload}
 	if err := cl.c.write(req); err != nil {
@@ -216,6 +307,86 @@ func (cl *Client) Call(method string, in, out any) error {
 		}
 	}
 	return nil
+}
+
+// Stream is the client side of a server-push stream.
+type Stream struct {
+	cl   *Client
+	id   uint64
+	done bool
+}
+
+// Subscribe issues a streaming request. Until the stream ends (Recv
+// returns io.EOF or an error) the connection is dedicated to it and Call
+// fails fast.
+func (cl *Client) Subscribe(method string, in any) (*Stream, error) {
+	var payload json.RawMessage
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("ctl: marshal request: %w", err)
+		}
+		payload = data
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.streaming {
+		return nil, fmt.Errorf("ctl: connection busy with an active stream")
+	}
+	cl.nextID++
+	req := &Envelope{ID: cl.nextID, Method: method, Payload: payload}
+	if err := cl.c.write(req); err != nil {
+		return nil, err
+	}
+	cl.streaming = true
+	return &Stream{cl: cl, id: req.ID}, nil
+}
+
+// Recv decodes the next pushed payload into out. It returns io.EOF when
+// the server ends the stream cleanly and the remote error if it aborts;
+// either way the connection is usable for Calls again.
+func (s *Stream) Recv(out any) error {
+	if s.done {
+		return io.EOF
+	}
+	// Streams are idle-tolerant: clear any Call deadline left on the conn.
+	if err := s.cl.c.conn.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	env, err := s.cl.c.read()
+	if err != nil {
+		s.finish()
+		return err
+	}
+	if env.ID != s.id {
+		s.finish()
+		return fmt.Errorf("ctl: stream envelope id %d, want %d", env.ID, s.id)
+	}
+	if env.Error == endOfStream {
+		s.finish()
+		return io.EOF
+	}
+	if env.Error != "" {
+		s.finish()
+		return fmt.Errorf("ctl: remote error: %s", env.Error)
+	}
+	if out != nil && env.Payload != nil {
+		if err := json.Unmarshal(env.Payload, out); err != nil {
+			return fmt.Errorf("ctl: decode stream payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// finish marks the stream over and releases the connection for Calls.
+func (s *Stream) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.cl.mu.Lock()
+	s.cl.streaming = false
+	s.cl.mu.Unlock()
 }
 
 // Close closes the underlying connection.

@@ -8,6 +8,7 @@ import (
 	"dtc/internal/auth"
 	"dtc/internal/nms"
 	"dtc/internal/tcsp"
+	"dtc/internal/telemetry"
 )
 
 // Wire parameter types.
@@ -47,6 +48,15 @@ type RelayResult struct {
 	Errors  []string            `json:"errors,omitempty"`
 }
 
+// ReportParams is the payload of the TCSP "report" method: one ISP's
+// device snapshots in their canonical binary encoding (base64 on the JSON
+// wire), so the envelope stays compact and the strict snapshot validation
+// runs server-side.
+type ReportParams struct {
+	ISP       string   `json:"isp"`
+	Snapshots [][]byte `json:"snapshots"`
+}
+
 // TCSPHandler exposes a TCSP over the wire protocol.
 func TCSPHandler(t *tcsp.TCSP) Handler {
 	return func(method string, payload json.RawMessage) (any, error) {
@@ -77,6 +87,23 @@ func TCSPHandler(t *tcsp.TCSP) Handler {
 				return nil, fmt.Errorf("control: missing signed request")
 			}
 			return t.Control(p.Signed, p.ISPs)
+		case "report":
+			var p ReportParams
+			if err := json.Unmarshal(payload, &p); err != nil {
+				return nil, fmt.Errorf("report: %w", err)
+			}
+			snaps := make([]*telemetry.Snapshot, 0, len(p.Snapshots))
+			for i, raw := range p.Snapshots {
+				var s telemetry.Snapshot
+				if err := s.UnmarshalBinary(raw); err != nil {
+					return nil, fmt.Errorf("report: snapshot %d: %w", i, err)
+				}
+				snaps = append(snaps, &s)
+			}
+			if err := t.Report(p.ISP, snaps); err != nil {
+				return nil, err
+			}
+			return "ok", nil
 		default:
 			return nil, fmt.Errorf("tcsp: unknown method %q", method)
 		}
@@ -153,6 +180,24 @@ func (t *TCSPClient) Deploy(signed *auth.SignedRequest, isps []string) ([]*nms.D
 		return nil, err
 	}
 	return out, nil
+}
+
+// Report uploads one ISP's device snapshots in canonical binary form.
+func (t *TCSPClient) Report(isp string, snaps []*telemetry.Snapshot) error {
+	p := &ReportParams{ISP: isp, Snapshots: make([][]byte, 0, len(snaps))}
+	for _, s := range snaps {
+		raw, err := s.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		p.Snapshots = append(p.Snapshots, raw)
+	}
+	return t.c.Call("report", p, nil)
+}
+
+// Subscribe opens a server-push stream on the underlying connection.
+func (t *TCSPClient) Subscribe(method string, in any) (*Stream, error) {
+	return t.c.Subscribe(method, in)
 }
 
 // Control relays a control request.

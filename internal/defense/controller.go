@@ -1,0 +1,217 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/telemetry"
+)
+
+// Deployer is the slice of an ISP management system the controller needs —
+// nms.NMS satisfies it directly, and the live server can interpose loggers.
+type Deployer interface {
+	DeployOperator(owner string, prefixes []packet.Prefix, spec *service.Spec, sc nms.Scope) (*nms.DeployResult, error)
+}
+
+// Config describes one protected victim and the countermeasure to deploy.
+type Config struct {
+	// Owner keys the deployed services and the telemetry rate queries.
+	Owner string
+	// Prefixes are the victim's address ranges, bound for redirection on
+	// every scoped device.
+	Prefixes []packet.Prefix
+	// Match selects the traffic class the mitigation rate-limits (e.g. UDP
+	// toward the victim). An empty match limits everything.
+	Match service.MatchSpec
+	// LimitPPS/Burst parameterize the mitigation's per-device token bucket
+	// (defaults 50/LimitPPS).
+	LimitPPS float64
+	Burst    float64
+	// Scope selects which routers of each ISP carry the services.
+	Scope nms.Scope
+	// Detector tunes anomaly detection; zero fields take defaults.
+	Detector DetectorConfig
+	// Disabled keeps the controller observing (monitor deployed, detector
+	// running) but never mitigating — the experiment's baseline rows.
+	Disabled bool
+}
+
+// Transition records one mitigation state change for post-hoc analysis.
+type Transition struct {
+	At         sim.Time `json:"at_nanos"`
+	Mitigating bool     `json:"mitigating"`
+	PPS        float64  `json:"pps"`
+}
+
+// Status is the controller's observable state, served by tcsd's defense
+// endpoint.
+type Status struct {
+	Owner       string       `json:"owner"`
+	Mitigating  bool         `json:"mitigating"`
+	Disabled    bool         `json:"disabled,omitempty"`
+	BaselinePPS float64      `json:"baseline_pps"`
+	Score       float64      `json:"score"`
+	LastPPS     float64      `json:"last_pps"`
+	Transitions []Transition `json:"transitions,omitempty"`
+}
+
+// Controller runs the closed loop: read network-wide rates from the
+// telemetry store, detect, deploy mitigation through every ISP, retract
+// when clear. It is safe for concurrent use (the live server steps it from
+// the clock goroutine while HTTP handlers read status).
+type Controller struct {
+	cfg   Config
+	store *telemetry.Store
+
+	mu          sync.Mutex
+	isps        map[string]Deployer
+	names       []string // sorted; deterministic deployment order
+	det         *Detector
+	mitigating  bool
+	lastPPS     float64
+	transitions []Transition
+}
+
+// NewController creates a controller reading rates for cfg.Owner from store.
+func NewController(cfg Config, store *telemetry.Store) (*Controller, error) {
+	if cfg.Owner == "" {
+		return nil, fmt.Errorf("defense: config without owner")
+	}
+	if len(cfg.Prefixes) == 0 {
+		return nil, fmt.Errorf("defense: config without prefixes")
+	}
+	if cfg.LimitPPS <= 0 {
+		cfg.LimitPPS = 50
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.LimitPPS
+	}
+	return &Controller{
+		cfg:   cfg,
+		store: store,
+		isps:  make(map[string]Deployer),
+		det:   NewDetector(cfg.Detector),
+	}, nil
+}
+
+// AddISP registers one ISP's management system under a stable name.
+func (c *Controller) AddISP(name string, d Deployer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.isps[name]; !ok {
+		c.names = append(c.names, name)
+		sort.Strings(c.names)
+	}
+	c.isps[name] = d
+}
+
+// monitorSpec is the calm-state service: a stats module only, so the
+// devices account offered load for the owner without touching traffic.
+func (c *Controller) monitorSpec() *service.Spec {
+	return &service.Spec{
+		Name:  "defense-monitor",
+		Stage: "dest",
+		Components: []service.ComponentSpec{
+			{Type: "stats", Label: "stats", Rules: []service.MatchSpec{c.cfg.Match}},
+		},
+	}
+}
+
+// mitigateSpec is the active-state service: the same stats module (so the
+// detector keeps seeing offered load) followed by a rate limiter on the
+// configured traffic class.
+func (c *Controller) mitigateSpec() *service.Spec {
+	match := c.cfg.Match
+	return &service.Spec{
+		Name:  "defense-mitigate",
+		Stage: "dest",
+		Components: []service.ComponentSpec{
+			{Type: "stats", Label: "stats", Rules: []service.MatchSpec{c.cfg.Match}},
+			{Type: "ratelimit", Label: "limit", Match: &match, Rate: c.cfg.LimitPPS, Burst: c.cfg.Burst},
+		},
+	}
+}
+
+// deployAll pushes spec to every registered ISP in name order. Caller
+// holds mu.
+func (c *Controller) deployAll(spec *service.Spec) error {
+	for _, name := range c.names {
+		if _, err := c.isps[name].DeployOperator(c.cfg.Owner, c.cfg.Prefixes, spec, c.cfg.Scope); err != nil {
+			return fmt.Errorf("defense: isp %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Start deploys the monitor service network-wide; call once after every
+// ISP is registered.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deployAll(c.monitorSpec())
+}
+
+// Step runs one control iteration at the given instant: read the
+// network-wide offered rate, feed the detector, and switch the deployed
+// service on a state change. Because the deployed graphs always begin with
+// the stats-bearing entry (processed counts offered load before any drop),
+// mitigation does not distort the signal the detector consumes.
+func (c *Controller) Step(now sim.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pps, _ := c.store.Rates(c.cfg.Owner, uint8(1)) // dest stage
+	c.lastPPS = pps
+	fired, cleared := c.det.Observe(now, pps)
+	if c.cfg.Disabled {
+		return nil
+	}
+	switch {
+	case fired && !c.mitigating:
+		if err := c.deployAll(c.mitigateSpec()); err != nil {
+			return err
+		}
+		c.mitigating = true
+		c.transitions = append(c.transitions, Transition{At: now, Mitigating: true, PPS: pps})
+	case cleared && c.mitigating:
+		if err := c.deployAll(c.monitorSpec()); err != nil {
+			return err
+		}
+		c.mitigating = false
+		c.transitions = append(c.transitions, Transition{At: now, Mitigating: false, PPS: pps})
+	}
+	return nil
+}
+
+// Mitigating reports whether the mitigation service is currently deployed.
+func (c *Controller) Mitigating() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mitigating
+}
+
+// Transitions returns the mitigation state changes so far.
+func (c *Controller) Transitions() []Transition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Transition(nil), c.transitions...)
+}
+
+// Status snapshots the controller state for the control-plane API.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Owner:       c.cfg.Owner,
+		Mitigating:  c.mitigating,
+		Disabled:    c.cfg.Disabled,
+		BaselinePPS: c.det.Baseline(),
+		Score:       c.det.Score(),
+		LastPPS:     c.lastPPS,
+		Transitions: append([]Transition(nil), c.transitions...),
+	}
+}

@@ -1,0 +1,157 @@
+package defense
+
+import (
+	"testing"
+
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/telemetry"
+)
+
+// fakeISP records the specs deployed through it.
+type fakeISP struct {
+	name    string
+	deploys []string
+}
+
+func (f *fakeISP) DeployOperator(owner string, prefixes []packet.Prefix, spec *service.Spec, sc nms.Scope) (*nms.DeployResult, error) {
+	f.deploys = append(f.deploys, spec.Name)
+	return &nms.DeployResult{ISP: f.name, Nodes: []int{0}}, nil
+}
+
+func testConfig(t *testing.T, disabled bool) Config {
+	t.Helper()
+	p, err := packet.ParsePrefix("10.4.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Owner:    "victim",
+		Prefixes: []packet.Prefix{p},
+		Match:    service.MatchSpec{Proto: "udp"},
+		LimitPPS: 50,
+		// Warmup 4: the first controller step sees a zero rate (one
+		// snapshot in the store is not enough for a delta), so the mean
+		// needs a few real samples behind it.
+		Detector: DetectorConfig{Threshold: 50, FloorPPS: 50, Hold: 3, Warmup: 4},
+		Disabled: disabled,
+	}
+}
+
+// loop drives a controller against a synthetic telemetry feed: every 100ms
+// it ingests a snapshot whose processed counter advanced by pps/10 packets,
+// then steps the controller.
+type loop struct {
+	t         *testing.T
+	ctrl      *Controller
+	store     *telemetry.Store
+	now       sim.Time
+	processed uint64
+}
+
+func (l *loop) run(steps int, pps float64) {
+	l.t.Helper()
+	for i := 0; i < steps; i++ {
+		l.now += 100 * sim.Millisecond
+		l.processed += uint64(pps / 10)
+		l.store.Ingest("isp1", &telemetry.Snapshot{
+			Node: 1, At: int64(l.now),
+			Services: []telemetry.ServiceCounters{
+				{Owner: "victim", Stage: 1, Processed: l.processed},
+			},
+		})
+		if err := l.ctrl.Step(l.now); err != nil {
+			l.t.Fatalf("Step: %v", err)
+		}
+	}
+}
+
+func TestControllerClosedLoop(t *testing.T) {
+	store := telemetry.NewStore(0)
+	ctrl, err := NewController(testConfig(t, false), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &fakeISP{name: "isp1"}, &fakeISP{name: "isp2"}
+	ctrl.AddISP("isp2", b)
+	ctrl.AddISP("isp1", a)
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, isp := range []*fakeISP{a, b} {
+		if len(isp.deploys) != 1 || isp.deploys[0] != "defense-monitor" {
+			t.Fatalf("%s: Start deploys = %v", isp.name, isp.deploys)
+		}
+	}
+
+	l := &loop{t: t, ctrl: ctrl, store: store}
+	l.run(10, 100) // calm baseline
+	if ctrl.Mitigating() {
+		t.Fatal("mitigating under calm traffic")
+	}
+	l.run(5, 2000) // attack
+	if !ctrl.Mitigating() {
+		t.Fatalf("no mitigation under 20x overload (status %+v)", ctrl.Status())
+	}
+	for _, isp := range []*fakeISP{a, b} {
+		if isp.deploys[len(isp.deploys)-1] != "defense-mitigate" {
+			t.Fatalf("%s: deploys = %v", isp.name, isp.deploys)
+		}
+	}
+	l.run(6, 100) // attack subsides; hold=3 then retract
+	if ctrl.Mitigating() {
+		t.Fatal("mitigation not retracted after attack subsided")
+	}
+	for _, isp := range []*fakeISP{a, b} {
+		if isp.deploys[len(isp.deploys)-1] != "defense-monitor" {
+			t.Fatalf("%s: deploys = %v", isp.name, isp.deploys)
+		}
+	}
+
+	tr := ctrl.Transitions()
+	if len(tr) != 2 || !tr[0].Mitigating || tr[1].Mitigating {
+		t.Fatalf("transitions = %+v", tr)
+	}
+	st := ctrl.Status()
+	if st.Owner != "victim" || st.Mitigating || len(st.Transitions) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestControllerDisabledObservesOnly(t *testing.T) {
+	store := telemetry.NewStore(0)
+	ctrl, err := NewController(testConfig(t, true), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp := &fakeISP{name: "isp1"}
+	ctrl.AddISP("isp1", isp)
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l := &loop{t: t, ctrl: ctrl, store: store}
+	l.run(10, 100)
+	l.run(10, 5000)
+	if ctrl.Mitigating() {
+		t.Fatal("disabled controller mitigated")
+	}
+	if len(isp.deploys) != 1 {
+		t.Fatalf("disabled controller deployed beyond Start: %v", isp.deploys)
+	}
+	// The detector still tracked the anomaly — operators see it in status.
+	if st := ctrl.Status(); !ctrl.det.Active() || st.LastPPS < 4000 {
+		t.Fatalf("disabled controller lost the signal: %+v", st)
+	}
+}
+
+func TestControllerConfigValidation(t *testing.T) {
+	store := telemetry.NewStore(0)
+	if _, err := NewController(Config{}, store); err == nil {
+		t.Fatal("accepted config without owner")
+	}
+	if _, err := NewController(Config{Owner: "x"}, store); err == nil {
+		t.Fatal("accepted config without prefixes")
+	}
+}

@@ -1,0 +1,150 @@
+// Package defense closes the loop the paper leaves to the operator: it
+// watches the telemetry store's network-wide rates, detects a volume
+// anomaly against a learned baseline, and drives service re-deployments
+// through the ISPs' management systems — mitigation on detection,
+// retraction with hysteresis once traffic subsides. Everything is driven
+// off timestamps the caller supplies (sim.Time in simulation, wall-derived
+// in the live server), so the loop is deterministic under test.
+package defense
+
+import (
+	"dtc/internal/sim"
+)
+
+// DetectorConfig tunes the anomaly detector. Zero fields take defaults.
+type DetectorConfig struct {
+	// Alpha is the EWMA weight for baseline updates (default 0.2).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Slack is the tolerated fraction above baseline (default 0.5): rates
+	// up to baseline*(1+Slack) accumulate no anomaly score.
+	Slack float64 `json:"slack,omitempty"`
+	// FloorPPS is the minimum allowed rate regardless of baseline (default
+	// 50): keeps a near-idle victim from tripping on trickles.
+	FloorPPS float64 `json:"floor_pps,omitempty"`
+	// Threshold is the CUSUM score (excess packets) that fires detection
+	// (default 50).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Warmup is how many observations seed the baseline before detection
+	// can fire (default 3). Warmup samples define "normal": a detector
+	// started mid-flood learns the flood as its baseline, the standard
+	// limitation of baseline-learning anomaly detection.
+	Warmup int `json:"warmup,omitempty"`
+	// Hold is how many consecutive calm observations clear an active
+	// detection (default 3) — the hysteresis that prevents flapping.
+	Hold int `json:"hold,omitempty"`
+}
+
+func (c *DetectorConfig) withDefaults() DetectorConfig {
+	out := *c
+	if out.Alpha <= 0 || out.Alpha > 1 {
+		out.Alpha = 0.2
+	}
+	if out.Slack <= 0 {
+		out.Slack = 0.5
+	}
+	if out.FloorPPS <= 0 {
+		out.FloorPPS = 50
+	}
+	if out.Threshold <= 0 {
+		out.Threshold = 50
+	}
+	if out.Warmup <= 0 {
+		out.Warmup = 3
+	}
+	if out.Hold <= 0 {
+		out.Hold = 3
+	}
+	return out
+}
+
+// Detector is an EWMA-baseline CUSUM detector with clear-side hysteresis.
+// It integrates rate excess over time, so a threshold of T fires after T
+// excess packets whether they arrive as a spike or a sustained overload.
+type Detector struct {
+	cfg DetectorConfig
+
+	baseline float64
+	score    float64
+	seen     int
+	calm     int
+	active   bool
+	lastAt   sim.Time
+	started  bool
+}
+
+// NewDetector creates a detector; zero config fields take defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Active reports whether a detection is currently in force.
+func (d *Detector) Active() bool { return d.active }
+
+// Baseline returns the learned calm-traffic rate.
+func (d *Detector) Baseline() float64 { return d.baseline }
+
+// Score returns the current CUSUM excess (packets above allowance).
+func (d *Detector) Score() float64 { return d.score }
+
+// Observe feeds one rate sample taken at now. It returns fired=true on the
+// calm->active transition and cleared=true on active->calm.
+func (d *Detector) Observe(now sim.Time, pps float64) (fired, cleared bool) {
+	var dt float64
+	if d.started {
+		dt = float64(now-d.lastAt) / 1e9
+		if dt < 0 {
+			dt = 0
+		}
+	} else {
+		d.started = true
+	}
+	d.lastAt = now
+	d.seen++
+
+	if d.seen <= d.cfg.Warmup {
+		// Warmup: learn the baseline as a running mean, suppress detection.
+		d.baseline += (pps - d.baseline) / float64(d.seen)
+		return false, false
+	}
+
+	allow := d.baseline * (1 + d.cfg.Slack)
+	if allow < d.cfg.FloorPPS {
+		allow = d.cfg.FloorPPS
+	}
+
+	if excess := (pps - allow) * dt; excess > 0 {
+		d.score += excess
+	} else if !d.active {
+		// Calm sample while calm: decay the score so isolated blips do not
+		// accumulate into a detection, and track the shifting baseline.
+		d.score = 0
+		// Baseline learns only from in-allowance samples — an ongoing flood
+		// must not poison the notion of "normal".
+		if pps <= allow {
+			d.baseline += d.cfg.Alpha * (pps - d.baseline)
+		}
+	}
+
+	if !d.active {
+		if d.score >= d.cfg.Threshold {
+			d.active = true
+			d.calm = 0
+			return true, false
+		}
+		return false, false
+	}
+
+	// Active: count consecutive calm samples toward the hysteresis hold.
+	if pps <= allow {
+		d.calm++
+		if d.calm >= d.cfg.Hold {
+			d.active = false
+			d.score = 0
+			d.calm = 0
+			return false, true
+		}
+	} else {
+		d.calm = 0
+	}
+	return false, false
+}

@@ -1,0 +1,107 @@
+package defense
+
+import (
+	"testing"
+
+	"dtc/internal/sim"
+)
+
+// feed observes a constant rate every 100ms for n steps starting at t,
+// returning the time after the last step and whether fire/clear happened.
+func feed(d *Detector, t sim.Time, n int, pps float64) (sim.Time, bool, bool) {
+	var fired, cleared bool
+	for i := 0; i < n; i++ {
+		f, c := d.Observe(t, pps)
+		fired = fired || f
+		cleared = cleared || c
+		t += 100 * sim.Millisecond
+	}
+	return t, fired, cleared
+}
+
+func TestDetectorFireAndClear(t *testing.T) {
+	d := NewDetector(DetectorConfig{Threshold: 50, FloorPPS: 50, Hold: 3})
+	// Calm warmup at 100pps.
+	now, fired, _ := feed(d, 0, 10, 100)
+	if fired {
+		t.Fatal("fired during calm warmup")
+	}
+	if d.Active() {
+		t.Fatal("active without attack")
+	}
+	b := d.Baseline()
+	if b < 99 || b > 101 {
+		t.Fatalf("baseline = %v, want ~100", b)
+	}
+	// Attack at 2000pps: excess ~ (2000-150)*0.1 = 185 per step -> fires
+	// on the first attack observation with a positive dt.
+	now, fired, _ = feed(d, now, 3, 2000)
+	if !fired || !d.Active() {
+		t.Fatalf("detector did not fire under 20x overload (score %v)", d.Score())
+	}
+	// Baseline must not have been poisoned by attack samples.
+	if d.Baseline() > b+1 {
+		t.Fatalf("baseline grew during attack: %v -> %v", b, d.Baseline())
+	}
+	// Back to calm: needs Hold consecutive calm samples.
+	now, _, cleared := feed(d, now, 2, 100)
+	if cleared {
+		t.Fatal("cleared before hold expired")
+	}
+	_, _, cleared = feed(d, now, 2, 100)
+	if !cleared || d.Active() {
+		t.Fatal("detector did not clear after sustained calm")
+	}
+}
+
+func TestDetectorHysteresisResistsFlap(t *testing.T) {
+	d := NewDetector(DetectorConfig{Threshold: 50, FloorPPS: 50, Hold: 3})
+	now, _, _ := feed(d, 0, 5, 100)
+	now, fired, _ := feed(d, now, 2, 3000)
+	if !fired {
+		t.Fatal("did not fire")
+	}
+	// Oscillating attack: calm, calm, burst, calm, calm, burst — never
+	// three calm in a row, so it must stay active throughout.
+	for i := 0; i < 4; i++ {
+		var cleared bool
+		now, _, cleared = feed(d, now, 2, 100)
+		if cleared {
+			t.Fatal("cleared during oscillating attack")
+		}
+		now, _, cleared = feed(d, now, 1, 3000)
+		if cleared {
+			t.Fatal("cleared on a burst sample")
+		}
+	}
+	if !d.Active() {
+		t.Fatal("lost detection during oscillation")
+	}
+}
+
+func TestDetectorWarmupGuard(t *testing.T) {
+	d := NewDetector(DetectorConfig{Warmup: 3, Threshold: 10, FloorPPS: 10})
+	// Warmup learns an idle baseline and suppresses detection no matter
+	// what arrives; the first post-warmup flood sample then fires at once.
+	now, fired, _ := feed(d, 0, 3, 0)
+	if fired {
+		t.Fatal("fired inside warmup")
+	}
+	if d.Baseline() != 0 {
+		t.Fatalf("baseline = %v, want 0", d.Baseline())
+	}
+	_, fired, _ = feed(d, now, 1, 5000)
+	if !fired {
+		t.Fatal("did not fire after warmup")
+	}
+}
+
+func TestDetectorFloorSuppressesTrickle(t *testing.T) {
+	d := NewDetector(DetectorConfig{FloorPPS: 50, Threshold: 20})
+	// Near-idle victim: baseline ~2pps; a 30pps blip stays under the floor.
+	now, _, _ := feed(d, 0, 5, 2)
+	_, fired, _ := feed(d, now, 10, 30)
+	if fired {
+		t.Fatal("fired below the floor rate")
+	}
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"sort"
 
 	"dtc/internal/ownership"
 	"dtc/internal/packet"
@@ -126,6 +127,41 @@ func (d *Device) ServiceCounters(owner string, stage Stage) (processed, discarde
 		return 0, 0, false
 	}
 	return svcs[stage].processed, svcs[stage].discarded, true
+}
+
+// ServiceStatus is the externally visible state of one installed service,
+// as reported through the telemetry pipeline.
+type ServiceStatus struct {
+	Owner       string
+	Stage       Stage
+	Processed   uint64
+	Discarded   uint64
+	Enabled     bool
+	Quarantined bool
+}
+
+// Services lists every installed service sorted by (owner, stage) — the
+// telemetry snapshot's canonical wire order.
+func (d *Device) Services() []ServiceStatus {
+	var out []ServiceStatus
+	for owner, svcs := range d.services {
+		for stage := Stage(0); stage < numStages; stage++ {
+			if svc := svcs[stage]; svc != nil {
+				out = append(out, ServiceStatus{
+					Owner: owner, Stage: stage,
+					Processed: svc.processed, Discarded: svc.discarded,
+					Enabled: svc.enabled, Quarantined: svc.quarantined,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
 }
 
 // Quarantined reports whether the (owner, stage) service was disabled by

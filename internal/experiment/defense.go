@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"dtc/internal/defense"
+	"dtc/internal/metrics"
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/sweep"
+	"dtc/internal/topology"
+
+	root "dtc"
+)
+
+func init() {
+	register("e12", "§4 closed loop: telemetry-driven adaptive mitigation — reaction time and collateral vs detection threshold and attack intensity", runE12)
+}
+
+// e12 timeline (identical in Quick mode; Quick only shrinks the sweep).
+const (
+	e12Tick      = 20 * sim.Millisecond  // telemetry snapshot/report + control period
+	e12Onset     = 200 * sim.Millisecond // attack starts
+	e12AttackEnd = 700 * sim.Millisecond // attack stops
+	e12RunUntil  = 1200 * sim.Millisecond
+)
+
+// e12Victim is the dumbbell node the protected block lives on.
+const e12Victim = 4
+
+// e12Substrate caches the dumbbell topology and its routing trees across
+// sweep points: 4 left leaves (legit clients on 0-1, attack agents on 2-3),
+// 2 right leaves (victim on 4), 2 core transit nodes (6-7).
+func e12Substrate(opts Options) (*sweep.Substrate, error) {
+	key := sweep.Key{Name: "e12/dumbbell", Seed: opts.Seed}
+	return sweep.GetSubstrate(key, func() (*sweep.Substrate, error) {
+		return sweep.NewSubstrate(topology.Dumbbell(4, 2, 2)), nil
+	})
+}
+
+// e12Row is one measured sweep point.
+type e12Row struct {
+	reactMS   float64
+	attackPct float64
+	legitPct  float64
+	retracted bool
+}
+
+// runE12Point runs one closed-loop scenario: monitor-only until the
+// detector fires, then a UDP rate limit on every stub router, retracted
+// once the flood subsides. threshold<=0 disables mitigation (baseline row).
+func runE12Point(sub *sweep.Substrate, seed uint64, threshold, attackPPS float64) (e12Row, error) {
+	w, err := root.NewWorld(root.WorldConfig{
+		Topology:     sub.Graph,
+		Seed:         seed,
+		ISPPartition: [][]int{{0, 1, 2, 3, 6}, {4, 5, 7}},
+		Routes:       sub.Routes,
+		NodeOwners:   sub.Owners,
+	})
+	if err != nil {
+		return e12Row{}, err
+	}
+	victim, err := w.Net.AttachHost(e12Victim)
+	if err != nil {
+		return e12Row{}, err
+	}
+	var legit, atk []*netsim.Source
+	for _, node := range []int{0, 1} {
+		h, err := w.Net.AttachHost(node)
+		if err != nil {
+			return e12Row{}, err
+		}
+		legit = append(legit, h.StartCBR(0, 60, func(uint64) *packet.Packet {
+			return &packet.Packet{Src: h.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
+		}))
+	}
+	for _, node := range []int{2, 3} {
+		h, err := w.Net.AttachHost(node)
+		if err != nil {
+			return e12Row{}, err
+		}
+		atk = append(atk, h.StartCBR(e12Onset, attackPPS/2, func(uint64) *packet.Packet {
+			return &packet.Packet{Src: h.Addr, Dst: victim.Addr, Proto: packet.UDP, DstPort: 9, Size: 400, Kind: packet.KindAttack}
+		}))
+	}
+	w.Sim.AfterFunc(e12AttackEnd, func(sim.Time) {
+		for _, s := range atk {
+			s.Stop()
+		}
+	})
+
+	// The ISP-operator defense: UDP-only mitigation so legitimate TCP pays
+	// no collateral, scoped to stub border routers like the paper's example.
+	ctrl, err := defense.NewController(defense.Config{
+		Owner:    "victim-ops",
+		Prefixes: []packet.Prefix{netsim.NodePrefix(e12Victim)},
+		Match:    service.MatchSpec{Proto: "udp"},
+		LimitPPS: 50,
+		Scope:    nms.Scope{StubOnly: true},
+		Detector: defense.DetectorConfig{Threshold: threshold, FloorPPS: 100, Warmup: 8, Hold: 3},
+		Disabled: threshold <= 0,
+	}, w.TCSP.Telemetry())
+	if err != nil {
+		return e12Row{}, err
+	}
+	for _, name := range w.ISPNames() {
+		ctrl.AddISP(name, w.ISPs[name])
+	}
+	if err := ctrl.Start(); err != nil {
+		return e12Row{}, err
+	}
+
+	// The telemetry pipeline: every tick each NMS snapshots its devices and
+	// reports to the TCSP store, then the controller takes one decision.
+	var loopErr error
+	w.Sim.NewTicker(e12Tick, func(now sim.Time) {
+		for _, name := range w.ISPNames() {
+			if err := w.TCSP.Report(name, w.ISPs[name].Snapshot(int64(now))); err != nil && loopErr == nil {
+				loopErr = err
+			}
+		}
+		if err := ctrl.Step(now); err != nil && loopErr == nil {
+			loopErr = err
+		}
+	})
+	if _, err := w.Sim.Run(e12RunUntil); err != nil {
+		return e12Row{}, err
+	}
+	if loopErr != nil {
+		return e12Row{}, loopErr
+	}
+
+	var attackSent, legitSent uint64
+	for _, s := range atk {
+		attackSent += s.Sent()
+	}
+	for _, s := range legit {
+		legitSent += s.Sent()
+	}
+	row := e12Row{
+		reactMS:   -1,
+		attackPct: pct(victim.Delivered[packet.KindAttack], attackSent),
+		legitPct:  pct(victim.Delivered[packet.KindLegit], legitSent),
+	}
+	for _, tr := range ctrl.Transitions() {
+		if tr.Mitigating && row.reactMS < 0 {
+			row.reactMS = float64(tr.At-e12Onset) / float64(sim.Millisecond)
+		}
+		if !tr.Mitigating && row.reactMS >= 0 {
+			row.retracted = true
+		}
+	}
+	return row, nil
+}
+
+// runE12 sweeps detection threshold against attack intensity over one
+// shared substrate. Reaction time is measured from attack onset to the
+// mitigation deployment the controller triggers from the telemetry stream;
+// collateral is the legitimate goodput kept while mitigating. threshold=0
+// rows run the controller with mitigation disabled — the undefended
+// baseline every other row is compared against.
+func runE12(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E12: closed-loop adaptive mitigation (threshold × attack intensity)",
+		"threshold", "attack_pps", "react_ms", "attack_delivery_%", "legit_goodput_%", "retracted")
+
+	thresholds := []float64{0, 25, 100, 400}
+	attacks := []float64{250, 1000, 4000}
+	if opts.Quick {
+		thresholds = []float64{0, 50}
+		attacks = []float64{2000}
+	}
+	sub, err := e12Substrate(opts)
+	if err != nil {
+		return nil, err
+	}
+	type point struct{ threshold, attack float64 }
+	var pts []point
+	for _, th := range thresholds {
+		for _, a := range attacks {
+			pts = append(pts, point{th, a})
+		}
+	}
+	rows, err := sweep.Run(len(pts), opts.Workers, opts.Seed, func(i int, rng *sim.RNG) (e12Row, error) {
+		return runE12Point(sub, rng.Uint64(), pts[i].threshold, pts[i].attack)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		tbl.AddRow(pts[i].threshold, pts[i].attack, r.reactMS, r.attackPct, r.legitPct, r.retracted)
+	}
+	return tbl, nil
+}

@@ -26,7 +26,7 @@ func cell(t *testing.T, tbl *metrics.Table, row, col int) float64 {
 
 func TestListAndDescribe(t *testing.T) {
 	ids := List()
-	want := []string{"a1", "a2", "a3", "e1", "e10", "e11", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "f2", "f3", "f4", "f5", "f6"}
+	want := []string{"a1", "a2", "a3", "e1", "e10", "e11", "e12", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "f2", "f3", "f4", "f5", "f6"}
 	if len(ids) != len(want) {
 		t.Fatalf("List = %v", ids)
 	}
@@ -499,6 +499,44 @@ func TestE11Shapes(t *testing.T) {
 	// Indiscriminate SYN limiting cannot match source-aware filtering.
 	if rl > tcs-20 {
 		t.Errorf("rate limit (%.1f%%) too close to anti-spoofing (%.1f%%)\n%s", rl, tcs, tbl)
+	}
+}
+
+func TestE12Shapes(t *testing.T) {
+	tbl, err := Run("e12", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("quick e12 rows = %d, want 2\n%s", len(rows), tbl)
+	}
+	// Row 0 is the disabled baseline: no reaction, full attack delivery.
+	if react := cell(t, tbl, 0, 2); react != -1 {
+		t.Errorf("baseline row reacted at %v ms\n%s", react, tbl)
+	}
+	base := cell(t, tbl, 0, 3)
+	if base < 90 {
+		t.Errorf("undefended attack delivery %.1f%%, want ~100\n%s", base, tbl)
+	}
+	// Row 1 closes the loop: detect from the telemetry stream, mitigate,
+	// retract after the flood.
+	react := cell(t, tbl, 1, 2)
+	if react < 0 || react > 500 {
+		t.Errorf("reaction time %.0f ms, want within the attack window\n%s", react, tbl)
+	}
+	defended := cell(t, tbl, 1, 3)
+	if defended > base-30 {
+		t.Errorf("mitigation barely helped: %.1f%% vs %.1f%% undefended\n%s", defended, base, tbl)
+	}
+	if rows[1][5] != "true" {
+		t.Errorf("mitigation never retracted after the attack ended\n%s", tbl)
+	}
+	// Collateral bound: legitimate TCP goodput stays high in every row.
+	for r := 0; r < tbl.NumRows(); r++ {
+		if legit := cell(t, tbl, r, 4); legit < 90 {
+			t.Errorf("row %d: legit goodput %.1f%%\n%s", r, legit, tbl)
+		}
 	}
 }
 

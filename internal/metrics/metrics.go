@@ -8,9 +8,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
-// Counter is a simple monotonically increasing counter.
+// Counter is a simple monotonically increasing counter. It is NOT safe for
+// concurrent use: it belongs on single-threaded simulation paths. Anything
+// shared between goroutines on the live-server paths must use AtomicCounter
+// instead.
 type Counter struct {
 	n uint64
 }
@@ -23,6 +27,22 @@ func (c *Counter) Inc() { c.n++ }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n }
+
+// AtomicCounter is a monotonically increasing counter safe for concurrent
+// use — the live control plane's counterpart of Counter (telemetry queue
+// drops, served requests, scrape counts).
+type AtomicCounter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *AtomicCounter) Add(d uint64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *AtomicCounter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() uint64 { return c.n.Load() }
 
 // Series accumulates scalar samples and answers summary-statistics queries.
 type Series struct {

@@ -21,6 +21,7 @@ import (
 	"dtc/internal/packet"
 	"dtc/internal/service"
 	"dtc/internal/sim"
+	"dtc/internal/telemetry"
 	"dtc/internal/topology"
 )
 
@@ -301,36 +302,84 @@ func (m *NMS) Deploy(cert *auth.Certificate, sreq *auth.SignedRequest) (*DeployR
 		}
 		prefixes = append(prefixes, p)
 	}
-	nodes, err := m.scopeNodes(req.Scope)
+	return m.install(req.Owner, prefixes, &req.Spec, req.Scope)
+}
+
+// install is the cert-independent deployment core shared by the certified
+// user path (Deploy) and the ISP-operator path (DeployOperator).
+func (m *NMS) install(owner string, prefixes []packet.Prefix, spec *service.Spec, sc Scope) (*DeployResult, error) {
+	nodes, err := m.scopeNodes(sc)
 	if err != nil {
 		return nil, err
 	}
-	stage, err := req.Spec.StageValue()
+	stage, err := spec.StageValue()
 	if err != nil {
 		return nil, err
 	}
-	key := installKey{owner: req.Owner, stage: stage}
+	key := installKey{owner: owner, stage: stage}
 	insts := make(map[int]*service.Compiled, len(nodes))
 	for _, node := range nodes {
 		// Each device gets its own compiled instance: component state
 		// (token buckets, logs, bloom filters) is per device.
-		compiled, err := req.Spec.Compile()
+		compiled, err := spec.Compile()
 		if err != nil {
 			return nil, fmt.Errorf("nms %s: %w", m.Name, err)
 		}
 		dev := m.devices[node]
 		for _, p := range prefixes {
-			if err := dev.BindOwner(p, req.Owner); err != nil {
+			if err := dev.BindOwner(p, owner); err != nil {
 				return nil, fmt.Errorf("nms %s node %d: %w", m.Name, node, err)
 			}
 		}
-		if err := dev.Install(req.Owner, stage, compiled.Graph); err != nil {
+		if err := dev.Install(owner, stage, compiled.Graph); err != nil {
 			return nil, fmt.Errorf("nms %s node %d: %w", m.Name, node, err)
 		}
 		insts[node] = compiled
 	}
 	m.installed[key] = insts
 	return &DeployResult{ISP: m.Name, Nodes: nodes}, nil
+}
+
+// DeployOperator installs a service on the ISP's own authority — the
+// defense controller's path. No certificate is involved: the ISP operates
+// these routers and may police traffic toward any prefix it chooses, the
+// same trust model as the paper's operator-initiated countermeasures.
+func (m *NMS) DeployOperator(owner string, prefixes []packet.Prefix, spec *service.Spec, sc Scope) (*DeployResult, error) {
+	if owner == "" {
+		return nil, fmt.Errorf("nms %s: operator deployment without owner", m.Name)
+	}
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("nms %s: operator deployment without prefixes", m.Name)
+	}
+	return m.install(owner, prefixes, spec, sc)
+}
+
+// Snapshot captures every device's counters at the given instant, sorted by
+// node — the per-ISP half of the telemetry pipeline. atNanos is sim.Time in
+// simulation and wall-derived nanoseconds in the live server.
+func (m *NMS) Snapshot(atNanos int64) []*telemetry.Snapshot {
+	nodes := append([]int(nil), m.nodes...)
+	sort.Ints(nodes)
+	out := make([]*telemetry.Snapshot, 0, len(nodes))
+	for _, node := range nodes {
+		d := m.devices[node]
+		st := d.Stats()
+		snap := &telemetry.Snapshot{
+			Node:       uint32(node),
+			At:         atNanos,
+			Seen:       st.Seen,
+			Redirected: st.Redirected,
+			Discarded:  st.Discarded,
+		}
+		for _, svc := range d.Services() {
+			snap.Services = append(snap.Services, telemetry.ServiceCounters{
+				Owner: svc.Owner, Stage: uint8(svc.Stage),
+				Processed: svc.Processed, Discarded: svc.Discarded,
+			})
+		}
+		out = append(out, snap)
+	}
+	return out
 }
 
 // Control verifies and executes a control operation.

@@ -24,6 +24,7 @@ import (
 	"dtc/internal/nms"
 	"dtc/internal/ownership"
 	"dtc/internal/packet"
+	"dtc/internal/telemetry"
 )
 
 // Backend is a participating ISP's management interface. *nms.NMS
@@ -51,6 +52,9 @@ type TCSP struct {
 	byOwner map[string]uint64
 	revoked map[uint64]bool
 	serial  uint64
+
+	store    *telemetry.Store
+	onReport []func(isp string, snaps []*telemetry.Snapshot)
 }
 
 // New creates a TCSP with its own signing identity, the number-authority
@@ -63,7 +67,34 @@ func New(id *auth.Identity, authority *ownership.Registry, clock func() int64) *
 		certs:   make(map[uint64]*auth.Certificate),
 		byOwner: make(map[string]uint64),
 		revoked: make(map[uint64]bool),
+		store:   telemetry.NewStore(0),
 	}
+}
+
+// Telemetry returns the provider-side snapshot store feeding dashboards
+// and the defense controller.
+func (t *TCSP) Telemetry() *telemetry.Store { return t.store }
+
+// OnReport registers a hook invoked after each telemetry report is
+// ingested — the defense controller's entry point.
+func (t *TCSP) OnReport(fn func(isp string, snaps []*telemetry.Snapshot)) {
+	t.onReport = append(t.onReport, fn)
+}
+
+// Report ingests one ISP's device snapshots into the telemetry store. The
+// ISP must be a registered participant; snapshots from strangers are
+// rejected rather than silently aggregated.
+func (t *TCSP) Report(isp string, snaps []*telemetry.Snapshot) error {
+	if _, ok := t.isps[isp]; !ok {
+		return fmt.Errorf("tcsp: telemetry report from unknown ISP %q", isp)
+	}
+	for _, s := range snaps {
+		t.store.Ingest(isp, s)
+	}
+	for _, fn := range t.onReport {
+		fn(isp, snaps)
+	}
+	return nil
 }
 
 // PublicKey returns the TCSP's certificate-signing key; ISPs configure it

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotUnmarshal mirrors the packet wire fuzz test: any byte string
+// the decoder accepts must re-marshal to exactly the same bytes (the
+// encoding is canonical), and decoding must never panic on garbage.
+func FuzzSnapshotUnmarshal(f *testing.F) {
+	seed := sampleSnapshot()
+	if buf, err := seed.MarshalBinary(); err == nil {
+		f.Add(buf)
+	}
+	empty := &Snapshot{Node: 2, At: 1}
+	if buf, err := empty.MarshalBinary(); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Snapshot
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not canonical:\n in  % x\n out % x", data, out)
+		}
+		var s2 Snapshot
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

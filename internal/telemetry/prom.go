@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) over the store's latest
+// snapshots. Output is deterministic: metrics in fixed order, series
+// sorted by (ISP, node, owner, stage), so tests can compare byte-for-byte
+// and repeated scrapes diff cleanly.
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// stageName renders the stage label value.
+func stageName(stage uint8) string {
+	if stage == 0 {
+		return "source"
+	}
+	return "dest"
+}
+
+// WriteProm writes every device's latest snapshot as Prometheus text.
+func (s *Store) WriteProm(w io.Writer) error {
+	s.mu.Lock()
+	// Copy the latest snapshots out so the writer never blocks ingest on a
+	// slow scrape connection.
+	keys := append([]Key(nil), s.sortedKeys()...)
+	latest := make([]*Snapshot, len(keys))
+	for i, k := range keys {
+		latest[i] = s.devs[k].at(0)
+	}
+	s.mu.Unlock()
+
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	type deviceMetric struct {
+		name, help string
+		value      func(*Snapshot) uint64
+	}
+	for _, m := range []deviceMetric{
+		{"dtc_device_seen_packets_total", "Packets entering the router the device is attached to.",
+			func(sn *Snapshot) uint64 { return sn.Seen }},
+		{"dtc_device_redirected_packets_total", "Packets redirected through owner service graphs.",
+			func(sn *Snapshot) uint64 { return sn.Redirected }},
+		{"dtc_device_discarded_packets_total", "Packets discarded by owner service graphs.",
+			func(sn *Snapshot) uint64 { return sn.Discarded }},
+	} {
+		if err := write("# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name); err != nil {
+			return err
+		}
+		for i, k := range keys {
+			sn := latest[i]
+			if sn == nil {
+				continue
+			}
+			if err := write("%s{isp=%q,node=\"%d\"} %d\n", m.name, escapeLabel(k.ISP), k.Node, m.value(sn)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range []struct {
+		name, help string
+		value      func(*ServiceCounters) uint64
+	}{
+		{"dtc_service_processed_packets_total", "Packets entering an installed service graph (offered load).",
+			func(sc *ServiceCounters) uint64 { return sc.Processed }},
+		{"dtc_service_discarded_packets_total", "Packets an installed service graph discarded.",
+			func(sc *ServiceCounters) uint64 { return sc.Discarded }},
+	} {
+		if err := write("# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name); err != nil {
+			return err
+		}
+		for i, k := range keys {
+			sn := latest[i]
+			if sn == nil {
+				continue
+			}
+			for j := range sn.Services {
+				sc := &sn.Services[j]
+				if err := write("%s{isp=%q,node=\"%d\",owner=%q,stage=%q} %d\n",
+					m.name, escapeLabel(k.ISP), k.Node, escapeLabel(sc.Owner), stageName(sc.Stage), m.value(sc)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Snapshot timestamps let dashboards spot a stalled reporting pipeline.
+	if err := write("# HELP dtc_snapshot_at_seconds Timestamp of each device's latest snapshot.\n# TYPE dtc_snapshot_at_seconds gauge\n"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		sn := latest[i]
+		if sn == nil {
+			continue
+		}
+		if err := write("dtc_snapshot_at_seconds{isp=%q,node=\"%d\"} %.3f\n", escapeLabel(k.ISP), k.Node, float64(sn.At)/1e9); err != nil {
+			return err
+		}
+	}
+	return nil
+}

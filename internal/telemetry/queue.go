@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"sync"
+
+	"dtc/internal/metrics"
+)
+
+// Queue is a bounded FIFO with drop-oldest backpressure, safe for
+// concurrent use. Producers never block: when the queue is full, the
+// oldest element is evicted and counted, so a slow consumer (a stalled
+// watch subscriber, a wedged reporting link) degrades to losing history
+// instead of stalling the data path or growing without bound.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	head    int // index of the oldest element
+	n       int // elements currently queued
+	dropped metrics.AtomicCounter
+	notify  chan struct{}
+}
+
+// NewQueue returns a queue holding at most capacity elements.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{buf: make([]T, capacity), notify: make(chan struct{}, 1)}
+}
+
+// Push appends v, evicting the oldest element when full.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		var zero T
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.dropped.Inc()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pop removes and returns the oldest element, with ok=false when empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.n == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Dropped returns how many elements were evicted under backpressure.
+func (q *Queue[T]) Dropped() uint64 { return q.dropped.Value() }
+
+// Wait returns a channel that receives after a Push. One receive may cover
+// several pushes; consumers drain with Pop until it reports empty.
+func (q *Queue[T]) Wait() <-chan struct{} { return q.notify }

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultDepth is the per-device ring-buffer depth a zero-configured Store
+// uses. Rate queries need two snapshots; the rest is scrape headroom.
+const DefaultDepth = 8
+
+// Key identifies one device's snapshot stream inside a Store.
+type Key struct {
+	ISP  string
+	Node uint32
+}
+
+// ring is a fixed-depth snapshot history, newest last.
+type ring struct {
+	buf  []*Snapshot
+	head int // index of the oldest snapshot
+	n    int
+}
+
+func (r *ring) push(s *Snapshot) {
+	if r.n == len(r.buf) {
+		r.buf[r.head] = s
+		r.head = (r.head + 1) % len(r.buf)
+		return
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = s
+	r.n++
+}
+
+// at returns the i-th newest snapshot (0 = latest).
+func (r *ring) at(i int) *Snapshot {
+	if i >= r.n {
+		return nil
+	}
+	return r.buf[(r.head+r.n-1-i)%len(r.buf)]
+}
+
+// Store aggregates device snapshots per (ISP, node) with bounded history —
+// the TCSP-side half of the telemetry pipeline. It is safe for concurrent
+// use: the simulation/report path writes while HTTP scrapes read.
+type Store struct {
+	mu    sync.Mutex
+	depth int
+	devs  map[Key]*ring
+	keys  []Key // sorted; rebuilt lazily when dirty
+	dirty bool
+}
+
+// NewStore creates a store keeping depth snapshots per device
+// (depth <= 0 means DefaultDepth).
+func NewStore(depth int) *Store {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Store{depth: depth, devs: make(map[Key]*ring)}
+}
+
+// Ingest records one snapshot. The store takes ownership of snap.
+func (s *Store) Ingest(isp string, snap *Snapshot) {
+	k := Key{ISP: isp, Node: snap.Node}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.devs[k]
+	if !ok {
+		r = &ring{buf: make([]*Snapshot, s.depth)}
+		s.devs[k] = r
+		s.dirty = true
+	}
+	r.push(snap)
+}
+
+// sortedKeys returns the device keys in (ISP, node) order. Caller holds mu.
+func (s *Store) sortedKeys() []Key {
+	if s.dirty {
+		s.keys = s.keys[:0]
+		for k := range s.devs {
+			s.keys = append(s.keys, k)
+		}
+		sort.Slice(s.keys, func(i, j int) bool {
+			if s.keys[i].ISP != s.keys[j].ISP {
+				return s.keys[i].ISP < s.keys[j].ISP
+			}
+			return s.keys[i].Node < s.keys[j].Node
+		})
+		s.dirty = false
+	}
+	return s.keys
+}
+
+// Devices returns the known device keys in deterministic (ISP, node) order.
+func (s *Store) Devices() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Key(nil), s.sortedKeys()...)
+}
+
+// Latest returns the newest snapshot for a device.
+func (s *Store) Latest(k Key) (*Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.devs[k]
+	if !ok || r.n == 0 {
+		return nil, false
+	}
+	return r.at(0), true
+}
+
+// findService returns the counters for (owner, stage) inside a snapshot.
+func findService(snap *Snapshot, owner string, stage uint8) (ServiceCounters, bool) {
+	// Services are sorted by (owner, stage); entries per device are few,
+	// so a linear scan beats the binary-search bookkeeping.
+	for i := range snap.Services {
+		sc := &snap.Services[i]
+		if sc.Owner == owner && sc.Stage == stage {
+			return *sc, true
+		}
+	}
+	return ServiceCounters{}, false
+}
+
+// counterDelta turns two counter readings into a delta, treating a
+// backwards step as a counter reset (a service re-deploy replaces the
+// compiled instance, so counters restart from zero).
+func counterDelta(prev, cur uint64) uint64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// Rates sums, over every device, the per-second rate of the (owner, stage)
+// service's processed and discarded counters between its two newest
+// snapshots. Devices with fewer than two snapshots (or a non-positive
+// interval) contribute nothing. The processed counter counts packets
+// entering the service graph — offered load, before any in-graph drop —
+// so the rate is unaffected by the mitigation the defense loop deploys.
+func (s *Store) Rates(owner string, stage uint8) (processedPPS, discardedPPS float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range s.sortedKeys() {
+		r := s.devs[k]
+		cur, prev := r.at(0), r.at(1)
+		if cur == nil || prev == nil || cur.At <= prev.At {
+			continue
+		}
+		cc, okc := findService(cur, owner, stage)
+		if !okc {
+			continue
+		}
+		pc, okp := findService(prev, owner, stage)
+		if !okp {
+			pc = ServiceCounters{}
+		}
+		dt := float64(cur.At-prev.At) / 1e9
+		processedPPS += float64(counterDelta(pc.Processed, cc.Processed)) / dt
+		discardedPPS += float64(counterDelta(pc.Discarded, cc.Discarded)) / dt
+	}
+	return processedPPS, discardedPPS
+}
+
+// ServiceDevices counts the devices whose latest snapshot carries the
+// (owner, stage) service.
+func (s *Store) ServiceDevices(owner string, stage uint8) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range s.sortedKeys() {
+		if cur := s.devs[k].at(0); cur != nil {
+			if _, ok := findService(cur, owner, stage); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
