@@ -7,8 +7,9 @@ GO ?= go
 
 all: build vet fmtcheck test
 
-# The pre-commit gate: everything `all` runs, one word to type.
-check: all
+# The pre-commit gate: everything `all` runs plus the benchmark regression
+# comparison against the previous PR's recorded baseline.
+check: all benchcmp
 
 build:
 	$(GO) build ./...
@@ -49,9 +50,9 @@ fuzz:
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.
-MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_BASE ?= BENCH_PR3.json
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR4.json
 
 bench:
 	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)

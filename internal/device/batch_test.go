@@ -1,0 +1,139 @@
+package device_test
+
+// Directed tests for ProcessBatch: the pipeline memo must never outlive a
+// control-plane change, in particular a quarantine fired by the safety
+// monitor in the middle of the very batch being processed.
+
+import (
+	"strings"
+	"testing"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// TestQuarantineMidBatch runs a batch whose first packet trips the safety
+// monitor in the source-stage service: the quarantine must take effect for
+// the remaining packets of the same batch (the memoized pipeline is stale
+// the instant the generation counter moves), while the destination stage
+// keeps processing every packet.
+func TestQuarantineMidBatch(t *testing.T) {
+	reg := modules.NewRegistry()
+	if err := reg.Register(device.Manifest{Type: "hostile", MayModifyPayload: true, SecurityChecked: true}); err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(0, reg, sim.NewRNG(1))
+	if err := dev.BindOwner(packet.MustParsePrefix("10.0.0.0/8"), "evil"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.BindOwner(packet.MustParsePrefix("20.0.0.0/8"), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	// The hostile module mutates TTL — caught by the runtime monitor on the
+	// first packet it touches.
+	hostile := device.Chain("h", &hostileComp{mutate: func(p *packet.Packet) { p.TTL++ }})
+	if err := dev.Install("evil", device.StageSource, hostile); err != nil {
+		t.Fatal(err)
+	}
+	dstG := device.Chain("d", modules.NewStats("st", modules.Match{}))
+	if err := dev.Install("victim", device.StageDest, dstG); err != nil {
+		t.Fatal(err)
+	}
+	var events []device.Event
+	dev.SetEventBus(func(e device.Event) { events = append(events, e) })
+
+	const batch = 8
+	pkts := make([]*packet.Packet, batch)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{
+			Src: packet.MustParseAddr("10.0.0.1"),
+			Dst: packet.MustParseAddr("20.0.0.1"),
+			TTL: 64, Size: 100,
+		}
+	}
+	keep := make([]bool, batch)
+	// Warm the pipeline memo with a clean run-up packet? No — the point is
+	// the cold batch: packet 0 quarantines, packets 1..7 must skip the
+	// hostile service without re-warming anything by hand.
+	dev.ProcessBatch(0, pkts, -1, keep)
+
+	for i, k := range keep {
+		if !k {
+			t.Errorf("packet %d dropped; quarantine must forward, not drop", i)
+		}
+	}
+	for i, p := range pkts {
+		if p.TTL != 64 {
+			t.Errorf("packet %d TTL %d, want 64 (mutation must be reverted)", i, p.TTL)
+		}
+	}
+	if !dev.Quarantined("evil", device.StageSource) {
+		t.Fatal("hostile service not quarantined")
+	}
+	st := dev.Stats()
+	if st.Violations != 1 || st.Quarantines != 1 {
+		t.Errorf("violations=%d quarantines=%d, want 1/1: the quarantine must stop further hostile runs within the batch", st.Violations, st.Quarantines)
+	}
+	if proc, _, ok := dev.ServiceCounters("evil", device.StageSource); !ok || proc != 1 {
+		t.Errorf("hostile service processed %d packets, want exactly 1", proc)
+	}
+	if proc, _, ok := dev.ServiceCounters("victim", device.StageDest); !ok || proc != batch {
+		t.Errorf("dest service processed %d packets, want %d (must survive the src-stage quarantine)", proc, batch)
+	}
+	if len(events) != 1 || !strings.Contains(events[0].Message, "quarantined") {
+		t.Errorf("events = %+v, want exactly one quarantine event", events)
+	}
+
+	// The invalidation must also stick after the batch: a fresh packet still
+	// skips the quarantined service.
+	p := &packet.Packet{Src: packet.MustParseAddr("10.0.0.2"), Dst: packet.MustParseAddr("20.0.0.2"), TTL: 64, Size: 100}
+	if !dev.Process(0, p, -1) {
+		t.Fatal("post-batch packet dropped")
+	}
+	if proc, _, _ := dev.ServiceCounters("evil", device.StageSource); proc != 1 {
+		t.Errorf("quarantined service ran again after the batch (processed=%d)", proc)
+	}
+}
+
+// TestBatchReResolvesAcrossKeys interleaves packets of two different
+// (srcOwner, dstOwner) keys in one batch: the memo must re-resolve on every
+// key change and still route each packet through the right services.
+func TestBatchReResolvesAcrossKeys(t *testing.T) {
+	dev := device.New(0, modules.NewRegistry(), sim.NewRNG(1))
+	for owner, pfx := range map[string]string{"a": "10.0.0.0/8", "b": "20.0.0.0/8"} {
+		if err := dev.BindOwner(packet.MustParsePrefix(pfx), owner); err != nil {
+			t.Fatal(err)
+		}
+		g := device.Chain(owner, modules.NewStats("st-"+owner, modules.Match{}))
+		if err := dev.Install(owner, device.StageDest, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 10
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		dst := "10.0.0.1"
+		if i%2 == 1 {
+			dst = "20.0.0.1"
+		}
+		pkts[i] = &packet.Packet{
+			Src: packet.MustParseAddr("30.0.0.1"),
+			Dst: packet.MustParseAddr(dst),
+			TTL: 64, Size: 100,
+		}
+	}
+	keep := make([]bool, n)
+	dev.ProcessBatch(0, pkts, -1, keep)
+	for i, k := range keep {
+		if !k {
+			t.Errorf("packet %d dropped", i)
+		}
+	}
+	pa, _, _ := dev.ServiceCounters("a", device.StageDest)
+	pb, _, _ := dev.ServiceCounters("b", device.StageDest)
+	if pa != n/2 || pb != n/2 {
+		t.Errorf("per-owner processed = %d/%d, want %d/%d", pa, pb, n/2, n/2)
+	}
+}

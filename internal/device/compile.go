@@ -1,0 +1,93 @@
+package device
+
+// The graph compiler: lower a validated Graph into a flat program at
+// install/enable time. Lowering is semantics-preserving by construction —
+// components that know a dedicated opcode implement Compilable and hand
+// the compiler pointers into their live state; everything else becomes an
+// opGeneric instruction that calls Component.Process exactly like the
+// interpreter does.
+
+// Compilable is implemented by components that can be lowered to a
+// dedicated opcode. Lower returns (op, true) to opt in; (nil, false) keeps
+// the component on the generic interface-call opcode. Lower must hand out
+// pointers to live state, not copies, so runtime parameter updates remain
+// visible to compiled programs.
+type Compilable interface {
+	Lower() (LoweredOp, bool)
+}
+
+// compile lowers a validated graph (caps resolved) into a program. It
+// returns nil when the graph has not been validated — callers then stay on
+// the interpreter, which skips capability enforcement the same way.
+func compile(g *Graph) *program {
+	if len(g.caps) != len(g.nodes) {
+		return nil
+	}
+	p := &program{name: g.name, ins: make([]instr, len(g.nodes))}
+	for i, c := range g.nodes {
+		in := &p.ins[i]
+		m := g.caps[i]
+		in.dropViolates = !m.MayDrop
+		in.payloadViolates = !m.MayModifyPayload
+		in.name = c.Name()
+		in.wires = make([]int32, len(g.wires[i]))
+		for pnum, to := range g.wires[i] {
+			in.wires[pnum] = int32(to)
+		}
+		in.kind = opGeneric
+		in.comp = c
+		lc, ok := c.(Compilable)
+		if !ok {
+			continue
+		}
+		op, ok := lc.Lower()
+		if !ok {
+			continue
+		}
+		switch op := op.(type) {
+		case FilterOp:
+			if op.Dropped == nil || op.Passed == nil {
+				continue
+			}
+			in.filter = op
+		case ClassifyOp:
+			in.classify = op
+		case BlacklistOp:
+			if op.Dropped == nil {
+				continue
+			}
+			in.blacklist = op
+		case RateLimitOp:
+			if op.Match == nil || op.Rate == nil || op.Burst == nil ||
+				op.Tokens == nil || op.Last == nil || op.Inited == nil ||
+				op.Dropped == nil || op.Passed == nil {
+				continue
+			}
+			in.ratelimit = op
+		case AntiSpoofOp:
+			if op.Dropped == nil || op.Passed == nil || op.NoCtx == nil {
+				continue
+			}
+			in.antispoof = op
+		case CounterOp:
+			// A hand-built Stats whose counter slices are shorter than its
+			// rule list would fault differently compiled vs interpreted;
+			// keep such instances on the generic opcode.
+			if op.TotalPackets == nil || op.TotalBytes == nil ||
+				len(op.RulePackets) < len(op.Rules) || len(op.RuleBytes) < len(op.Rules) {
+				continue
+			}
+			in.counter = op
+		case SwitchOp:
+			if op.On == nil {
+				continue
+			}
+			in.sw = op
+		default:
+			continue
+		}
+		in.kind = op.lowered()
+		in.comp = nil
+	}
+	return p
+}

@@ -9,14 +9,12 @@ import (
 	"dtc/internal/sim"
 )
 
-// graphPacket wraps the packet handed to graph execution.
-type graphPacket struct{ p *packet.Packet }
-
 // service is one installed per-owner service graph plus its health state.
 type service struct {
 	owner       string
 	stage       Stage
 	graph       *Graph
+	prog        *program // compiled form, built at install time
 	enabled     bool
 	quarantined bool
 	processed   uint64
@@ -32,20 +30,42 @@ type Stats struct {
 	Quarantines uint64 // services disabled after a violation
 }
 
+// pipeKey identifies a fused two-stage pipeline: the source-address owner
+// and destination-address owner of a packet, "" when that side is unbound.
+// BindOwner rejects empty owner names, so "" is unambiguous.
+type pipeKey struct {
+	src, dst string
+}
+
+// pipeline is the cached result of resolving a pipeKey against the service
+// table: the runnable source-stage and dest-stage services, nil when that
+// side has nothing to run (unbound, uninstalled, disabled or quarantined).
+// Entries are invalidated wholesale on any control-plane change.
+type pipeline struct {
+	src, dst *service
+}
+
 // Device is an adaptive traffic processing device attached to one router
 // (paper Figure 2/6). It dispatches each redirected packet through up to
 // two owner service graphs: the source owner's, then the destination
-// owner's.
+// owner's. Graphs are compiled to flat programs at install time and the
+// two stages are fused into a per-(srcOwner, dstOwner) pipeline cache, so
+// the steady-state redirected path is one cache hit plus linear opcode
+// walks, with zero allocations.
 type Device struct {
 	Node int
 
 	reg      *Registry
 	owners   ownership.Trie[string] // prefix -> owner: the redirection filter
 	services map[string][numStages]*service
+	pipes    map[pipeKey]*pipeline
+	gen      uint64 // bumped on every pipeline invalidation
+	interp   bool   // force interpreter (ablations, differential tests)
 	rpf      RPFChecker
 	bus      func(Event)
 	rng      *sim.RNG
 	stats    Stats
+	env      Env // reused per stage run; devices are single-threaded
 }
 
 // New creates a device for a router node, validating installs against reg.
@@ -54,6 +74,7 @@ func New(node int, reg *Registry, rng *sim.RNG) *Device {
 		Node:     node,
 		reg:      reg,
 		services: make(map[string][numStages]*service),
+		pipes:    make(map[pipeKey]*pipeline),
 		rng:      rng,
 	}
 }
@@ -64,6 +85,22 @@ func (d *Device) SetRPF(r RPFChecker) { d.rpf = r }
 
 // SetEventBus attaches the control-plane event sink (trigger firings etc.).
 func (d *Device) SetEventBus(fn func(Event)) { d.bus = fn }
+
+// SetInterpreted forces graph interpretation instead of compiled-program
+// execution. The two are behaviourally identical (the differential fuzzer
+// asserts it); the knob exists for the A2 ablation and for tests.
+func (d *Device) SetInterpreted(on bool) {
+	d.interp = on
+	d.invalidate()
+}
+
+// invalidate drops every cached pipeline after a control-plane change.
+// The generation counter lets ProcessBatch notice invalidation mid-batch
+// (a quarantine fired by the safety monitor) and re-resolve.
+func (d *Device) invalidate() {
+	d.gen++
+	clear(d.pipes)
+}
 
 // BindOwner configures router redirection: packets whose source or
 // destination falls in prefix are redirected through the device on behalf
@@ -82,8 +119,8 @@ func (d *Device) BindOwner(p packet.Prefix, owner string) error {
 // UnbindOwner removes a redirection binding.
 func (d *Device) UnbindOwner(p packet.Prefix) { d.owners.Remove(p) }
 
-// Install validates and installs a service graph for owner at stage,
-// replacing any previous graph for that (owner, stage).
+// Install validates, compiles and installs a service graph for owner at
+// stage, replacing any previous graph for that (owner, stage).
 func (d *Device) Install(owner string, stage Stage, g *Graph) error {
 	if owner == "" {
 		return fmt.Errorf("device: empty owner")
@@ -95,8 +132,9 @@ func (d *Device) Install(owner string, stage Stage, g *Graph) error {
 		return err
 	}
 	svcs := d.services[owner]
-	svcs[stage] = &service{owner: owner, stage: stage, graph: g, enabled: true}
+	svcs[stage] = &service{owner: owner, stage: stage, graph: g, prog: compile(g), enabled: true}
 	d.services[owner] = svcs
+	d.invalidate()
 	return nil
 }
 
@@ -105,6 +143,7 @@ func (d *Device) Remove(owner string, stage Stage) {
 	if svcs, ok := d.services[owner]; ok {
 		svcs[stage] = nil
 		d.services[owner] = svcs
+		d.invalidate()
 	}
 }
 
@@ -116,6 +155,7 @@ func (d *Device) SetEnabled(owner string, stage Stage, on bool) error {
 		return fmt.Errorf("device: no service for %q stage %v", owner, stage)
 	}
 	svcs[stage].enabled = on
+	d.invalidate()
 	return nil
 }
 
@@ -185,48 +225,133 @@ func (d *Device) OwnerOf(a packet.Addr) (string, bool) {
 //
 // Redirection rule (paper §4.1): only packets carrying a bound address as
 // source or destination are redirected; everything else takes the fast
-// path through the router untouched.
+// path through the router untouched. The fast path is two first-octet
+// bitmap tests; full longest-prefix lookups happen only when a binding
+// could match.
 func (d *Device) Process(now sim.Time, pkt *packet.Packet, from int) bool {
 	d.stats.Seen++
-	// Dispatch through the flattened trie: two longest-prefix matches per
-	// packet with no pointer chasing and no allocation (rebuilt lazily
-	// after Bind/Unbind, which only happen on the control plane).
 	owners := d.owners.Compiled()
+	if !owners.MayMatch(pkt.Src) && !owners.MayMatch(pkt.Dst) {
+		return true // fast path
+	}
+	return d.redirect(now, pkt, from, owners)
+}
+
+// ProcessBatch runs a slice of packets through the device, writing each
+// verdict (true = forward) to keep, which must be at least as long as
+// pkts. It amortizes pipeline resolution across runs of packets sharing
+// the same (srcOwner, dstOwner) key — the common case for a burst from
+// one flow — and re-resolves if the safety monitor invalidates the cache
+// mid-batch (a quarantine must take effect on the very next packet).
+func (d *Device) ProcessBatch(now sim.Time, pkts []*packet.Packet, from int, keep []bool) {
+	owners := d.owners.Compiled()
+	var (
+		haveKey bool
+		lastKey pipeKey
+		lastPl  *pipeline
+		lastGen uint64
+	)
+	for i, pkt := range pkts {
+		d.stats.Seen++
+		if !owners.MayMatch(pkt.Src) && !owners.MayMatch(pkt.Dst) {
+			keep[i] = true
+			continue
+		}
+		srcOwner, srcBound := owners.Lookup(pkt.Src)
+		dstOwner, dstBound := owners.Lookup(pkt.Dst)
+		if !srcBound && !dstBound {
+			keep[i] = true
+			continue
+		}
+		d.stats.Redirected++
+		var key pipeKey
+		if srcBound {
+			key.src = srcOwner
+		}
+		if dstBound {
+			key.dst = dstOwner
+		}
+		if !haveKey || key != lastKey || d.gen != lastGen {
+			lastPl = d.pipelineFor(key)
+			lastKey, lastGen, haveKey = key, d.gen, true
+		}
+		ok := true
+		if lastPl.src != nil {
+			ok = d.runService(now, pkt, from, lastPl.src)
+		}
+		if ok && lastPl.dst != nil {
+			ok = d.runService(now, pkt, from, lastPl.dst)
+		}
+		keep[i] = ok
+	}
+}
+
+// redirect handles the slow path: full owner lookups, pipeline cache hit,
+// and up to two stage runs.
+func (d *Device) redirect(now sim.Time, pkt *packet.Packet, from int, owners *ownership.Compiled[string]) bool {
 	srcOwner, srcBound := owners.Lookup(pkt.Src)
 	dstOwner, dstBound := owners.Lookup(pkt.Dst)
 	if !srcBound && !dstBound {
-		return true // fast path
+		return true
 	}
 	d.stats.Redirected++
-
-	// Stage 1: control by the source address owner.
+	var key pipeKey
 	if srcBound {
-		if !d.runStage(now, pkt, from, srcOwner, StageSource) {
-			return false
-		}
+		key.src = srcOwner
 	}
-	// Stage 2: control by the destination address owner.
 	if dstBound {
-		if !d.runStage(now, pkt, from, dstOwner, StageDest) {
-			return false
-		}
+		key.dst = dstOwner
+	}
+	pl := d.pipelineFor(key)
+	if pl.src != nil && !d.runService(now, pkt, from, pl.src) {
+		return false
+	}
+	if pl.dst != nil && !d.runService(now, pkt, from, pl.dst) {
+		return false
 	}
 	return true
 }
 
-// runStage executes one owner's graph under the runtime safety monitor.
-func (d *Device) runStage(now sim.Time, pkt *packet.Packet, from int, owner string, stage Stage) bool {
+// pipelineFor returns the cached fused pipeline for key, resolving and
+// caching it on a miss. Misses only happen after control-plane changes;
+// the steady state is a single map hit.
+func (d *Device) pipelineFor(key pipeKey) *pipeline {
+	if pl, ok := d.pipes[key]; ok {
+		return pl
+	}
+	pl := &pipeline{
+		src: d.runnable(key.src, StageSource),
+		dst: d.runnable(key.dst, StageDest),
+	}
+	d.pipes[key] = pl
+	return pl
+}
+
+// runnable resolves (owner, stage) to a service that should process
+// packets right now, or nil.
+func (d *Device) runnable(owner string, stage Stage) *service {
+	if owner == "" {
+		return nil
+	}
 	svcs, ok := d.services[owner]
 	if !ok || svcs[stage] == nil {
-		return true
+		return nil
 	}
 	svc := svcs[stage]
 	if !svc.enabled || svc.quarantined {
-		return true
+		return nil
 	}
-	env := Env{
+	return svc
+}
+
+// runService executes one owner's graph under the runtime safety monitor,
+// through the compiled program when available (the interpreter is kept as
+// a fallback and as the differential-testing reference).
+func (d *Device) runService(now sim.Time, pkt *packet.Packet, from int, svc *service) bool {
+	env := &d.env
+	*env = Env{
 		Now: now, Node: d.Node, From: from,
-		Owner: owner, Stage: stage,
+		Owner: svc.owner, Stage: svc.stage,
 		RPF: d.rpf, Emit: d.bus, RNG: d.rng,
 	}
 
@@ -235,7 +360,13 @@ func (d *Device) runStage(now sim.Time, pkt *packet.Packet, from int, owner stri
 	preSrc, preDst, preTTL, preSize := pkt.Src, pkt.Dst, pkt.TTL, pkt.Size
 
 	svc.processed++
-	res, capErr := svc.graph.run(&graphPacket{p: pkt}, &env)
+	var res Result
+	var capErr error
+	if svc.prog != nil && !d.interp {
+		res, capErr = svc.prog.exec(pkt, env)
+	} else {
+		res, capErr = svc.graph.run(pkt, env)
+	}
 
 	violated := capErr != nil || pkt.Src != preSrc || pkt.Dst != preDst || pkt.TTL != preTTL ||
 		pkt.Size > preSize || pkt.Validate() != nil
@@ -251,12 +382,13 @@ func (d *Device) runStage(now sim.Time, pkt *packet.Packet, from int, owner stri
 		if !svc.quarantined {
 			svc.quarantined = true
 			d.stats.Quarantines++
+			d.invalidate()
 		}
 		reason := "packet mutation outside policy"
 		if capErr != nil {
 			reason = capErr.Error()
 		}
-		env.EmitEvent("safety-monitor", fmt.Sprintf("service %q stage %v quarantined: %s", owner, stage, reason))
+		env.EmitEvent("safety-monitor", fmt.Sprintf("service %q stage %v quarantined: %s", svc.owner, svc.stage, reason))
 		return true
 	}
 	if res == Discard {

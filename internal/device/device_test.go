@@ -1,6 +1,7 @@
 package device
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -109,6 +110,37 @@ func TestGraphValidate(t *testing.T) {
 		process: func(*packet.Packet, *Env) (int, Result) { return 0, Forward }})
 	if err := zeroPorts.Validate(reg); err == nil {
 		t.Error("zero-port component validated")
+	}
+}
+
+// TestGraphValidateDeepChain pins the cycle check to bounded stack depth:
+// a 100k-node linear chain must validate without overflowing the goroutine
+// stack (the check is an explicit worklist, not recursion — a chain this
+// deep blew the stack under the recursive formulation).
+func TestGraphValidateDeepChain(t *testing.T) {
+	reg := testRegistry(t)
+	const n = 100_000
+	g := NewGraph("deep")
+	for i := 0; i < n; i++ {
+		g.Add(passComp(fmt.Sprintf("c%d", i)))
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.Wire(i, 0, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Wire(n-1, 0, Exit); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(reg); err != nil {
+		t.Fatalf("deep chain rejected: %v", err)
+	}
+	// Close the loop at the far end: the worklist must still find it.
+	if err := g.Wire(n-1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(reg); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("deep cycle not detected: %v", err)
 	}
 }
 

@@ -6,6 +6,7 @@ package device_test
 // grows, foreign traffic untouched — and never panic.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -201,6 +202,218 @@ func TestFuzzQuarantineContainsHostileModules(t *testing.T) {
 		return dev.Quarantined("evil", device.StageDest) && dev.Stats().Violations == 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clonePacket deep-copies a packet (payload included) so the same logical
+// packet can be fed to two devices independently.
+func clonePacket(p *packet.Packet) *packet.Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// samePacket compares the full post-processing packet state.
+func samePacket(a, b *packet.Packet) bool {
+	if a.Src != b.Src || a.Dst != b.Dst || a.Proto != b.Proto || a.TTL != b.TTL ||
+		a.SrcPort != b.SrcPort || a.DstPort != b.DstPort || a.Flags != b.Flags ||
+		a.ICMPCode != b.ICMPCode || a.Seq != b.Seq || a.Size != b.Size || a.Kind != b.Kind {
+		return false
+	}
+	return bytes.Equal(a.Payload, b.Payload)
+}
+
+// buildDifferentialDevice constructs a device from seed: two owners with
+// random graphs on both stages, optionally a hostile (safety-violating)
+// module on the second owner's dest stage. Called twice with the same seed
+// it produces behaviourally identical devices; the interpreted flag selects
+// the execution engine.
+func buildDifferentialDevice(seed uint64, size int, hostile, interpreted bool) (*device.Device, *[]device.Event, error) {
+	rng := sim.NewRNG(seed)
+	reg := modules.NewRegistry()
+	if err := reg.Register(device.Manifest{Type: "hostile", MayModifyPayload: true, SecurityChecked: true}); err != nil {
+		return nil, nil, err
+	}
+	dev := device.New(0, reg, rng.Fork())
+	dev.SetInterpreted(interpreted)
+	events := &[]device.Event{}
+	dev.SetEventBus(func(e device.Event) { *events = append(*events, e) })
+	if err := dev.BindOwner(packet.MustParsePrefix("10.0.0.0/8"), "owner"); err != nil {
+		return nil, nil, err
+	}
+	if err := dev.BindOwner(packet.MustParsePrefix("20.0.0.0/8"), "peer"); err != nil {
+		return nil, nil, err
+	}
+	if err := dev.Install("owner", device.StageSource, randomGraph(rng, size)); err != nil {
+		return nil, nil, err
+	}
+	if err := dev.Install("owner", device.StageDest, randomGraph(rng, size)); err != nil {
+		return nil, nil, err
+	}
+	if err := dev.Install("peer", device.StageSource, randomGraph(rng, size)); err != nil {
+		return nil, nil, err
+	}
+	peerDst := randomGraph(rng, size)
+	if hostile {
+		peerDst = device.Chain("h", &hostileComp{mutate: func(p *packet.Packet) { p.TTL += 3 }})
+	}
+	if err := dev.Install("peer", device.StageDest, peerDst); err != nil {
+		return nil, nil, err
+	}
+	return dev, events, nil
+}
+
+// differentialPacket derives one packet biased so that redirected traffic,
+// fused two-owner pipelines, and fast-path misses all occur.
+func differentialPacket(rng *sim.RNG) *packet.Packet {
+	p := randomPacket(rng)
+	switch rng.Intn(5) {
+	case 0:
+		p.Src = packet.Addr(0x0A000000 | rng.Uint32()&0xFFFFFF)
+	case 1:
+		p.Dst = packet.Addr(0x0A000000 | rng.Uint32()&0xFFFFFF)
+	case 2:
+		p.Src = packet.Addr(0x0A000000 | rng.Uint32()&0xFFFFFF)
+		p.Dst = packet.Addr(0x14000000 | rng.Uint32()&0xFFFFFF)
+	case 3:
+		p.Dst = packet.Addr(0x14000000 | rng.Uint32()&0xFFFFFF)
+	}
+	return p
+}
+
+// TestFuzzDifferentialCompiledVsInterpreted is the compiler's correctness
+// oracle: the same random service graphs are executed over the same random
+// packet stream by the interpreter and by the compiled flat programs, and
+// every observable — verdict, resulting packet bytes, device counters,
+// per-service counters, emitted events — must match exactly.
+func TestFuzzDifferentialCompiledVsInterpreted(t *testing.T) {
+	f := func(seed uint64, sizeRaw, pktsRaw uint8, hostile bool) bool {
+		size := 1 + int(sizeRaw)%8
+		nPkts := 1 + int(pktsRaw)%64
+
+		devI, evI, err := buildDifferentialDevice(seed, size, hostile, true)
+		if err != nil {
+			return false
+		}
+		devC, evC, err := buildDifferentialDevice(seed, size, hostile, false)
+		if err != nil {
+			return false
+		}
+
+		pktRNG := sim.NewRNG(seed ^ 0x9E3779B97F4A7C15)
+		now := sim.Time(0)
+		for i := 0; i < nPkts; i++ {
+			p := differentialPacket(pktRNG)
+			pi, pc := clonePacket(p), clonePacket(p)
+			vi := devI.Process(now, pi, -1)
+			vc := devC.Process(now, pc, -1)
+			if vi != vc {
+				t.Logf("seed %d pkt %d: verdict interp=%v compiled=%v", seed, i, vi, vc)
+				return false
+			}
+			if !samePacket(pi, pc) {
+				t.Logf("seed %d pkt %d: packet state diverged", seed, i)
+				return false
+			}
+			now += sim.Time(pktRNG.Intn(1000)) * sim.Microsecond
+		}
+
+		if devI.Stats() != devC.Stats() {
+			t.Logf("seed %d: stats interp=%+v compiled=%+v", seed, devI.Stats(), devC.Stats())
+			return false
+		}
+		si, sc := devI.Services(), devC.Services()
+		if len(si) != len(sc) {
+			return false
+		}
+		for i := range si {
+			if si[i] != sc[i] {
+				t.Logf("seed %d: service %d interp=%+v compiled=%+v", seed, i, si[i], sc[i])
+				return false
+			}
+		}
+		if len(*evI) != len(*evC) {
+			t.Logf("seed %d: %d events interp vs %d compiled", seed, len(*evI), len(*evC))
+			return false
+		}
+		for i := range *evI {
+			if (*evI)[i] != (*evC)[i] {
+				t.Logf("seed %d: event %d interp=%+v compiled=%+v", seed, i, (*evI)[i], (*evC)[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuzzBatchMatchesSingle checks ProcessBatch against per-packet
+// Process on identically-built devices: same verdicts, same counters, same
+// per-service state, same events — batching is an optimization, never a
+// semantic change.
+func TestFuzzBatchMatchesSingle(t *testing.T) {
+	f := func(seed uint64, sizeRaw, pktsRaw uint8, hostile bool) bool {
+		size := 1 + int(sizeRaw)%8
+		nPkts := 1 + int(pktsRaw)%64
+
+		devS, evS, err := buildDifferentialDevice(seed, size, hostile, false)
+		if err != nil {
+			return false
+		}
+		devB, evB, err := buildDifferentialDevice(seed, size, hostile, false)
+		if err != nil {
+			return false
+		}
+
+		pktRNG := sim.NewRNG(seed ^ 0xD1B54A32D192ED03)
+		single := make([]*packet.Packet, nPkts)
+		batch := make([]*packet.Packet, nPkts)
+		for i := range single {
+			p := differentialPacket(pktRNG)
+			single[i], batch[i] = clonePacket(p), clonePacket(p)
+		}
+		wantKeep := make([]bool, nPkts)
+		for i, p := range single {
+			wantKeep[i] = devS.Process(0, p, -1)
+		}
+		gotKeep := make([]bool, nPkts)
+		devB.ProcessBatch(0, batch, -1, gotKeep)
+
+		for i := range single {
+			if wantKeep[i] != gotKeep[i] || !samePacket(single[i], batch[i]) {
+				t.Logf("seed %d pkt %d: single keep=%v batch keep=%v", seed, i, wantKeep[i], gotKeep[i])
+				return false
+			}
+		}
+		if devS.Stats() != devB.Stats() {
+			t.Logf("seed %d: stats single=%+v batch=%+v", seed, devS.Stats(), devB.Stats())
+			return false
+		}
+		ss, sb := devS.Services(), devB.Services()
+		if len(ss) != len(sb) {
+			return false
+		}
+		for i := range ss {
+			if ss[i] != sb[i] {
+				return false
+			}
+		}
+		if len(*evS) != len(*evB) {
+			return false
+		}
+		for i := range *evS {
+			if (*evS)[i] != (*evB)[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
 	}
 }

@@ -2,6 +2,8 @@ package device
 
 import (
 	"fmt"
+
+	"dtc/internal/packet"
 )
 
 // Exit is the pseudo-node a graph edge may point at to mean "processing
@@ -98,32 +100,40 @@ func (g *Graph) Validate(reg *Registry) error {
 			return fmt.Errorf("device: graph %q component %d (%s): no output ports", g.name, i, c.Name())
 		}
 	}
-	// Cycle check via DFS colors.
+	// Cycle check via DFS colors, driven by an explicit worklist: a
+	// pathologically deep chain (100k+ nodes) must not overflow the
+	// goroutine stack the way a recursive visit would. Each frame holds a
+	// node and the next out-port to examine; pushing a frame greys the
+	// node, exhausting its ports blackens it.
 	const (
 		white, grey, black = 0, 1, 2
 	)
 	color := make([]int, len(g.nodes))
-	var visit func(v int) error
-	visit = func(v int) error {
-		color[v] = grey
-		for _, w := range g.wires[v] {
-			if w == Exit {
-				continue
-			}
-			switch color[w] {
-			case grey:
-				return fmt.Errorf("device: graph %q contains a cycle through %s", g.name, g.nodes[w].Name())
-			case white:
-				if err := visit(w); err != nil {
-					return err
-				}
-			}
-		}
-		color[v] = black
-		return nil
+	type frame struct {
+		node int
+		port int
 	}
-	if err := visit(0); err != nil {
-		return err
+	stack := []frame{{node: 0}}
+	color[0] = grey
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.port >= len(g.wires[f.node]) {
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		w := g.wires[f.node][f.port]
+		f.port++
+		if w == Exit {
+			continue
+		}
+		switch color[w] {
+		case grey:
+			return fmt.Errorf("device: graph %q contains a cycle through %s", g.name, g.nodes[w].Name())
+		case white:
+			color[w] = grey
+			stack = append(stack, frame{node: w})
+		}
 	}
 	// Resolve manifests for runtime capability enforcement.
 	g.caps = make([]Manifest, len(g.nodes))
@@ -149,7 +159,7 @@ func (e errCapability) Error() string {
 // service; the packet may be dirty and must be restored). It is
 // unexported: external callers go through Device, which wraps execution in
 // the safety monitor.
-func (g *Graph) run(pkt *graphPacket, env *Env) (Result, error) {
+func (g *Graph) run(pkt *packet.Packet, env *Env) (Result, error) {
 	node := 0
 	steps := 0
 	enforce := len(g.caps) == len(g.nodes)
@@ -163,15 +173,15 @@ func (g *Graph) run(pkt *graphPacket, env *Env) (Result, error) {
 		c := g.nodes[node]
 		var preSize, prePayload int
 		if enforce {
-			preSize, prePayload = pkt.p.Size, len(pkt.p.Payload)
+			preSize, prePayload = pkt.Size, len(pkt.Payload)
 		}
-		port, res := c.Process(pkt.p, env)
+		port, res := c.Process(pkt, env)
 		if enforce {
 			m := g.caps[node]
 			if res == Discard && !m.MayDrop {
 				return Discard, errCapability{c.Name(), "discarded a packet without MayDrop"}
 			}
-			if !m.MayModifyPayload && (pkt.p.Size != preSize || len(pkt.p.Payload) != prePayload) {
+			if !m.MayModifyPayload && (pkt.Size != preSize || len(pkt.Payload) != prePayload) {
 				return Forward, errCapability{c.Name(), "modified payload/size without MayModifyPayload"}
 			}
 		}

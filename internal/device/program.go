@@ -1,0 +1,291 @@
+package device
+
+import (
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+)
+
+// This file defines the compiled form of a service graph: a flat array of
+// instructions walked by program.exec. Common component types are lowered
+// to dedicated opcodes that read the live component's state through
+// pointers (so runtime parameter updates — rate changes, blacklist edits,
+// switch flips — keep working without recompilation); everything else runs
+// through a generic interface-call opcode that preserves the interpreter's
+// behaviour exactly.
+//
+// Safety argument (paper §4.5, see DESIGN.md §9): dedicated opcodes are
+// device-owned code that never touches packet payload, size, addresses or
+// TTL, so the only §4 restriction they can violate is MayDrop — checked
+// per instruction via a flag precomputed from the graph's resolved
+// manifests, producing the same errCapability the interpreter raises. The
+// generic opcode keeps the interpreter's full pre/post snapshot checks.
+
+// opKind selects the instruction executed at a program node.
+type opKind uint8
+
+const (
+	opGeneric   opKind = iota // interface call on an arbitrary component
+	opFilter                  // rule-list filter (allow or deny mode)
+	opClassify                // rule-list classifier: port i+1 on first match
+	opBlacklist               // source-address set membership drop
+	opRateLimit               // token-bucket limiter
+	opAntiSpoof               // RPF ingress check
+	opCounter                 // stats counters (total + per-rule)
+	opSwitch                  // two-way branch on a live bool
+)
+
+// LoweredOp is a dedicated-opcode payload produced by a component's Lower
+// method. The set of implementations is sealed to this package: components
+// supply state (pointers into their own fields), never code, so lowering
+// cannot smuggle unreviewed behaviour past the §4 static checks.
+type LoweredOp interface{ lowered() opKind }
+
+// FilterOp lowers modules.Filter: drop on rule match (deny mode) or on
+// rule miss (allow mode).
+type FilterOp struct {
+	Rules     []Match
+	AllowMode bool
+	Dropped   *uint64
+	Passed    *uint64
+}
+
+func (FilterOp) lowered() opKind { return opFilter }
+
+// ClassifyOp lowers modules.Classifier: exit port i+1 for the first
+// matching rule i, port 0 otherwise.
+type ClassifyOp struct {
+	Rules []Match
+}
+
+func (ClassifyOp) lowered() opKind { return opClassify }
+
+// BlacklistOp lowers modules.Blacklist, sharing its live address set.
+type BlacklistOp struct {
+	Set     map[packet.Addr]bool
+	Dropped *uint64
+}
+
+func (BlacklistOp) lowered() opKind { return opBlacklist }
+
+// RateLimitOp lowers modules.RateLimiter. Every field is a pointer into
+// the component so control-plane parameter updates (Rate/Burst) and the
+// bucket state stay shared with the interpreter path bit-for-bit.
+type RateLimitOp struct {
+	Match    *Match
+	Rate     *float64
+	Burst    *float64
+	ByteMode bool
+	Tokens   *float64
+	Last     *sim.Time
+	Inited   *bool
+	Dropped  *uint64
+	Passed   *uint64
+}
+
+func (RateLimitOp) lowered() opKind { return opRateLimit }
+
+// AntiSpoofOp lowers modules.AntiSpoof.
+type AntiSpoofOp struct {
+	Strict  bool
+	Dropped *uint64
+	Passed  *uint64
+	NoCtx   *uint64
+}
+
+func (AntiSpoofOp) lowered() opKind { return opAntiSpoof }
+
+// CounterOp lowers modules.Stats; the per-rule slices share backing
+// arrays with the component so telemetry reads see compiled updates.
+type CounterOp struct {
+	Rules        []Match
+	TotalPackets *uint64
+	TotalBytes   *uint64
+	RulePackets  []uint64
+	RuleBytes    []uint64
+}
+
+func (CounterOp) lowered() opKind { return opCounter }
+
+// SwitchOp lowers modules.Switch, branching on the live switch position.
+type SwitchOp struct {
+	On *bool
+}
+
+func (SwitchOp) lowered() opKind { return opSwitch }
+
+// instr is one compiled graph node. The op payloads are inlined (one is
+// active, selected by kind) so exec runs a switch plus direct field loads
+// with no per-packet interface dispatch for lowered components.
+type instr struct {
+	kind opKind
+
+	// Capability flags precomputed from the node's resolved manifest.
+	dropViolates    bool // !MayDrop: a Discard is a capability violation
+	payloadViolates bool // !MayModifyPayload: size/payload change violates
+
+	name string // component name, for errCapability and events
+
+	comp Component // opGeneric only
+
+	filter    FilterOp
+	classify  ClassifyOp
+	blacklist BlacklistOp
+	ratelimit RateLimitOp
+	antispoof AntiSpoofOp
+	counter   CounterOp
+	sw        SwitchOp
+
+	// wires[p] is the instruction index reached from output port p, or
+	// Exit. Always len == the component's Ports().
+	wires []int32
+}
+
+// program is the compiled, flat form of one validated Graph.
+type program struct {
+	name string
+	ins  []instr
+}
+
+// exec runs the program on a packet. It mirrors Graph.run exactly: same
+// step bound, same port normalization, same capability-check ordering and
+// error text, so compiled and interpreted execution are indistinguishable
+// to the safety monitor and to every counter.
+func (p *program) exec(pkt *packet.Packet, env *Env) (Result, error) {
+	node := int32(0)
+	steps := 0
+	limit := len(p.ins) + 1
+	for {
+		steps++
+		if steps > limit {
+			// Defensive bound, as in the interpreter: Validate guarantees
+			// acyclicity, but a mis-wired graph must not hang the simulator.
+			return Forward, nil
+		}
+		in := &p.ins[node]
+		port := 0
+		switch in.kind {
+		case opFilter:
+			op := &in.filter
+			matched := false
+			for i := range op.Rules {
+				if op.Rules[i].Matches(pkt) {
+					matched = true
+					break
+				}
+			}
+			if matched != op.AllowMode {
+				*op.Dropped++
+				if in.dropViolates {
+					return Discard, errCapability{in.name, "discarded a packet without MayDrop"}
+				}
+				return Discard, nil
+			}
+			*op.Passed++
+
+		case opClassify:
+			op := &in.classify
+			for i := range op.Rules {
+				if op.Rules[i].Matches(pkt) {
+					port = i + 1
+					break
+				}
+			}
+
+		case opBlacklist:
+			op := &in.blacklist
+			if op.Set[pkt.Src] {
+				*op.Dropped++
+				if in.dropViolates {
+					return Discard, errCapability{in.name, "discarded a packet without MayDrop"}
+				}
+				return Discard, nil
+			}
+
+		case opRateLimit:
+			op := &in.ratelimit
+			if op.Match.Matches(pkt) {
+				// Bit-identical to modules.RateLimiter.Process: same float
+				// operations in the same order on the same state.
+				if !*op.Inited {
+					*op.Tokens = *op.Burst
+					*op.Last = env.Now
+					*op.Inited = true
+				}
+				elapsed := env.Now - *op.Last
+				*op.Last = env.Now
+				*op.Tokens += *op.Rate * float64(elapsed) / float64(sim.Second)
+				if *op.Tokens > *op.Burst {
+					*op.Tokens = *op.Burst
+				}
+				cost := 1.0
+				if op.ByteMode {
+					cost = float64(pkt.Size)
+				}
+				if *op.Tokens < cost {
+					*op.Dropped++
+					if in.dropViolates {
+						return Discard, errCapability{in.name, "discarded a packet without MayDrop"}
+					}
+					return Discard, nil
+				}
+				*op.Tokens -= cost
+				*op.Passed++
+			}
+
+		case opAntiSpoof:
+			op := &in.antispoof
+			switch {
+			case env.RPF == nil:
+				*op.NoCtx++
+			case !op.Strict && env.RPF.Transit(env.Node, env.From):
+				*op.Passed++
+			case !env.RPF.ValidIngress(env.Node, env.From, pkt.Src):
+				*op.Dropped++
+				if in.dropViolates {
+					return Discard, errCapability{in.name, "discarded a packet without MayDrop"}
+				}
+				return Discard, nil
+			default:
+				*op.Passed++
+			}
+
+		case opCounter:
+			op := &in.counter
+			*op.TotalPackets++
+			*op.TotalBytes += uint64(pkt.Size)
+			for i := range op.Rules {
+				if op.Rules[i].Matches(pkt) {
+					op.RulePackets[i]++
+					op.RuleBytes[i] += uint64(pkt.Size)
+				}
+			}
+
+		case opSwitch:
+			if *in.sw.On {
+				port = 1
+			}
+
+		default: // opGeneric: full interpreter semantics for one component
+			preSize, prePayload := pkt.Size, len(pkt.Payload)
+			var res Result
+			port, res = in.comp.Process(pkt, env)
+			if res == Discard && in.dropViolates {
+				return Discard, errCapability{in.name, "discarded a packet without MayDrop"}
+			}
+			if in.payloadViolates && (pkt.Size != preSize || len(pkt.Payload) != prePayload) {
+				return Forward, errCapability{in.name, "modified payload/size without MayModifyPayload"}
+			}
+			if res == Discard {
+				return Discard, nil
+			}
+		}
+		if port < 0 || port >= len(in.wires) {
+			port = 0
+		}
+		next := in.wires[port]
+		if next == Exit {
+			return Forward, nil
+		}
+		node = next
+	}
+}

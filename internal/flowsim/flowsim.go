@@ -65,6 +65,15 @@ type Model struct {
 
 	deployed []bool
 	strict   []bool
+
+	// Scratch reused across EvalBatch calls so steady-state batched
+	// evaluation allocates nothing. A Model is single-goroutine state
+	// (sweep points share Routes, never Models), so plain fields suffice.
+	res    []Result
+	order  []int
+	groups map[int][]int32
+	alive  []int32
+	cur    []int32
 }
 
 // New creates a model over g with its own private routing table.
@@ -205,25 +214,36 @@ func (m *Model) Evaluate(flows []Flow) (Sweep, error) {
 // out-of-range destination, surfaced for the earliest offending flow, as
 // in Evaluate) the returned Sweep is zero rather than partial.
 func (m *Model) EvalBatch(flows []Flow) (Sweep, error) {
-	res := make([]Result, len(flows))
+	if cap(m.res) < len(flows) {
+		m.res = make([]Result, len(flows))
+	}
+	res := m.res[:len(flows)]
 	// Group by destination in first-appearance order: the first group that
-	// fails TreeTo is then the destination of the earliest bad flow.
-	groups := make(map[int][]int32, 16)
-	var order []int
+	// fails TreeTo is then the destination of the earliest bad flow. The
+	// map and its per-destination index slices are scratch: emptied (not
+	// dropped) between calls so their backing arrays are reused.
+	if m.groups == nil {
+		m.groups = make(map[int][]int32, 16)
+	}
+	for _, d := range m.order {
+		m.groups[d] = m.groups[d][:0]
+	}
+	order := m.order[:0]
 	for i := range flows {
 		d := flows[i].To
-		g, ok := groups[d]
-		if !ok {
+		g := m.groups[d]
+		if len(g) == 0 {
 			order = append(order, d)
 		}
-		groups[d] = append(g, int32(i))
+		m.groups[d] = append(g, int32(i))
 	}
+	m.order = order
 	for _, d := range order {
 		tr, err := m.tbl.TreeTo(d)
 		if err != nil {
 			return Sweep{}, err
 		}
-		m.walkGroup(tr, flows, groups[d], res)
+		m.walkGroup(tr, flows, m.groups[d], res)
 	}
 	var s Sweep
 	var dropHops, drops float64
@@ -250,8 +270,8 @@ func (m *Model) EvalBatch(flows []Flow) (Sweep, error) {
 // compacting the alive set in place. Fates land in res indexed by flow.
 func (m *Model) walkGroup(tr *routing.Tree, flows []Flow, idx []int32, res []Result) {
 	n := len(tr.Next)
-	alive := make([]int32, 0, len(idx))
-	cur := make([]int32, 0, len(idx))
+	alive := m.alive[:0]
+	cur := m.cur[:0]
 	for _, fi := range idx {
 		f := &flows[fi]
 		if f.From < 0 || f.From >= n || tr.Next[f.From] == routing.NoRoute {
@@ -298,4 +318,5 @@ func (m *Model) walkGroup(tr *routing.Tree, flows []Flow, idx []int32, res []Res
 	for _, fi := range alive {
 		res[fi] = Result{Delivered: false, DropHop: 0}
 	}
+	m.alive, m.cur = alive[:0], cur[:0]
 }

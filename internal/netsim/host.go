@@ -42,6 +42,26 @@ func (h *Host) Send(now sim.Time, pkt *packet.Packet) {
 	h.net.inject(now, pkt, h.Node, Local)
 }
 
+// SendBatch injects a burst of packets at the host's router in one batch:
+// stamping and accounting match len(pkts) Send calls, but the router's
+// hook phase runs batched (see Network.InjectBatch), letting the adaptive
+// device amortize its pipeline lookup across the burst.
+func (h *Host) SendBatch(now sim.Time, pkts []*packet.Packet) {
+	for _, pkt := range pkts {
+		if pkt.TTL == 0 {
+			pkt.TTL = packet.DefaultTTL
+		}
+		if pkt.Size == 0 {
+			pkt.Size = packet.MinHeaderBytes
+		}
+		pkt.Origin = h.Node
+		pkt.ID = h.net.nextID
+		h.net.nextID++
+		h.net.Stats.addSent(pkt)
+	}
+	h.net.InjectBatch(now, pkts, h.Node, Local)
+}
+
 // deliver records and dispatches an incoming packet.
 func (h *Host) deliver(now sim.Time, pkt *packet.Packet) {
 	if int(pkt.Kind) < len(h.Delivered) {

@@ -26,7 +26,12 @@ func (r *router) receive(now sim.Time, pkt *packet.Packet, from int) {
 			return
 		}
 	}
+	r.forward(now, pkt)
+}
 
+// forward routes a packet that has cleared this router's hooks: local
+// delivery, TTL accounting, next-hop lookup, link transmission.
+func (r *router) forward(now sim.Time, pkt *packet.Packet) {
 	dstNode, ok := r.net.NodeOfAddr(pkt.Dst)
 	if !ok {
 		r.net.drop(now, pkt, DropNoRoute, r.node)

@@ -189,6 +189,12 @@ func (h *deviceHook) Process(now sim.Time, pkt *packet.Packet, ctx netsim.HookCo
 	return netsim.Drop
 }
 
+// ProcessBatch implements netsim.BatchHook, letting burst injection reuse
+// the device's fused two-stage pipeline across the whole burst.
+func (h *deviceHook) ProcessBatch(now sim.Time, pkts []*packet.Packet, ctx netsim.HookContext, keep []bool) {
+	h.dev.ProcessBatch(now, pkts, ctx.From, keep)
+}
+
 // uRPF provides the operator routing context for anti-spoofing: with
 // symmetric shortest-path routing, a source S may enter node N from
 // neighbor F only if F is N's next hop toward S.

@@ -47,6 +47,10 @@ type Compiled[V any] struct {
 	prefixes []packet.Prefix // parallel to vals
 	def      int32           // value index of the zero-length prefix, -1 if none
 	n        int
+	// cover is a 256-bit first-octet bitmap: bit o is set iff some stored
+	// prefix can contain an address whose first octet is o. MayMatch tests
+	// it to reject the (dominant) no-match case in one load.
+	cover [4]uint64
 }
 
 func emptyNode() cnode {
@@ -69,6 +73,7 @@ func (t *Trie[V]) compile() *Compiled[V] {
 		vi := int32(len(c.vals))
 		c.vals = append(c.vals, v)
 		c.prefixes = append(c.prefixes, p)
+		c.coverPrefix(p)
 		if p.Bits == 0 {
 			c.def = vi
 			return true
@@ -103,8 +108,35 @@ func (t *Trie[V]) compile() *Compiled[V] {
 	return c
 }
 
+// coverPrefix marks every first octet reachable under prefix p.
+func (c *Compiled[V]) coverPrefix(p packet.Prefix) {
+	if p.Bits == 0 {
+		for i := range c.cover {
+			c.cover[i] = ^uint64(0)
+		}
+		return
+	}
+	first := uint32(p.Addr) >> 24
+	last := first
+	if p.Bits < 8 {
+		first &^= 1<<(8-p.Bits) - 1 // drop any unmasked host bits
+		last = first + 1<<(8-p.Bits) - 1
+	}
+	for o := first; o <= last; o++ {
+		c.cover[o>>6] |= 1 << (o & 63)
+	}
+}
+
 // Len returns the number of stored prefixes.
 func (c *Compiled[V]) Len() int { return c.n }
+
+// MayMatch reports whether some stored prefix could contain a. A false
+// answer guarantees Lookup(a) misses; a true answer says nothing. It is the
+// single-load fast-reject in front of the full longest-prefix walk.
+func (c *Compiled[V]) MayMatch(a packet.Addr) bool {
+	o := uint32(a) >> 24
+	return c.cover[o>>6]&(1<<(o&63)) != 0
+}
 
 // Lookup returns the value of the longest prefix containing a.
 func (c *Compiled[V]) Lookup(a packet.Addr) (V, bool) {
