@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-experiment race-live vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
+.PHONY: all check build test race race-experiment race-live race-shard vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
 
 all: build vet fmtcheck test
 
@@ -41,6 +41,13 @@ race-experiment:
 race-live:
 	$(GO) test -race ./internal/live ./internal/ctl ./internal/telemetry ./internal/defense
 
+# Race-check the sharded parallel engine: coordinator rounds, barrier
+# drains, and the sharded network's cross-shard delivery, plus the e13
+# scalability experiment that drives them end to end.
+race-shard:
+	$(GO) test -race -run 'Sharded|Partition|PeekTime|AdvanceTo' ./internal/sim ./internal/netsim ./internal/topology
+	$(GO) test -race -run 'TestWorkerInvariance/e13' ./internal/experiment
+
 # Short fuzz pass over the wire-format and parser fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/packet/
@@ -50,12 +57,14 @@ fuzz:
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.
-MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASE ?= BENCH_PR4.json
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkShardedForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR5.json
 
+# Three samples per benchmark; benchjson keeps the per-metric minimum,
+# which filters scheduling noise on shared machines.
 bench:
-	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' -count=3 . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Compare the current recording against the previous PR's baseline; fails
 # on a >20% ns/op or allocs/op regression in any shared benchmark.

@@ -2,6 +2,9 @@
 // stdin into a deterministic JSON file mapping benchmark name to ns/op,
 // B/op and allocs/op. The Makefile's bench target uses it to record the
 // per-PR performance trajectory (BENCH_PR1.json and successors).
+// Repeated samples of one benchmark (from -count=N) fold to the
+// per-metric minimum: on a shared machine, scheduling noise only ever
+// adds time, so the fastest sample is the robust estimate.
 //
 // With -old it instead compares a previously recorded file against new
 // results (stdin, or a second recorded file via -new) and prints per-
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -62,6 +66,11 @@ func parse(r io.Reader) (map[string]Result, error) {
 		if m[3] != "" {
 			res.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
 			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if prev, seen := out[m[1]]; seen {
+			res.NsPerOp = math.Min(res.NsPerOp, prev.NsPerOp)
+			res.BytesPerOp = math.Min(res.BytesPerOp, prev.BytesPerOp)
+			res.AllocsPerOp = math.Min(res.AllocsPerOp, prev.AllocsPerOp)
 		}
 		out[m[1]] = res
 	}

@@ -34,6 +34,22 @@ PASS
 	}
 }
 
+func TestParseKeepsMinAcrossRepeats(t *testing.T) {
+	// -count=N emits each benchmark N times; the per-metric minimum is the
+	// noise-robust sample on a shared machine.
+	in := `BenchmarkX-8   100   120.0 ns/op   64 B/op   2 allocs/op
+BenchmarkX-8   100   95.5 ns/op   80 B/op   1 allocs/op
+BenchmarkX-8   100   110.0 ns/op   48 B/op   3 allocs/op
+`
+	res, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res["BenchmarkX"]; r.NsPerOp != 95.5 || r.BytesPerOp != 48 || r.AllocsPerOp != 1 {
+		t.Errorf("min-fold = %+v, want {95.5 48 1}", r)
+	}
+}
+
 func TestRegressed(t *testing.T) {
 	cases := []struct {
 		old, new float64

@@ -39,6 +39,7 @@ func run() int {
 		parallel   = flag.Int("parallel", 1, "concurrent experiments for -all (wall-clock-measuring experiments prefer 1)")
 		workers    = flag.Int("workers", 0, "concurrent sweep points within an experiment; 0 = GOMAXPROCS. Tables are byte-identical at any value")
 		timeout    = flag.Duration("timeout", 0, "per-experiment deadline (e.g. 2m); 0 = none")
+		shards     = flag.Int("shards", 0, "shard counts for sharded-engine experiments (e13): 0 = default ladder {1,2,4,8}, N>1 compares {1,N}, 1 = single-shard reference")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -51,7 +52,7 @@ func run() int {
 		}
 		return 0
 	}
-	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Timeout: *timeout}
+	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Timeout: *timeout, Shards: *shards}
 	var ids []string
 	switch {
 	case *all:

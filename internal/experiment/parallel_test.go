@@ -16,8 +16,9 @@ import (
 // worker, so the table *structure* and every other column are still
 // worker-invariant — only the timing values themselves differ run to run.
 var volatileCols = map[string][]int{
-	"e5": {3, 4}, // Mpkts_per_sec, ns_per_pkt
-	"a2": {3, 4}, // Mlookups_per_sec, slowdown_vs_trie
+	"e5":  {3, 4}, // Mpkts_per_sec, ns_per_pkt
+	"a2":  {3, 4}, // Mlookups_per_sec, slowdown_vs_trie
+	"e13": {7, 8}, // wall_ms, speedup
 }
 
 // maskedRows renders a table's rows with volatile cells blanked, so two
@@ -41,7 +42,7 @@ func maskedRows(tbl *metrics.Table, volatile []int) string {
 // ported experiment produces a byte-identical table at workers=1 and
 // workers=8 (modulo masked wall-clock columns).
 func TestWorkerInvariance(t *testing.T) {
-	for _, id := range []string{"e1", "e4", "e5", "e10", "e12", "a2", "a3"} {
+	for _, id := range []string{"e1", "e4", "e5", "e10", "e12", "e13", "a2", "a3"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			sweep.ResetCache()

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dtc/internal/metrics"
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/sweep"
+	"dtc/internal/topology"
+)
+
+func init() {
+	register("e13", "sharded engine scalability: one packet scenario at shard counts 1..8, invariant counters + speedup", runE13)
+}
+
+// runE13 runs one fixed packet-level scenario — CBR sources on stub ASes
+// of a power-law graph flooding a set of sink hosts — once per shard
+// count, on the conservative-lookahead parallel engine. Every counter
+// column (sent, delivered, events fired) must be identical down the
+// table: that is the shard-count-invariance contract of DESIGN.md §10,
+// checked here on a real workload rather than a unit fixture. The wall
+// and speedup columns are the only machine-dependent cells (masked by
+// the worker-invariance test, like e5's).
+func runE13(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E13: sharded parallel engine scalability (packet model)",
+		"shards", "ASes", "cut_edges", "lookahead_ms", "sent", "delivered", "events", "wall_ms", "speedup")
+
+	nNodes, sources, perSource := 6000, 1200, 40
+	if opts.Quick {
+		nNodes, sources, perSource = 1500, 300, 10
+	}
+	sub, err := e13Substrate(opts, nNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	counts := []int{1, 2, 4, 8}
+	if opts.Shards == 1 {
+		counts = []int{1}
+	} else if opts.Shards > 1 {
+		counts = []int{1, opts.Shards}
+	}
+
+	var baseWall time.Duration
+	var baseSent, baseDelivered, baseFired uint64
+	for _, shards := range counts {
+		res, wall, err := runE13Point(opts, sub, shards, sources, perSource)
+		if err != nil {
+			return nil, err
+		}
+		if shards == counts[0] {
+			baseWall, baseSent, baseDelivered, baseFired = wall, res.sent, res.delivered, res.fired
+		} else if res.sent != baseSent || res.delivered != baseDelivered || res.fired != baseFired {
+			return nil, fmt.Errorf("e13: shard-count invariance broken at shards=%d: sent %d/%d delivered %d/%d events %d/%d",
+				shards, res.sent, baseSent, res.delivered, baseDelivered, res.fired, baseFired)
+		}
+		lookMS := "inf"
+		if res.lookahead != sim.MaxTime {
+			lookMS = fmt.Sprintf("%.3f", float64(res.lookahead)/float64(sim.Millisecond))
+		}
+		tbl.AddRow(shards, nNodes, res.cut, lookMS, res.sent, res.delivered, res.fired,
+			float64(wall)/float64(time.Millisecond), ratio(float64(baseWall), float64(wall)))
+	}
+	return tbl, nil
+}
+
+// e13Substrate caches the scenario's graph, shared routing trees and
+// compiled address map; partitions are memoized per shard count on the
+// substrate itself.
+func e13Substrate(opts Options, nNodes int) (*sweep.Substrate, error) {
+	key := sweep.Key{Name: fmt.Sprintf("e13/power-law/%d", nNodes), Seed: opts.Seed}
+	return sweep.GetSubstrate(key, func() (*sweep.Substrate, error) {
+		g, err := topology.BarabasiAlbert(nNodes, 2, sim.NewRNG(opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		return sweep.NewSubstrate(g), nil
+	})
+}
+
+type e13Result struct {
+	cut       int
+	lookahead sim.Time
+	sent      uint64
+	delivered uint64
+	fired     uint64
+}
+
+// runE13Point executes the scenario once at the given shard count and
+// reports its counters plus wall-clock. The scenario is RNG-free: CBR
+// sources with per-node phase offsets, run to quiescence, so counters
+// depend only on (graph, source set) — never on shard count or timing.
+func runE13Point(opts Options, sub *sweep.Substrate, shards, sources, perSource int) (e13Result, time.Duration, error) {
+	assign, err := sub.Partition(shards)
+	if err != nil {
+		return e13Result{}, 0, err
+	}
+	eng := sim.NewSharded(opts.Seed, shards)
+	cfg := netsim.LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond, QueueCap: 4096}
+	sn, err := netsim.NewSharded(eng, sub.Graph, cfg, sub.Routes, sub.Owners, assign)
+	if err != nil {
+		return e13Result{}, 0, err
+	}
+
+	g := sub.Graph
+	// Sinks on the highest-degree ASes: traffic converges through the core,
+	// so plenty of packets cross shards under any nontrivial partition.
+	hubs := g.NodesByDegree()
+	nSinks := 32
+	if nSinks > len(hubs) {
+		nSinks = len(hubs)
+	}
+	sinks := make([]*netsim.Host, nSinks)
+	for i := 0; i < nSinks; i++ {
+		h, err := sn.AttachHost(hubs[i])
+		if err != nil {
+			return e13Result{}, 0, err
+		}
+		sinks[i] = h
+	}
+	stubs := g.Stubs()
+	if sources > len(stubs) {
+		sources = len(stubs)
+	}
+	for i := 0; i < sources; i++ {
+		node := stubs[i]
+		h, err := sn.AttachHost(node)
+		if err != nil {
+			return e13Result{}, 0, err
+		}
+		dst := sinks[i%nSinks].Addr
+		// Phase offsets desynchronize ticks so equal-timestamp events on
+		// different shards stay non-interacting (determinism contract).
+		start := sim.Millisecond + sim.Time(node%997)*sim.Microsecond
+		limit, src := uint64(perSource), (*netsim.Source)(nil)
+		src = h.StartCBR(start, 200, func(i uint64) *packet.Packet {
+			if i+1 >= limit {
+				src.Stop()
+			}
+			return &packet.Packet{Src: h.Addr, Dst: dst, Kind: packet.KindLegit, Size: 600}
+		})
+	}
+
+	begin := time.Now()
+	if _, err := sn.RunAll(); err != nil {
+		return e13Result{}, 0, err
+	}
+	wall := time.Since(begin)
+
+	stats := sn.MergedStats()
+	res := e13Result{
+		cut:       topology.CutEdges(g, assign),
+		lookahead: sn.Lookahead(),
+		sent:      stats.Sent[packet.KindLegit].Packets,
+		delivered: stats.Delivered[packet.KindLegit].Packets,
+		fired:     sn.Fired(),
+	}
+	return res, wall, nil
+}

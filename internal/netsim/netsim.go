@@ -121,6 +121,27 @@ type Network struct {
 	// clobbering the outer batch.
 	batchPkts []*packet.Packet
 	batchKeep []bool
+
+	// Free list for caller-recycled packets (GetPacket/PutPacket). Opt-in:
+	// traffic sources that draw from the pool and sinks that return on
+	// final delivery make steady-state forwarding fully allocation-free.
+	pktPool []*packet.Packet
+
+	// Sharded execution state (zero/nil on a plain network). assign maps
+	// node -> shard, shardID names this network's shard, peers holds every
+	// shard's network, outbox[d] buffers packets bound for shard d until
+	// the coordinator's next barrier, and crossPool recycles the arrival
+	// events that carry them in (see sharded.go).
+	shardID   int
+	assign    []int
+	outbox    [][]crossMsg
+	crossPool []*crossArrivalEvent
+
+	// idStride is the packet-ID allocation stride: 1 on a plain network;
+	// on shard s of S the stream is s, s+S, s+2S, … so IDs stay globally
+	// unique without cross-shard coordination. (IDs are therefore NOT
+	// shard-count-invariant; nothing orders or aggregates by ID.)
+	idStride uint64
 }
 
 // New builds a network over g. Every edge gets cfg; use SetLinkConfig to
@@ -137,39 +158,83 @@ func New(s *sim.Simulation, g *topology.Graph, cfg LinkConfig) (*Network, error)
 // instead of rebuilding them per simulation. Networks on a shared substrate
 // must not mutate topology: FailLink returns an error.
 func NewOnSubstrate(s *sim.Simulation, g *topology.Graph, cfg LinkConfig, routes routing.Source, owners *ownership.Compiled[int]) (*Network, error) {
+	return newNetwork(s, g, cfg, routes, owners, nil, 0)
+}
+
+// newNetwork is the shared constructor. assign == nil builds a plain
+// network owning every node; otherwise the network owns only the nodes
+// with assign[i] == shardID, and directed links are instantiated only
+// where the transmitting endpoint is owned (the receiving shard's copy of
+// a cut edge carries the opposite direction).
+func newNetwork(s *sim.Simulation, g *topology.Graph, cfg LinkConfig, routes routing.Source, owners *ownership.Compiled[int], assign []int, shardID int) (*Network, error) {
 	if cfg.Bandwidth <= 0 || cfg.Delay < 0 || cfg.QueueCap < 1 {
 		return nil, fmt.Errorf("netsim: invalid link config %+v", cfg)
 	}
+	if assign != nil && (routes == nil || owners == nil) {
+		return nil, fmt.Errorf("netsim: sharded networks need shared routes and compiled owners")
+	}
 	n := &Network{
-		Sim:    s,
-		Graph:  g,
-		Table:  routes,
-		Stats:  NewStats(),
-		owners: owners,
-		shared: routes != nil || owners != nil,
-		links:  make(map[[2]int]*link),
-		hosts:  make(map[packet.Addr]*Host),
-		byNode: make(map[int][]*Host),
+		Sim:      s,
+		Graph:    g,
+		Table:    routes,
+		Stats:    NewStats(),
+		owners:   owners,
+		shared:   routes != nil || owners != nil,
+		links:    make(map[[2]int]*link),
+		hosts:    make(map[packet.Addr]*Host),
+		byNode:   make(map[int][]*Host),
+		assign:   assign,
+		shardID:  shardID,
+		idStride: 1,
 	}
 	if n.Table == nil {
 		n.Table = routing.NewTable(g, nil)
 	}
 	n.routers = make([]*router, g.Len())
 	for i := range n.routers {
+		if assign != nil && assign[i] != shardID {
+			continue // foreign node: its shard owns the router
+		}
 		n.routers[i] = &router{net: n, node: i, out: make(map[int]*link)}
 		if owners == nil {
 			n.addrMap.Insert(NodePrefix(i), i)
 		}
 	}
 	for _, e := range g.Edges() {
-		ab := newLink(n, e.A, e.B, cfg)
-		ba := newLink(n, e.B, e.A, cfg)
-		n.links[[2]int{e.A, e.B}] = ab
-		n.links[[2]int{e.B, e.A}] = ba
-		n.routers[e.A].out[e.B] = ab
-		n.routers[e.B].out[e.A] = ba
+		if assign == nil || assign[e.A] == shardID {
+			ab := newLink(n, e.A, e.B, cfg)
+			n.links[[2]int{e.A, e.B}] = ab
+			n.routers[e.A].out[e.B] = ab
+		}
+		if assign == nil || assign[e.B] == shardID {
+			ba := newLink(n, e.B, e.A, cfg)
+			n.links[[2]int{e.B, e.A}] = ba
+			n.routers[e.B].out[e.A] = ba
+		}
 	}
 	return n, nil
+}
+
+// GetPacket returns a zeroed packet, recycling the free list when
+// possible. Pair with PutPacket at the packet's end of life (final
+// delivery or drop) to make steady-state traffic allocation-free.
+func (n *Network) GetPacket() *packet.Packet {
+	if k := len(n.pktPool); k > 0 {
+		p := n.pktPool[k-1]
+		n.pktPool = n.pktPool[:k-1]
+		*p = packet.Packet{}
+		return p
+	}
+	return &packet.Packet{}
+}
+
+// PutPacket returns p to the free list. The caller asserts no live
+// reference to p remains — recycling a packet still queued in the
+// simulator corrupts the run. On a sharded network, return packets to the
+// network of the shard where they terminated (Host.Sim's network): pools
+// are per-shard and unsynchronized.
+func (n *Network) PutPacket(p *packet.Packet) {
+	n.pktPool = append(n.pktPool, p)
 }
 
 // NodePrefix returns the /16 address block assigned to topology node id.
@@ -241,6 +306,9 @@ func (n *Network) OnDrop(fn func(now sim.Time, pkt *packet.Packet, reason DropRe
 func (n *Network) AttachHost(node int) (*Host, error) {
 	if node < 0 || node >= n.Graph.Len() {
 		return nil, fmt.Errorf("netsim: node %d out of range", node)
+	}
+	if n.assign != nil && n.assign[node] != n.shardID {
+		return nil, fmt.Errorf("netsim: node %d belongs to shard %d, not %d (attach through ShardedNetwork)", node, n.assign[node], n.shardID)
 	}
 	p := NodePrefix(node)
 	idx := uint64(len(n.byNode[node]) + 1) // .0 reserved for the router

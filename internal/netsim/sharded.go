@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dtc/internal/ownership"
+	"dtc/internal/packet"
+	"dtc/internal/routing"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// Sharded execution of one simulated network across all cores. The graph
+// is partitioned node -> shard; every shard gets its own Network over the
+// shared immutable substrate (routing trees + compiled address map), its
+// own event heap, free lists and packet pool, and simulates exactly the
+// routers it owns. A directed link lives on the shard of its transmitting
+// router; when its receiving router is foreign, the arrival is buffered in
+// a typed per-(src,dst)-shard outbox instead of the local heap, and the
+// sim.Sharded coordinator hands it over at the next barrier. The smallest
+// propagation delay over such cut links is the engine's conservative
+// lookahead window.
+//
+// Determinism contract (DESIGN.md §10): a run is bit-reproducible for a
+// fixed (seed, assignment, worker count); statistics, Fired() and delivery
+// counts are additionally shard-count-invariant for scenarios that (a)
+// draw randomness from per-entity substreams and (b) have no interacting
+// equal-timestamp events on different shards. shards=1 is byte-identical
+// to the plain single-engine Network: no link is cut, so every packet
+// takes exactly the code path it always took.
+
+// crossMsg is one buffered cross-shard arrival: packet pkt crossing link
+// from->to, due at `at` on the shard owning `to`. Value-typed so outboxes
+// recycle their backing arrays with zero steady-state allocations.
+type crossMsg struct {
+	at       sim.Time
+	from, to int32
+	pkt      *packet.Packet
+}
+
+// crossArrivalEvent injects a handed-over packet at its destination
+// router. Instances are recycled through the destination network's
+// crossPool: allocated at barrier time (single-threaded) and released in
+// Fire (destination shard's goroutine), phases the barrier ordering keeps
+// disjoint.
+type crossArrivalEvent struct {
+	net      *Network
+	from, to int32
+	pkt      *packet.Packet
+}
+
+// Fire implements sim.Event.
+func (e *crossArrivalEvent) Fire(now sim.Time) {
+	n, pkt, from, to := e.net, e.pkt, int(e.from), int(e.to)
+	e.net, e.pkt = nil, nil
+	n.crossPool = append(n.crossPool, e)
+	n.inject(now, pkt, to, from)
+}
+
+func (n *Network) newCrossArrival(from, to int32, pkt *packet.Packet) *crossArrivalEvent {
+	if k := len(n.crossPool); k > 0 {
+		e := n.crossPool[k-1]
+		n.crossPool = n.crossPool[:k-1]
+		e.net, e.from, e.to, e.pkt = n, from, to, pkt
+		return e
+	}
+	return &crossArrivalEvent{net: n, from: from, to: to, pkt: pkt}
+}
+
+// parallelDrainMin is the per-barrier message count above which outbox
+// delivery fans out across destination shards (given more than one CPU).
+// Below it the goroutine handoff costs more than the heap pushes it
+// parallelizes.
+const parallelDrainMin = 256
+
+// ShardedNetwork is a simulated IP network executed by a sim.Sharded
+// coordinator. Construct with NewSharded, attach hosts/hooks through the
+// wrapper (it routes each call to the owning shard), then drive with Run.
+type ShardedNetwork struct {
+	Engine *sim.Sharded
+	Graph  *topology.Graph
+
+	assign    []int
+	nets      []*Network
+	lookahead sim.Time
+}
+
+// NewSharded partitions g per assign across eng's shards. routes must be
+// safe for concurrent readers (nil builds a routing.Shared); owners is the
+// compiled address map (nil compiles one). Topology is immutable for the
+// network's lifetime — FailLink is rejected, exactly as on any network
+// sharing substrate state.
+func NewSharded(eng *sim.Sharded, g *topology.Graph, cfg LinkConfig, routes routing.Source, owners *ownership.Compiled[int], assign []int) (*ShardedNetwork, error) {
+	shards := eng.Shards()
+	if err := topology.ValidatePartition(g, assign, shards); err != nil {
+		return nil, err
+	}
+	if routes == nil {
+		routes = routing.NewShared(g, nil)
+	}
+	if owners == nil {
+		var t ownership.Trie[int]
+		for i := 0; i < g.Len(); i++ {
+			t.Insert(NodePrefix(i), i)
+		}
+		owners = t.Compiled()
+	}
+	sn := &ShardedNetwork{
+		Engine: eng,
+		Graph:  g,
+		assign: assign,
+		nets:   make([]*Network, shards),
+	}
+	for s := 0; s < shards; s++ {
+		n, err := newNetwork(eng.Shard(s), g, cfg, routes, owners, assign, s)
+		if err != nil {
+			return nil, err
+		}
+		n.outbox = make([][]crossMsg, shards)
+		n.nextID = uint64(s)
+		n.idStride = uint64(shards)
+		sn.nets[s] = n
+	}
+	sn.recomputeLookahead()
+	eng.OnBarrier(sn.drain)
+	return sn, nil
+}
+
+// recomputeLookahead derives the conservative window from the minimum
+// propagation delay over cut links and installs it on the coordinator.
+// With no cut links (shards=1, or a partition that happens to isolate all
+// traffic) the window is unbounded and Run degenerates to one round —
+// i.e. the plain single-threaded engine.
+func (sn *ShardedNetwork) recomputeLookahead() {
+	min := sim.MaxTime
+	for _, n := range sn.nets {
+		for key, l := range n.links {
+			if sn.assign[key[0]] != sn.assign[key[1]] && l.cfg.Delay < min {
+				min = l.cfg.Delay
+			}
+		}
+	}
+	sn.lookahead = min
+	sn.Engine.Lookahead = min
+}
+
+// Lookahead returns the conservative window width currently in force
+// (sim.MaxTime when no link crosses shards).
+func (sn *ShardedNetwork) Lookahead() sim.Time { return sn.lookahead }
+
+// drain is the barrier hook: it moves every buffered cross-shard arrival
+// into its destination shard's event heap. Delivery order is fixed —
+// destinations ascending, sources ascending within a destination, FIFO
+// within a source — so runs are reproducible regardless of goroutine
+// scheduling. Large barriers fan out by destination: each destination's
+// heap is touched by exactly one goroutine, and the sources' outbox slots
+// for that destination are read by that goroutine alone.
+func (sn *ShardedNetwork) drain() {
+	total := 0
+	for _, n := range sn.nets {
+		for d := range n.outbox {
+			total += len(n.outbox[d])
+		}
+	}
+	if total == 0 {
+		return
+	}
+	if len(sn.nets) > 1 && total >= parallelDrainMin && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for d := range sn.nets {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				sn.drainTo(d)
+			}(d)
+		}
+		wg.Wait()
+		return
+	}
+	for d := range sn.nets {
+		sn.drainTo(d)
+	}
+}
+
+// drainTo delivers every shard's outbox for destination shard d.
+func (sn *ShardedNetwork) drainTo(d int) {
+	dst := sn.nets[d]
+	for s := range sn.nets {
+		box := sn.nets[s].outbox[d]
+		for i := range box {
+			m := &box[i]
+			dst.Sim.At(m.at, dst.newCrossArrival(m.from, m.to, m.pkt))
+			m.pkt = nil
+		}
+		sn.nets[s].outbox[d] = box[:0]
+	}
+}
+
+// Run drives the coordinator until `until` (events exactly at until still
+// fire). RunAll drains every shard.
+func (sn *ShardedNetwork) Run(until sim.Time) (sim.Time, error) { return sn.Engine.Run(until) }
+
+// RunAll executes rounds until every shard's queue is empty.
+func (sn *ShardedNetwork) RunAll() (sim.Time, error) { return sn.Engine.RunAll() }
+
+// Net returns shard s's network — the handle scenario code uses for
+// shard-local state (its Sim, its packet pool).
+func (sn *ShardedNetwork) Net(s int) *Network { return sn.nets[s] }
+
+// NetOf returns the network owning node.
+func (sn *ShardedNetwork) NetOf(node int) *Network { return sn.nets[sn.assign[node]] }
+
+// ShardOf returns the shard owning node.
+func (sn *ShardedNetwork) ShardOf(node int) int { return sn.assign[node] }
+
+// AttachHost creates a host on node, on the owning shard.
+func (sn *ShardedNetwork) AttachHost(node int) (*Host, error) {
+	if node < 0 || node >= sn.Graph.Len() {
+		return nil, fmt.Errorf("netsim: node %d out of range", node)
+	}
+	return sn.NetOf(node).AttachHost(node)
+}
+
+// NewServer attaches server semantics to a fresh host on node.
+func (sn *ShardedNetwork) NewServer(node int, serviceTime sim.Time, queueCap int) (*Server, error) {
+	if node < 0 || node >= sn.Graph.Len() {
+		return nil, fmt.Errorf("netsim: node %d out of range", node)
+	}
+	return sn.NetOf(node).NewServer(node, serviceTime, queueCap)
+}
+
+// AddHook installs a packet hook at node, on the owning shard. Hook state
+// is shard-local: a hook instance must not be shared across shards unless
+// it is immutable.
+func (sn *ShardedNetwork) AddHook(node int, h Hook) { sn.NetOf(node).AddHook(node, h) }
+
+// HostByAddr resolves a to its host, wherever it lives.
+func (sn *ShardedNetwork) HostByAddr(a packet.Addr) (*Host, bool) {
+	node, ok := sn.nets[0].NodeOfAddr(a)
+	if !ok {
+		return nil, false
+	}
+	return sn.NetOf(node).HostByAddr(a)
+}
+
+// SetLinkConfig reconfigures the directed link a->b on its owning shard
+// and re-derives the lookahead window (shrinking a cut link's delay
+// shrinks the window; Run picks the new value up at its next barrier).
+func (sn *ShardedNetwork) SetLinkConfig(a, b int, cfg LinkConfig) error {
+	if a < 0 || a >= sn.Graph.Len() {
+		return fmt.Errorf("netsim: no link %d->%d", a, b)
+	}
+	if err := sn.NetOf(a).SetLinkConfig(a, b, cfg); err != nil {
+		return err
+	}
+	sn.recomputeLookahead()
+	return nil
+}
+
+// SetDuplexLinkConfig reconfigures both directions of edge (a, b).
+func (sn *ShardedNetwork) SetDuplexLinkConfig(a, b int, cfg LinkConfig) error {
+	if err := sn.SetLinkConfig(a, b, cfg); err != nil {
+		return err
+	}
+	return sn.SetLinkConfig(b, a, cfg)
+}
+
+// Link returns utilization counters for the directed link a->b (owned by
+// a's shard).
+func (sn *ShardedNetwork) Link(a, b int) (*LinkStats, bool) {
+	if a < 0 || a >= sn.Graph.Len() {
+		return nil, false
+	}
+	return sn.NetOf(a).Link(a, b)
+}
+
+// MergedStats folds every shard's counters into one network-wide Stats.
+// The result is freshly allocated; shard counters keep accumulating.
+func (sn *ShardedNetwork) MergedStats() *Stats {
+	out := NewStats()
+	for _, n := range sn.nets {
+		out.Merge(n.Stats)
+	}
+	return out
+}
+
+// NumHosts returns the total hosts attached across all shards.
+func (sn *ShardedNetwork) NumHosts() int {
+	total := 0
+	for _, n := range sn.nets {
+		total += n.NumHosts()
+	}
+	return total
+}
+
+// Fired returns total events fired across shards.
+func (sn *ShardedNetwork) Fired() uint64 { return sn.Engine.Fired() }

@@ -92,6 +92,25 @@ func (s *Stats) addOverload(p *packet.Packet) {
 	s.Overload[k].Bytes += uint64(p.Size)
 }
 
+// Merge adds o's counters into s. The sharded network uses it to fold
+// per-shard statistics into one network-wide view; integer sums make the
+// result independent of merge order and shard count.
+func (s *Stats) Merge(o *Stats) {
+	for k := range s.Sent {
+		s.Sent[k].Packets += o.Sent[k].Packets
+		s.Sent[k].Bytes += o.Sent[k].Bytes
+		s.Delivered[k].Packets += o.Delivered[k].Packets
+		s.Delivered[k].Bytes += o.Delivered[k].Bytes
+		s.ByteHops[k] += o.ByteHops[k]
+		s.Overload[k].Packets += o.Overload[k].Packets
+		s.Overload[k].Bytes += o.Overload[k].Bytes
+		for r := range s.Drops {
+			s.Drops[r][k].Packets += o.Drops[r][k].Packets
+			s.Drops[r][k].Bytes += o.Drops[r][k].Bytes
+		}
+	}
+}
+
 // DropTotal sums packet drops for a reason across classes.
 func (s *Stats) DropTotal(r DropReason) uint64 {
 	var t uint64

@@ -48,11 +48,19 @@ func (h *Host) StartCBR(start sim.Time, rate float64, mk func(i uint64) *packet.
 // StartPoisson emits packets with exponential inter-arrival times at the
 // given mean rate (packets/second), using the simulation RNG.
 func (h *Host) StartPoisson(start sim.Time, rate float64, mk func(i uint64) *packet.Packet) *Source {
+	return h.StartPoissonRNG(start, rate, h.net.Sim.RNG().Fork(), mk)
+}
+
+// StartPoissonRNG is StartPoisson drawing inter-arrival times from an
+// explicit generator. Sharded scenarios need this for shard-count
+// invariance: forking the simulation RNG ties the stream to the shard the
+// host landed on, while a caller-supplied sim.RNG.Substream keyed by the
+// host's node ID is identical under any partition.
+func (h *Host) StartPoissonRNG(start sim.Time, rate float64, rng *sim.RNG, mk func(i uint64) *packet.Packet) *Source {
 	if rate <= 0 {
 		panic("netsim: Poisson rate must be positive")
 	}
 	s := &Source{host: h, make: mk}
-	rng := h.net.Sim.RNG().Fork()
 	mean := float64(sim.Second) / rate
 	var tick func(now sim.Time)
 	tick = func(now sim.Time) {

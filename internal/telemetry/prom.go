@@ -1,8 +1,8 @@
 package telemetry
 
 import (
-	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -10,6 +10,12 @@ import (
 // snapshots. Output is deterministic: metrics in fixed order, series
 // sorted by (ISP, node, owner, stage), so tests can compare byte-for-byte
 // and repeated scrapes diff cleanly.
+//
+// The writer is the hot path for HTTP /metrics under load, so the whole
+// exposition is rendered into one reusable buffer with strconv appends —
+// no fmt, one Write call, zero steady-state allocations — guarded by its
+// own mutex so a slow scrape never blocks ingest (and ingest never blocks
+// a scrape beyond the brief snapshot copy).
 
 // escapeLabel escapes a label value per the Prometheus text format.
 func escapeLabel(v string) string {
@@ -40,85 +46,128 @@ func stageName(stage uint8) string {
 	return "dest"
 }
 
+// appendLabel appends `name="value"` with the value escaped and quoted.
+func appendLabel(buf []byte, name, value string) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, '=')
+	return strconv.AppendQuote(buf, escapeLabel(value))
+}
+
+// appendSeriesHead appends `metric{isp="...",node="..."` — the prefix every
+// series shares — leaving the label set open for extra labels.
+func appendSeriesHead(buf []byte, metric string, k Key) []byte {
+	buf = append(buf, metric...)
+	buf = append(buf, '{')
+	buf = appendLabel(buf, "isp", k.ISP)
+	buf = append(buf, `,node="`...)
+	buf = strconv.AppendUint(buf, uint64(k.Node), 10)
+	buf = append(buf, '"')
+	return buf
+}
+
+// appendHeader appends the # HELP / # TYPE preamble for a metric.
+func appendHeader(buf []byte, metric, help, typ string) []byte {
+	buf = append(buf, "# HELP "...)
+	buf = append(buf, metric...)
+	buf = append(buf, ' ')
+	buf = append(buf, help...)
+	buf = append(buf, "\n# TYPE "...)
+	buf = append(buf, metric...)
+	buf = append(buf, ' ')
+	buf = append(buf, typ...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// deviceMetrics and serviceMetrics are the exposition schema, in output
+// order. Package-level so WriteProm doesn't rebuild the closures per call.
+var deviceMetrics = []struct {
+	name, help string
+	value      func(*Snapshot) uint64
+}{
+	{"dtc_device_seen_packets_total", "Packets entering the router the device is attached to.",
+		func(sn *Snapshot) uint64 { return sn.Seen }},
+	{"dtc_device_redirected_packets_total", "Packets redirected through owner service graphs.",
+		func(sn *Snapshot) uint64 { return sn.Redirected }},
+	{"dtc_device_discarded_packets_total", "Packets discarded by owner service graphs.",
+		func(sn *Snapshot) uint64 { return sn.Discarded }},
+}
+
+var serviceMetrics = []struct {
+	name, help string
+	value      func(*ServiceCounters) uint64
+}{
+	{"dtc_service_processed_packets_total", "Packets entering an installed service graph (offered load).",
+		func(sc *ServiceCounters) uint64 { return sc.Processed }},
+	{"dtc_service_discarded_packets_total", "Packets an installed service graph discarded.",
+		func(sc *ServiceCounters) uint64 { return sc.Discarded }},
+}
+
 // WriteProm writes every device's latest snapshot as Prometheus text.
 func (s *Store) WriteProm(w io.Writer) error {
+	// promMu serializes scrapes and owns the scratch state; the store mutex
+	// is held only long enough to copy key and snapshot pointers out, so the
+	// reporting pipeline never waits on rendering or on w.
+	s.promMu.Lock()
+	defer s.promMu.Unlock()
+
 	s.mu.Lock()
-	// Copy the latest snapshots out so the writer never blocks ingest on a
-	// slow scrape connection.
-	keys := append([]Key(nil), s.sortedKeys()...)
-	latest := make([]*Snapshot, len(keys))
-	for i, k := range keys {
-		latest[i] = s.devs[k].at(0)
+	keys := append(s.promKeys[:0], s.sortedKeys()...)
+	snaps := s.promSnaps[:0]
+	for _, k := range keys {
+		snaps = append(snaps, s.devs[k].at(0))
 	}
+	s.promKeys, s.promSnaps = keys, snaps
 	s.mu.Unlock()
 
-	write := func(format string, args ...any) error {
-		_, err := fmt.Fprintf(w, format, args...)
-		return err
-	}
-	type deviceMetric struct {
-		name, help string
-		value      func(*Snapshot) uint64
-	}
-	for _, m := range []deviceMetric{
-		{"dtc_device_seen_packets_total", "Packets entering the router the device is attached to.",
-			func(sn *Snapshot) uint64 { return sn.Seen }},
-		{"dtc_device_redirected_packets_total", "Packets redirected through owner service graphs.",
-			func(sn *Snapshot) uint64 { return sn.Redirected }},
-		{"dtc_device_discarded_packets_total", "Packets discarded by owner service graphs.",
-			func(sn *Snapshot) uint64 { return sn.Discarded }},
-	} {
-		if err := write("# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name); err != nil {
-			return err
-		}
+	buf := s.promBuf[:0]
+	for _, m := range deviceMetrics {
+		buf = appendHeader(buf, m.name, m.help, "counter")
 		for i, k := range keys {
-			sn := latest[i]
+			sn := snaps[i]
 			if sn == nil {
 				continue
 			}
-			if err := write("%s{isp=%q,node=\"%d\"} %d\n", m.name, escapeLabel(k.ISP), k.Node, m.value(sn)); err != nil {
-				return err
-			}
+			buf = appendSeriesHead(buf, m.name, k)
+			buf = append(buf, "} "...)
+			buf = strconv.AppendUint(buf, m.value(sn), 10)
+			buf = append(buf, '\n')
 		}
 	}
-	for _, m := range []struct {
-		name, help string
-		value      func(*ServiceCounters) uint64
-	}{
-		{"dtc_service_processed_packets_total", "Packets entering an installed service graph (offered load).",
-			func(sc *ServiceCounters) uint64 { return sc.Processed }},
-		{"dtc_service_discarded_packets_total", "Packets an installed service graph discarded.",
-			func(sc *ServiceCounters) uint64 { return sc.Discarded }},
-	} {
-		if err := write("# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name); err != nil {
-			return err
-		}
+	for _, m := range serviceMetrics {
+		buf = appendHeader(buf, m.name, m.help, "counter")
 		for i, k := range keys {
-			sn := latest[i]
+			sn := snaps[i]
 			if sn == nil {
 				continue
 			}
 			for j := range sn.Services {
 				sc := &sn.Services[j]
-				if err := write("%s{isp=%q,node=\"%d\",owner=%q,stage=%q} %d\n",
-					m.name, escapeLabel(k.ISP), k.Node, escapeLabel(sc.Owner), stageName(sc.Stage), m.value(sc)); err != nil {
-					return err
-				}
+				buf = appendSeriesHead(buf, m.name, k)
+				buf = append(buf, ',')
+				buf = appendLabel(buf, "owner", sc.Owner)
+				buf = append(buf, ',')
+				buf = appendLabel(buf, "stage", stageName(sc.Stage))
+				buf = append(buf, "} "...)
+				buf = strconv.AppendUint(buf, m.value(sc), 10)
+				buf = append(buf, '\n')
 			}
 		}
 	}
 	// Snapshot timestamps let dashboards spot a stalled reporting pipeline.
-	if err := write("# HELP dtc_snapshot_at_seconds Timestamp of each device's latest snapshot.\n# TYPE dtc_snapshot_at_seconds gauge\n"); err != nil {
-		return err
-	}
+	buf = appendHeader(buf, "dtc_snapshot_at_seconds", "Timestamp of each device's latest snapshot.", "gauge")
 	for i, k := range keys {
-		sn := latest[i]
+		sn := snaps[i]
 		if sn == nil {
 			continue
 		}
-		if err := write("dtc_snapshot_at_seconds{isp=%q,node=\"%d\"} %.3f\n", escapeLabel(k.ISP), k.Node, float64(sn.At)/1e9); err != nil {
-			return err
-		}
+		buf = appendSeriesHead(buf, "dtc_snapshot_at_seconds", k)
+		buf = append(buf, "} "...)
+		buf = strconv.AppendFloat(buf, float64(sn.At)/1e9, 'f', 3, 64)
+		buf = append(buf, '\n')
 	}
-	return nil
+	s.promBuf = buf
+
+	_, err := w.Write(buf)
+	return err
 }

@@ -49,6 +49,13 @@ type Store struct {
 	devs  map[Key]*ring
 	keys  []Key // sorted; rebuilt lazily when dirty
 	dirty bool
+
+	// Scrape scratch, owned by promMu (see WriteProm): the exposition
+	// buffer plus key/snapshot copies, all reused across scrapes.
+	promMu    sync.Mutex
+	promBuf   []byte
+	promKeys  []Key
+	promSnaps []*Snapshot
 }
 
 // NewStore creates a store keeping depth snapshots per device

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"testing"
+
+	"dtc/internal/sim"
+)
+
+func shardSizes(t *testing.T, assign []int, shards int) []int {
+	t.Helper()
+	sizes := make([]int, shards)
+	for _, s := range assign {
+		sizes[s]++
+	}
+	return sizes
+}
+
+func TestPartitionByBlock(t *testing.T) {
+	assign, err := PartitionByBlock(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+	if _, err := PartitionByBlock(10, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := PartitionByBlock(-1, 2); err == nil {
+		t.Fatal("n=-1 accepted")
+	}
+}
+
+func TestPartitionGreedyBalanceAndValidity(t *testing.T) {
+	g, err := BarabasiAlbert(500, 2, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 7, 8} {
+		assign, err := PartitionGreedy(g, shards, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePartition(g, assign, shards); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		capPer := (g.Len() + shards - 1) / shards
+		for s, size := range shardSizes(t, assign, shards) {
+			if size > capPer {
+				t.Fatalf("shards=%d: shard %d holds %d nodes, cap %d", shards, s, size, capPer)
+			}
+		}
+	}
+}
+
+func TestPartitionGreedyBeatsBlockOnPowerLaw(t *testing.T) {
+	// Node IDs carry no locality in a BA graph, so the contiguous block
+	// partition is near-worst-case; the greedy streaming heuristic must cut
+	// strictly fewer edges. This is the property that keeps cross-shard
+	// barrier traffic (and thus sharded-engine overhead) low.
+	g, err := BarabasiAlbert(2000, 2, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		block, err := PartitionByBlock(g.Len(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := PartitionGreedy(g, shards, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc, gc := CutEdges(g, block), CutEdges(g, greedy); gc >= bc {
+			t.Errorf("shards=%d: greedy cut %d >= block cut %d", shards, gc, bc)
+		}
+	}
+}
+
+func TestPartitionGreedyDeterministic(t *testing.T) {
+	g, err := BarabasiAlbert(300, 2, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := PartitionGreedy(g, 4, nil)
+	b, _ := PartitionGreedy(g, 4, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d: %d vs %d across identical calls", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPartitionGreedyWeightsProtectEdges(t *testing.T) {
+	// Two triangle cliques joined by one bridge; every intra-clique edge is
+	// weighted far above the bridge, so a 2-way split must cut exactly the
+	// bridge (the cheap edge), keeping each clique whole.
+	g := NewGraph(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(2, 3); err != nil { // bridge
+		t.Fatal(err)
+	}
+	w := func(a, b int) float64 {
+		if (a == 2 && b == 3) || (a == 3 && b == 2) {
+			return 0.001 // low weight = cheap to cut (e.g. high latency)
+		}
+		return 100
+	}
+	assign, err := PartitionGreedy(g, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePartition(g, assign, 2); err != nil {
+		t.Fatal(err)
+	}
+	if CutEdges(g, assign) != 1 || assign[2] == assign[3] {
+		t.Fatalf("assign = %v cut %d; want only the bridge cut", assign, CutEdges(g, assign))
+	}
+	for _, clique := range [][]int{{0, 1, 2}, {3, 4, 5}} {
+		for _, v := range clique[1:] {
+			if assign[v] != assign[clique[0]] {
+				t.Fatalf("clique %v split: assign = %v", clique, assign)
+			}
+		}
+	}
+}
+
+func TestValidatePartition(t *testing.T) {
+	g := Line(4)
+	if err := ValidatePartition(g, []int{0, 1}, 2); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if err := ValidatePartition(g, []int{0, 1, 2, 3}, 2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := ValidatePartition(g, []int{0, 1, 1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutEdges(t *testing.T) {
+	g := Line(4) // edges 0-1, 1-2, 2-3
+	if c := CutEdges(g, []int{0, 0, 1, 1}); c != 1 {
+		t.Fatalf("cut = %d, want 1", c)
+	}
+	if c := CutEdges(g, []int{0, 1, 0, 1}); c != 3 {
+		t.Fatalf("cut = %d, want 3", c)
+	}
+	if c := CutEdges(g, []int{0, 0, 0, 0}); c != 0 {
+		t.Fatalf("cut = %d, want 0", c)
+	}
+}
