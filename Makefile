@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-experiment race-live race-shard vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
+.PHONY: all check build test race race-experiment race-live race-shard chaos vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
 
 all: build vet fmtcheck test
 
 # The pre-commit gate: everything `all` runs plus the benchmark regression
-# comparison against the previous PR's recorded baseline.
-check: all benchcmp
+# comparison against the previous PR's recorded baseline and the chaos
+# suite (fault injection + recovery) under the race detector.
+check: all benchcmp chaos
 
 build:
 	$(GO) build ./...
@@ -48,12 +49,22 @@ race-shard:
 	$(GO) test -race -run 'Sharded|Partition|PeekTime|AdvanceTo' ./internal/sim ./internal/netsim ./internal/topology
 	$(GO) test -race -run 'TestWorkerInvariance/e13' ./internal/experiment
 
+# The chaos suite: the deterministic fault-injection engine plus every
+# crash/heal/resync/reconnect/leak test across the stack, all under the
+# race detector (DESIGN.md §11 lists the invariants these pin).
+chaos:
+	$(GO) test -race ./internal/fault
+	$(GO) test -race -run 'Fault|FailLink|Crash|Heal|Resync|Resubscribe|Leak|Retry|E14' \
+		./internal/nms ./internal/defense ./internal/ctl ./internal/live \
+		./internal/netsim ./internal/experiment
+
 # Short fuzz pass over the wire-format and parser fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzParsePrefix -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzParseAddr -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzSnapshotUnmarshal -fuzztime=10s ./internal/telemetry/
+	$(GO) test -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault/
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.

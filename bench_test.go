@@ -383,6 +383,10 @@ func BenchmarkE11SYNFlood(b *testing.B) { benchExperiment(b, "e11") }
 // sweep (detect → mitigate → retract over the full pipeline).
 func BenchmarkE12ClosedLoop(b *testing.B) { benchExperiment(b, "e12") }
 
+// BenchmarkE14FaultInjection runs the closed loop under injected crashes
+// and telemetry faults (detect → mitigate → crash → heal → retract).
+func BenchmarkE14FaultInjection(b *testing.B) { benchExperiment(b, "e14") }
+
 // BenchmarkTelemetryWire measures one snapshot round trip through the
 // canonical wire format — the per-device, per-report cost of the telemetry
 // pipeline.

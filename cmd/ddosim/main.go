@@ -40,6 +40,8 @@ func run() int {
 		workers    = flag.Int("workers", 0, "concurrent sweep points within an experiment; 0 = GOMAXPROCS. Tables are byte-identical at any value")
 		timeout    = flag.Duration("timeout", 0, "per-experiment deadline (e.g. 2m); 0 = none")
 		shards     = flag.Int("shards", 0, "shard counts for sharded-engine experiments (e13): 0 = default ladder {1,2,4,8}, N>1 compares {1,N}, 1 = single-shard reference")
+		faultseed  = flag.Uint64("faultseed", 7, "seed for fault schedules in fault-injection experiments (e14); independent of -seed")
+		faultrate  = flag.Float64("faultrate", 0, "override e14's fault-rate ladder with {0, rate} expected faults per class per simulated second; 0 = default ladder")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -52,7 +54,7 @@ func run() int {
 		}
 		return 0
 	}
-	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Timeout: *timeout, Shards: *shards}
+	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Timeout: *timeout, Shards: *shards, FaultSeed: *faultseed, FaultRate: *faultrate}
 	var ids []string
 	switch {
 	case *all:

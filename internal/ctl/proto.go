@@ -25,8 +25,18 @@ const MaxMessageBytes = 4 << 20
 type Envelope struct {
 	ID      uint64          `json:"id"`
 	Method  string          `json:"method,omitempty"` // set on requests
+	Seq     uint64          `json:"seq,omitempty"`    // stream position, for resubscribe dedupe
 	Payload json.RawMessage `json:"payload,omitempty"`
 	Error   string          `json:"error,omitempty"` // set on failed responses
+}
+
+// StreamSeqer lets a stream payload carry its own global sequence number
+// (e.g. a hub-wide update counter that survives reconnects). Payloads that
+// don't implement it get a per-stream counter starting at 1 — enough for
+// in-stream ordering, but a resuming subscriber should prefer hub-global
+// sequencing so dedupe works across connections.
+type StreamSeqer interface {
+	StreamSeq() uint64
 }
 
 // codec reads and writes envelopes on a connection.
@@ -136,12 +146,17 @@ func ServeConn(conn net.Conn, h Handler) error {
 // and terminating with the end-of-stream sentinel (or the stream's error).
 func serveStream(c *codec, id uint64, fn StreamFunc) error {
 	var pushErr error // first transport failure, reported to the caller
+	var seq uint64
 	push := func(v any) error {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return fmt.Errorf("ctl: marshal stream payload: %w", err)
 		}
-		if err := c.write(&Envelope{ID: id, Payload: data}); err != nil {
+		seq++
+		if sq, ok := v.(StreamSeqer); ok {
+			seq = sq.StreamSeq()
+		}
+		if err := c.write(&Envelope{ID: id, Seq: seq, Payload: data}); err != nil {
 			pushErr = err
 			return err
 		}
@@ -165,11 +180,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
+	conns   map[net.Conn]struct{}
 }
 
 // NewServer starts serving h on ln in background goroutines.
 func NewServer(ln net.Listener, h Handler) *Server {
-	s := &Server{ln: ln, handler: h}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -182,10 +198,23 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			_ = ServeConn(conn, s.handler) // connection errors end the session
 		}()
 	}
@@ -205,6 +234,20 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	err := s.ln.Close()
+	return err
+}
+
+// Shutdown stops accepting AND severs every active connection — the
+// crash-restart path, where in-flight streams must observe a transport
+// error rather than hang. It waits for connection goroutines to exit.
+func (s *Server) Shutdown() error {
+	err := s.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 	return err
 }
 
@@ -228,31 +271,6 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("ctl: dial %s: %w", addr, err)
 	}
 	return NewClient(conn), nil
-}
-
-// DialRetry connects like Dial but retries a refused or failing dial up to
-// attempts times with exponential backoff starting at backoff — the
-// operator-CLI path, where the server may still be coming up.
-func DialRetry(addr string, attempts int, backoff time.Duration) (*Client, error) {
-	if attempts < 1 {
-		attempts = 1
-	}
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
-	}
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-		}
-		cl, err := Dial(addr)
-		if err == nil {
-			return cl, nil
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("ctl: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
 }
 
 // SetTimeout bounds each subsequent Call's total round trip (write +
@@ -313,8 +331,14 @@ func (cl *Client) Call(method string, in, out any) error {
 type Stream struct {
 	cl   *Client
 	id   uint64
+	seq  uint64
 	done bool
 }
+
+// Seq returns the sequence number of the last payload Recv decoded —
+// resubscribing clients pass it back so the server can skip already-seen
+// updates and the client can dedupe replays.
+func (s *Stream) Seq() uint64 { return s.seq }
 
 // Subscribe issues a streaming request. Until the stream ends (Recv
 // returns io.EOF or an error) the connection is dedicated to it and Call
@@ -356,6 +380,12 @@ func (s *Stream) Recv(out any) error {
 	env, err := s.cl.c.read()
 	if err != nil {
 		s.finish()
+		if err == io.EOF {
+			// A clean end arrives as the endOfStream sentinel below; a raw
+			// transport EOF means the server died mid-stream. Distinguish
+			// them so resubscribing clients know to reconnect.
+			return io.ErrUnexpectedEOF
+		}
 		return err
 	}
 	if env.ID != s.id {
@@ -369,6 +399,9 @@ func (s *Stream) Recv(out any) error {
 	if env.Error != "" {
 		s.finish()
 		return fmt.Errorf("ctl: remote error: %s", env.Error)
+	}
+	if env.Seq != 0 {
+		s.seq = env.Seq
 	}
 	if out != nil && env.Payload != nil {
 		if err := json.Unmarshal(env.Payload, out); err != nil {

@@ -1,0 +1,106 @@
+package ctl
+
+import (
+	"fmt"
+	"time"
+
+	"dtc/internal/sim"
+)
+
+// RetryPolicy shapes reconnection behaviour: exponential backoff with full
+// jitter (each wait is uniform in [base/2, base]) and a hard cap on the
+// total elapsed time across attempts. Jitter matters after an NMS restart:
+// every subscriber lost its connection at the same instant, and without it
+// their retries synchronize into a thundering herd on the fresh listener.
+type RetryPolicy struct {
+	// Attempts bounds dial attempts (default 5; minimum 1).
+	Attempts int
+	// Backoff is the first wait; wait i is Backoff<<(i-1) before jitter
+	// (default 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps a single wait before jitter (default 5s).
+	MaxBackoff time.Duration
+	// MaxElapsed caps waiting across all attempts: a retry whose wait
+	// would exceed the remaining budget is not taken (0 = no cap).
+	MaxElapsed time.Duration
+	// Seed makes the jitter sequence reproducible; 0 derives a seed from
+	// the wall clock, which is exactly what de-synchronizes a herd of
+	// subscribers that all restarted together.
+	Seed uint64
+
+	// Test seams; nil uses the real clock and dialer.
+	sleep func(time.Duration)
+	now   func() time.Time
+	dial  func(string) (*Client, error)
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 5
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = uint64(time.Now().UnixNano())
+	}
+	if p.sleep == nil {
+		p.sleep = time.Sleep
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.dial == nil {
+		p.dial = Dial
+	}
+	return p
+}
+
+// wait returns the jittered backoff before attempt i (i >= 1).
+func (p *RetryPolicy) wait(i int, rng *sim.RNG) time.Duration {
+	base := p.MaxBackoff
+	if shift := uint(i - 1); shift < 32 {
+		if b := p.Backoff << shift; b < base {
+			base = b
+		}
+	}
+	half := base / 2
+	return half + time.Duration(rng.Float64()*float64(half))
+}
+
+// DialPolicy connects like Dial, retrying per the policy. It fails as soon
+// as the attempt budget or the elapsed-time budget runs out, whichever
+// comes first, wrapping the last dial error.
+func DialPolicy(addr string, p RetryPolicy) (*Client, error) {
+	p = p.withDefaults()
+	rng := sim.NewRNG(p.Seed)
+	start := p.now()
+	var lastErr error
+	for i := 0; i < p.Attempts; i++ {
+		if i > 0 {
+			d := p.wait(i, rng)
+			if p.MaxElapsed > 0 && p.now().Sub(start)+d > p.MaxElapsed {
+				return nil, fmt.Errorf("ctl: dial %s: retry budget %v exhausted after %d attempts: %w",
+					addr, p.MaxElapsed, i, lastErr)
+			}
+			p.sleep(d)
+		}
+		cl, err := p.dial(addr)
+		if err == nil {
+			return cl, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("ctl: dial %s failed after %d attempts: %w", addr, p.Attempts, lastErr)
+}
+
+// DialRetry connects like Dial but retries a refused or failing dial up to
+// attempts times with jittered exponential backoff starting at backoff —
+// the operator-CLI path, where the server may still be coming up.
+func DialRetry(addr string, attempts int, backoff time.Duration) (*Client, error) {
+	return DialPolicy(addr, RetryPolicy{Attempts: attempts, Backoff: backoff})
+}

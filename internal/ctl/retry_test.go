@@ -1,0 +1,111 @@
+package ctl
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClockPolicy builds a policy whose time never moves on its own: sleep
+// advances a synthetic clock, so the elapsed-budget logic is tested
+// without real waiting.
+func fakeClockPolicy(seed uint64, dial func(string) (*Client, error)) (*RetryPolicy, *[]time.Duration) {
+	sleeps := &[]time.Duration{}
+	now := time.Unix(0, 0)
+	p := &RetryPolicy{
+		Attempts:   10,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 400 * time.Millisecond,
+		MaxElapsed: time.Second,
+		Seed:       seed,
+		dial:       dial,
+	}
+	p.now = func() time.Time { return now }
+	p.sleep = func(d time.Duration) {
+		*sleeps = append(*sleeps, d)
+		now = now.Add(d)
+	}
+	return p, sleeps
+}
+
+func TestDialPolicyJitterAndElapsedCap(t *testing.T) {
+	refuse := func(string) (*Client, error) { return nil, fmt.Errorf("refused") }
+	p, sleeps := fakeClockPolicy(42, refuse)
+	_, err := DialPolicy("nowhere", *p)
+	if err == nil {
+		t.Fatal("dial to a refusing endpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("error = %v, want elapsed-budget exhaustion", err)
+	}
+	if len(*sleeps) == 0 {
+		t.Fatal("no backoff waits recorded")
+	}
+	// Every wait is full-jittered within [base/2, base) where base is the
+	// capped exponential.
+	var total time.Duration
+	for i, d := range *sleeps {
+		base := 100 * time.Millisecond << uint(i)
+		if base > 400*time.Millisecond {
+			base = 400 * time.Millisecond
+		}
+		if d < base/2 || d >= base {
+			t.Fatalf("wait %d = %v outside jitter window [%v, %v)", i, d, base/2, base)
+		}
+		total += d
+	}
+	if total > time.Second {
+		t.Fatalf("slept %v total, beyond the %v budget", total, time.Second)
+	}
+
+	// Deterministic for a fixed seed, different across seeds.
+	p2, sleeps2 := fakeClockPolicy(42, refuse)
+	if _, err := DialPolicy("nowhere", *p2); err == nil {
+		t.Fatal("second run succeeded")
+	}
+	if !reflect.DeepEqual(*sleeps, *sleeps2) {
+		t.Fatalf("same seed, different waits:\n%v\n%v", *sleeps, *sleeps2)
+	}
+	p3, sleeps3 := fakeClockPolicy(43, refuse)
+	if _, err := DialPolicy("nowhere", *p3); err == nil {
+		t.Fatal("third run succeeded")
+	}
+	if reflect.DeepEqual(*sleeps, *sleeps3) {
+		t.Fatal("different seeds produced identical jitter — herd not broken")
+	}
+}
+
+func TestDialPolicyStopsOnSuccess(t *testing.T) {
+	calls := 0
+	dial := func(string) (*Client, error) {
+		calls++
+		if calls < 3 {
+			return nil, fmt.Errorf("not yet")
+		}
+		return &Client{}, nil
+	}
+	p, sleeps := fakeClockPolicy(7, dial)
+	cl, err := DialPolicy("soon", *p)
+	if err != nil || cl == nil {
+		t.Fatalf("DialPolicy = %v, %v", cl, err)
+	}
+	if calls != 3 || len(*sleeps) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3/2", calls, len(*sleeps))
+	}
+}
+
+func TestDialPolicyAttemptBudget(t *testing.T) {
+	calls := 0
+	refuse := func(string) (*Client, error) { calls++; return nil, fmt.Errorf("refused") }
+	p := &RetryPolicy{Attempts: 3, Backoff: time.Millisecond, Seed: 1, dial: refuse,
+		sleep: func(time.Duration) {}}
+	_, err := DialPolicy("nowhere", *p)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("dialed %d times, want 3", calls)
+	}
+}

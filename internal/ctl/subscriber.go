@@ -1,0 +1,144 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dtc/internal/sim"
+)
+
+// Subscriber maintains a server-push stream across connection failures:
+// dial (with the retry policy), subscribe, receive until the transport
+// dies, then redial with jittered backoff and resubscribe from the last
+// sequence number seen. Replayed updates — the overlap a reconnecting
+// server may resend — are deduped by sequence number, so the consumer
+// callback sees every update at most once and in order.
+type Subscriber struct {
+	// Addr is dialed for every (re)connection.
+	Addr string
+	// Method is the streaming request method.
+	Method string
+	// Params builds the subscribe payload; afterSeq is the last sequence
+	// number already consumed (0 on first connect), letting the server
+	// resume instead of replaying from scratch. Nil sends no payload.
+	Params func(afterSeq uint64) any
+	// Retry shapes both initial dial and reconnect backoff.
+	Retry RetryPolicy
+	// Dial overrides the connection factory (tests); nil uses DialPolicy
+	// with Retry.
+	Dial func(addr string) (*Client, error)
+}
+
+// Run consumes the stream until stop closes, the server ends the stream
+// cleanly (io.EOF), or fn returns an error (which Run returns). Transport
+// errors trigger reconnection; only an exhausted retry budget surfaces as
+// a dial error. fn receives each payload's sequence number and raw bytes.
+func (s *Subscriber) Run(stop <-chan struct{}, fn func(seq uint64, payload json.RawMessage) error) error {
+	if s.Method == "" {
+		return fmt.Errorf("ctl: subscriber without method")
+	}
+	p := s.Retry.withDefaults()
+	rng := sim.NewRNG(p.Seed + 1) // distinct jitter stream from DialPolicy's
+	dial := s.Dial
+	if dial == nil {
+		dial = func(addr string) (*Client, error) { return DialPolicy(addr, s.Retry) }
+	}
+	var lastSeq uint64
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if attempt > 0 {
+			// Reconnect backoff, jittered so subscribers that all lost the
+			// same server don't stampede its replacement. Bounded waits:
+			// stop closing mid-sleep still exits promptly.
+			d := p.wait(capAttempt(attempt), rng)
+			select {
+			case <-stop:
+				return nil
+			case <-after(p, d):
+			}
+		}
+		cl, err := dial(s.Addr)
+		if err != nil {
+			return err // retry budget exhausted inside the dialer
+		}
+		again, err := s.consume(cl, stop, fn, &lastSeq)
+		cl.Close()
+		if !again {
+			return err
+		}
+	}
+}
+
+// consume runs one connection's subscribe/receive loop. It returns
+// again=true when the failure is transport-level and worth a reconnect.
+func (s *Subscriber) consume(cl *Client, stop <-chan struct{}, fn func(uint64, json.RawMessage) error, lastSeq *uint64) (again bool, err error) {
+	var params any
+	if s.Params != nil {
+		params = s.Params(*lastSeq)
+	}
+	st, err := cl.Subscribe(s.Method, params)
+	if err != nil {
+		return true, err
+	}
+	// Stop-watcher: closing the conn is the only way to unblock a Recv
+	// sitting idle. connDone guarantees the goroutine exits with the
+	// connection, not with the whole Run — no leak per reconnect cycle.
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		select {
+		case <-stop:
+			cl.Close()
+		case <-connDone:
+		}
+	}()
+	for {
+		var payload json.RawMessage
+		rerr := st.Recv(&payload)
+		if rerr != nil {
+			select {
+			case <-stop:
+				return false, nil
+			default:
+			}
+			if rerr == io.EOF {
+				return false, nil // server ended the stream cleanly
+			}
+			return true, rerr
+		}
+		seq := st.Seq()
+		if seq != 0 && seq <= *lastSeq {
+			continue // replayed update from before the reconnect
+		}
+		if seq != 0 {
+			*lastSeq = seq
+		}
+		if ferr := fn(seq, payload); ferr != nil {
+			return false, ferr
+		}
+	}
+}
+
+// capAttempt bounds the backoff exponent so waits stop growing.
+func capAttempt(a int) int {
+	if a > 16 {
+		return 16
+	}
+	return a
+}
+
+// after adapts the policy's sleep seam to a select-able channel.
+func after(p RetryPolicy, d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		p.sleep(d)
+		ch <- time.Time{}
+	}()
+	return ch
+}

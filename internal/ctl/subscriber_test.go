@@ -1,0 +1,222 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// upd is a stream payload carrying its own hub-global sequence number.
+type upd struct {
+	N uint64 `json:"n"`
+	V int    `json:"v"`
+}
+
+func (u upd) StreamSeq() uint64 { return u.N }
+
+type watchAfter struct {
+	After uint64 `json:"after"`
+}
+
+// TestSubscriberResubscribesAndDedupes cuts the transport mid-stream and
+// checks the subscriber reconnects, resumes from its last sequence number,
+// and silently drops the overlap the second server replays.
+func TestSubscriberResubscribesAndDedupes(t *testing.T) {
+	conns := 0
+	var afterSeen []uint64
+	dial := func(string) (*Client, error) {
+		conns++
+		n := conns
+		c, sv := net.Pipe()
+		go func() {
+			_ = ServeConn(sv, func(method string, payload json.RawMessage) (any, error) {
+				if method != "watch" {
+					return nil, fmt.Errorf("unknown method %q", method)
+				}
+				var wp watchAfter
+				_ = json.Unmarshal(payload, &wp)
+				afterSeen = append(afterSeen, wp.After)
+				return StreamFunc(func(push func(v any) error) error {
+					if n == 1 {
+						for i := 1; i <= 3; i++ {
+							if err := push(upd{N: uint64(i), V: i * 10}); err != nil {
+								return err
+							}
+						}
+						sv.Close() // server dies mid-stream: no end sentinel
+						return fmt.Errorf("cut")
+					}
+					// The replacement server replays an overlap (2, 3)
+					// before the fresh updates (4, 5), then ends cleanly.
+					for i := 2; i <= 5; i++ {
+						if err := push(upd{N: uint64(i), V: i * 10}); err != nil {
+							return err
+						}
+					}
+					return nil
+				}), nil
+			})
+		}()
+		return NewClient(c), nil
+	}
+
+	sub := &Subscriber{
+		Addr:   "pipe",
+		Method: "watch",
+		Params: func(after uint64) any { return watchAfter{After: after} },
+		Retry:  RetryPolicy{Seed: 9, Backoff: time.Microsecond, sleep: func(time.Duration) {}},
+		Dial:   dial,
+	}
+	var got []uint64
+	stop := make(chan struct{})
+	err := sub.Run(stop, func(seq uint64, payload json.RawMessage) error {
+		var u upd
+		if err := json.Unmarshal(payload, &u); err != nil {
+			return err
+		}
+		if u.N != seq {
+			return fmt.Errorf("payload seq %d != envelope seq %d", u.N, seq)
+		}
+		got = append(got, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []uint64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("consumed seqs %v, want %v (dedupe failed?)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("consumed seqs %v, want %v", got, want)
+		}
+	}
+	if conns != 2 {
+		t.Fatalf("dialed %d times, want 2", conns)
+	}
+	if len(afterSeen) != 2 || afterSeen[0] != 0 || afterSeen[1] != 3 {
+		t.Fatalf("resume points = %v, want [0 3]", afterSeen)
+	}
+}
+
+// TestSubscriberStopsCleanly closes the stop channel while Recv is idle
+// and checks Run returns promptly without error.
+func TestSubscriberStopsCleanly(t *testing.T) {
+	dial := func(string) (*Client, error) {
+		c, sv := net.Pipe()
+		go func() {
+			_ = ServeConn(sv, func(string, json.RawMessage) (any, error) {
+				return StreamFunc(func(push func(v any) error) error {
+					if err := push(upd{N: 1}); err != nil {
+						return err
+					}
+					// Idle forever: only the client closing unblocks us.
+					buf := make([]byte, 1)
+					_, _ = sv.Read(buf)
+					return nil
+				}), nil
+			})
+		}()
+		return NewClient(c), nil
+	}
+	sub := &Subscriber{
+		Addr: "pipe", Method: "watch",
+		Retry: RetryPolicy{Seed: 3, sleep: func(time.Duration) {}},
+		Dial:  dial,
+	}
+	stop := make(chan struct{})
+	first := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sub.Run(stop, func(seq uint64, _ json.RawMessage) error {
+			close(first)
+			return nil
+		})
+	}()
+	<-first
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after stop")
+	}
+}
+
+// TestStreamNoGoroutineLeakOnServerDeath subscribes over TCP, kills the
+// server mid-stream, and checks both that Recv unblocks with an error and
+// that no goroutine (client reader, server conn handler) is left behind.
+func TestStreamNoGoroutineLeakOnServerDeath(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(string, json.RawMessage) (any, error) {
+		return StreamFunc(func(push func(v any) error) error {
+			// Push until the connection dies; the error unblocks us, so
+			// Shutdown's wait for this goroutine terminates.
+			for i := uint64(1); ; i++ {
+				if err := push(upd{N: i}); err != nil {
+					return err
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}), nil
+	})
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Subscribe("watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u upd
+	if err := st.Recv(&u); err != nil || u.N != 1 {
+		t.Fatalf("first Recv: %v %+v", err, u)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			if err := st.Recv(nil); err != nil {
+				recvErr <- err
+				return
+			}
+		}
+	}()
+	// Shutdown severs the connection: the blocked Recv must return.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("Recv returned nil after server death")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after server shutdown")
+	}
+	cl.Close()
+
+	// Hand-rolled leak guard: goroutines return to (at most) the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -39,6 +39,11 @@ type Config struct {
 	// Disabled keeps the controller observing (monitor deployed, detector
 	// running) but never mitigating — the experiment's baseline rows.
 	Disabled bool
+	// ResyncGap is how many consecutive stale ticks (no fresh telemetry
+	// network-wide) trigger a defensive re-deploy of the current service
+	// once data returns — the reconnect half of gap tolerance. <= 0 takes
+	// the default of 2.
+	ResyncGap int
 }
 
 // Transition records one mitigation state change for post-hoc analysis.
@@ -57,6 +62,9 @@ type Status struct {
 	BaselinePPS float64      `json:"baseline_pps"`
 	Score       float64      `json:"score"`
 	LastPPS     float64      `json:"last_pps"`
+	Gaps        uint64       `json:"gaps,omitempty"`        // ticks skipped on stale telemetry
+	Resyncs     uint64       `json:"resyncs,omitempty"`     // defensive re-deployments
+	StaleTicks  int          `json:"stale_ticks,omitempty"` // current silence streak
 	Transitions []Transition `json:"transitions,omitempty"`
 }
 
@@ -75,6 +83,18 @@ type Controller struct {
 	mitigating  bool
 	lastPPS     float64
 	transitions []Transition
+
+	// Gap-tolerance state: the controller compares the store's newest
+	// snapshot timestamp across ticks; when it stops advancing the loop
+	// holds its last verdict instead of feeding the detector zeros (which
+	// would read as "attack over" and retract mitigation on silence).
+	lastNewest    int64
+	seenData      bool
+	staleTicks    int
+	gaps, resyncs uint64
+	maxCovered    int
+	tick          uint64
+	lastResync    uint64
 }
 
 // NewController creates a controller reading rates for cfg.Owner from store.
@@ -90,6 +110,9 @@ func NewController(cfg Config, store *telemetry.Store) (*Controller, error) {
 	}
 	if cfg.Burst <= 0 {
 		cfg.Burst = cfg.LimitPPS
+	}
+	if cfg.ResyncGap <= 0 {
+		cfg.ResyncGap = 2
 	}
 	return &Controller{
 		cfg:   cfg,
@@ -161,9 +184,32 @@ func (c *Controller) Start() error {
 // service on a state change. Because the deployed graphs always begin with
 // the stats-bearing entry (processed counts offered load before any drop),
 // mitigation does not distort the signal the detector consumes.
+//
+// Recovery invariants (DESIGN.md §11): when telemetry stalls — the store's
+// newest snapshot timestamp stops advancing — the tick is a no-op that
+// holds the last verdict; mitigation is never retracted on silence alone,
+// only on fresh evidence the attack cleared. When data returns after a
+// long gap, or the number of devices carrying the owner's service dips
+// below its high-water mark (a crashed device or a restarted NMS lost
+// state), the controller re-deploys the current-state service — a
+// defensive resync that is idempotent end to end because installs key by
+// (owner, stage) and replace.
 func (c *Controller) Step(now sim.Time) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.tick++
+	newest := c.store.NewestAt()
+	if c.seenData && newest <= c.lastNewest {
+		c.gaps++
+		c.staleTicks++
+		return nil
+	}
+	if newest > c.lastNewest {
+		c.lastNewest = newest
+		c.seenData = true
+	}
+	wasStale := c.staleTicks
+	c.staleTicks = 0
 	pps, _ := c.store.Rates(c.cfg.Owner, uint8(1)) // dest stage
 	c.lastPPS = pps
 	fired, cleared := c.det.Observe(now, pps)
@@ -183,6 +229,28 @@ func (c *Controller) Step(now sim.Time) error {
 		}
 		c.mitigating = false
 		c.transitions = append(c.transitions, Transition{At: now, Mitigating: false, PPS: pps})
+	default:
+		// No transition this tick: check service coverage and resync if
+		// state was lost or telemetry just recovered from a long gap. The
+		// 2-tick spacing stops a persistent coverage shortfall (e.g. a
+		// down device that never reports again) from re-deploying forever.
+		covered := c.store.ServiceDevices(c.cfg.Owner, uint8(1))
+		if covered > c.maxCovered {
+			c.maxCovered = covered
+		}
+		lost := covered < c.maxCovered
+		recovered := wasStale >= c.cfg.ResyncGap
+		if (lost || recovered) && c.tick-c.lastResync >= 2 {
+			spec := c.monitorSpec()
+			if c.mitigating {
+				spec = c.mitigateSpec()
+			}
+			if err := c.deployAll(spec); err != nil {
+				return err
+			}
+			c.resyncs++
+			c.lastResync = c.tick
+		}
 	}
 	return nil
 }
@@ -212,6 +280,9 @@ func (c *Controller) Status() Status {
 		BaselinePPS: c.det.Baseline(),
 		Score:       c.det.Score(),
 		LastPPS:     c.lastPPS,
+		Gaps:        c.gaps,
+		Resyncs:     c.resyncs,
+		StaleTicks:  c.staleTicks,
 		Transitions: append([]Transition(nil), c.transitions...),
 	}
 }

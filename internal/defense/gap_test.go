@@ -1,0 +1,116 @@
+package defense
+
+import (
+	"testing"
+
+	"dtc/internal/sim"
+	"dtc/internal/telemetry"
+)
+
+// TestControllerHoldsVerdictOnTelemetryGap pins the core recovery
+// invariant: a telemetry blackout must never read as "attack over".
+func TestControllerHoldsVerdictOnTelemetryGap(t *testing.T) {
+	store := telemetry.NewStore(0)
+	ctrl, err := NewController(testConfig(t, false), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp := &fakeISP{name: "isp1"}
+	ctrl.AddISP("isp1", isp)
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l := &loop{t: t, ctrl: ctrl, store: store}
+	l.run(10, 100)
+	l.run(5, 2000)
+	if !ctrl.Mitigating() {
+		t.Fatal("no mitigation under overload")
+	}
+	deploys := len(isp.deploys)
+
+	// Total telemetry silence: the controller keeps stepping but no
+	// snapshot arrives. The verdict must hold and nothing may deploy.
+	for i := 0; i < 5; i++ {
+		l.now += 100 * sim.Millisecond
+		if err := ctrl.Step(l.now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ctrl.Mitigating() {
+		t.Fatal("mitigation retracted on telemetry silence")
+	}
+	if len(isp.deploys) != deploys {
+		t.Fatalf("deployed during silence: %v", isp.deploys)
+	}
+	st := ctrl.Status()
+	if st.Gaps != 5 || st.StaleTicks != 5 {
+		t.Fatalf("gap accounting: gaps=%d stale=%d, want 5/5", st.Gaps, st.StaleTicks)
+	}
+
+	// Telemetry returns, attack still on: the controller resyncs — it
+	// re-deploys the mitigation in case device state was lost during the
+	// blackout — and stays mitigating.
+	l.run(3, 2000)
+	if !ctrl.Mitigating() {
+		t.Fatal("mitigation lost after telemetry recovered")
+	}
+	st = ctrl.Status()
+	if st.Resyncs == 0 {
+		t.Fatalf("no resync after %d stale ticks: %+v", 5, st)
+	}
+	if st.StaleTicks != 0 {
+		t.Fatalf("stale streak not reset: %+v", st)
+	}
+	if last := isp.deploys[len(isp.deploys)-1]; last != "defense-mitigate" {
+		t.Fatalf("resync deployed %q, want defense-mitigate", last)
+	}
+}
+
+// TestControllerResyncsOnCoverageLoss pins the other resync trigger: when
+// a device's latest snapshot stops carrying the owner's service (the
+// device crashed and lost its table), the controller re-deploys.
+func TestControllerResyncsOnCoverageLoss(t *testing.T) {
+	store := telemetry.NewStore(0)
+	ctrl, err := NewController(testConfig(t, false), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp := &fakeISP{name: "isp1"}
+	ctrl.AddISP("isp1", isp)
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l := &loop{t: t, ctrl: ctrl, store: store}
+
+	// Second device also carries the service: coverage high-water = 2.
+	ingest2 := func(withService bool) {
+		snap := &telemetry.Snapshot{Node: 2, At: int64(l.now)}
+		if withService {
+			snap.Services = []telemetry.ServiceCounters{{Owner: "victim", Stage: 1, Processed: 1}}
+		}
+		store.Ingest("isp1", snap)
+	}
+	for i := 0; i < 10; i++ {
+		l.run(1, 100)
+		ingest2(true)
+	}
+	deploys := len(isp.deploys)
+
+	// Node 2 reboots: its next snapshot has an empty service table.
+	l.run(1, 100)
+	ingest2(false)
+	l.run(1, 100)
+	st := ctrl.Status()
+	if st.Resyncs == 0 {
+		t.Fatalf("no resync after coverage dropped: %+v", st)
+	}
+	if len(isp.deploys) <= deploys {
+		t.Fatal("coverage loss did not re-deploy")
+	}
+	if last := isp.deploys[len(isp.deploys)-1]; last != "defense-monitor" {
+		t.Fatalf("resync deployed %q, want defense-monitor (calm state)", last)
+	}
+	if ctrl.Mitigating() {
+		t.Fatal("resync changed the mitigation verdict")
+	}
+}

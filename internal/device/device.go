@@ -65,7 +65,8 @@ type Device struct {
 	bus      func(Event)
 	rng      *sim.RNG
 	stats    Stats
-	env      Env // reused per stage run; devices are single-threaded
+	epoch    uint64 // bumped by Reset; lets the NMS detect a restart
+	env      Env    // reused per stage run; devices are single-threaded
 }
 
 // New creates a device for a router node, validating installs against reg.
@@ -78,6 +79,24 @@ func New(node int, reg *Registry, rng *sim.RNG) *Device {
 		rng:      rng,
 	}
 }
+
+// Reset models a device crash and restart: every installed service, owner
+// binding, cached pipeline and counter is lost, exactly as a process
+// restart would lose them. Configuration handles (registry, RPF context,
+// event bus, RNG) survive — they model the device's firmware, not its
+// state. The boot epoch is bumped so the managing NMS can detect the
+// restart and replay its install journal.
+func (d *Device) Reset() {
+	d.services = make(map[string][numStages]*service)
+	d.owners = ownership.Trie[string]{}
+	d.stats = Stats{}
+	d.epoch++
+	d.invalidate()
+}
+
+// Epoch returns the device's boot generation: 0 at creation, incremented
+// by every Reset.
+func (d *Device) Epoch() uint64 { return d.epoch }
 
 // SetRPF attaches operator-provided routing context used by anti-spoofing
 // components.

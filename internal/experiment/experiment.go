@@ -35,6 +35,14 @@ type Options struct {
 	// N>1 compares {1, N}; 1 runs the single-shard reference only.
 	// Counter columns are shard-count-invariant either way.
 	Shards int
+	// FaultSeed seeds the fault schedules of the fault-injection
+	// experiments (e14), independently of Seed so the same fault storyline
+	// can be replayed against different traffic. 0 is a valid seed.
+	FaultSeed uint64
+	// FaultRate, when positive, replaces e14's default fault-rate ladder
+	// with {0, FaultRate} (expected faults per fault class per simulated
+	// second). <= 0 keeps the default ladder.
+	FaultRate float64
 }
 
 // Runner executes one experiment and renders its table.

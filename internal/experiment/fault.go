@@ -1,0 +1,363 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dtc/internal/defense"
+	"dtc/internal/device"
+	"dtc/internal/fault"
+	"dtc/internal/metrics"
+	"dtc/internal/netsim"
+	"dtc/internal/nms"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+	"dtc/internal/sim"
+	"dtc/internal/sweep"
+	"dtc/internal/topology"
+
+	root "dtc"
+)
+
+func init() {
+	register("e14", "robustness: closed loop under deterministic fault injection — goodput kept, redeploy latency and mitigation continuity vs fault rate and attack intensity", runE14)
+}
+
+// e14 reuses the e12 closed-loop scenario and timeline, then injects a
+// seeded fault schedule (device crashes, NMS process loss, telemetry
+// report drops and delays) while the attack is live. What it measures is
+// the recovery machinery: how fast the install journal re-deploys lost
+// services, what fraction of the mitigation window the protection was
+// actually installed, and how much goodput the faults cost.
+const (
+	e14Tick       = 20 * sim.Millisecond
+	e14Onset      = 200 * sim.Millisecond
+	e14AttackEnd  = 700 * sim.Millisecond
+	e14RunUntil   = 1200 * sim.Millisecond
+	e14FaultStart = 250 * sim.Millisecond // faults begin after mitigation is live
+	e14FaultEnd   = 900 * sim.Millisecond
+)
+
+// e14Victim is the dumbbell node the protected block lives on.
+const e14Victim = 4
+
+// e14Owner keys the controller's deployed services.
+const e14Owner = "victim-ops"
+
+// e14Stubs are the dumbbell's stub routers — the deployment scope and the
+// device-crash candidates (crashing a transit router would not touch any
+// service).
+var e14Stubs = []int{0, 1, 2, 3, 4, 5}
+
+// e14Substrate caches the dumbbell topology and routing across sweep
+// points (same shape as e12, separate cache key).
+func e14Substrate(opts Options) (*sweep.Substrate, error) {
+	key := sweep.Key{Name: "e14/dumbbell", Seed: opts.Seed}
+	return sweep.GetSubstrate(key, func() (*sweep.Substrate, error) {
+		return sweep.NewSubstrate(topology.Dumbbell(4, 2, 2)), nil
+	})
+}
+
+// e14Row is one measured sweep point.
+type e14Row struct {
+	crashes       int     // device + NMS crash events fired
+	reportFaults  int     // telemetry reports dropped or delayed
+	reactMS       float64 // attack onset -> mitigation deployed
+	redeployMS    float64 // mean crash -> journal-replayed latency (-1: no crashes)
+	continuityPct float64 // mitigating ticks with protection actually installed
+	legitPct      float64
+	attackPct     float64
+	resyncs       uint64
+	earlyRetract  bool // mitigation retracted before the attack ended
+	maxOwnerSvcs  int  // per-node services for the owner (1 = no duplicates)
+}
+
+// runE14Point runs one faulted closed-loop scenario. The schedule is
+// injected into the e12 pipeline at its two layers: sim events crash
+// devices and NMS processes, and the report path consults the injector
+// before every telemetry report. Every tick heals (journal replay) before
+// reporting, so recovery is bounded by the telemetry interval.
+func runE14Point(sub *sweep.Substrate, seed uint64, sched *fault.Schedule, attackPPS float64) (e14Row, error) {
+	w, err := root.NewWorld(root.WorldConfig{
+		Topology:     sub.Graph,
+		Seed:         seed,
+		ISPPartition: [][]int{{0, 1, 2, 3, 6}, {4, 5, 7}},
+		Routes:       sub.Routes,
+		NodeOwners:   sub.Owners,
+	})
+	if err != nil {
+		return e14Row{}, err
+	}
+	victim, err := w.Net.AttachHost(e14Victim)
+	if err != nil {
+		return e14Row{}, err
+	}
+	var legit, atk []*netsim.Source
+	for _, node := range []int{0, 1} {
+		h, err := w.Net.AttachHost(node)
+		if err != nil {
+			return e14Row{}, err
+		}
+		legit = append(legit, h.StartCBR(0, 60, func(uint64) *packet.Packet {
+			return &packet.Packet{Src: h.Addr, Dst: victim.Addr, Proto: packet.TCP, DstPort: 80, Size: 200, Kind: packet.KindLegit}
+		}))
+	}
+	for _, node := range []int{2, 3} {
+		h, err := w.Net.AttachHost(node)
+		if err != nil {
+			return e14Row{}, err
+		}
+		atk = append(atk, h.StartCBR(e14Onset, attackPPS/2, func(uint64) *packet.Packet {
+			return &packet.Packet{Src: h.Addr, Dst: victim.Addr, Proto: packet.UDP, DstPort: 9, Size: 400, Kind: packet.KindAttack}
+		}))
+	}
+	w.Sim.AfterFunc(e14AttackEnd, func(sim.Time) {
+		for _, s := range atk {
+			s.Stop()
+		}
+	})
+
+	ctrl, err := defense.NewController(defense.Config{
+		Owner:    e14Owner,
+		Prefixes: []packet.Prefix{netsim.NodePrefix(e14Victim)},
+		Match:    service.MatchSpec{Proto: "udp"},
+		LimitPPS: 50,
+		Scope:    nms.Scope{StubOnly: true},
+		Detector: defense.DetectorConfig{Threshold: 100, FloorPPS: 100, Warmup: 8, Hold: 3},
+	}, w.TCSP.Telemetry())
+	if err != nil {
+		return e14Row{}, err
+	}
+	for _, name := range w.ISPNames() {
+		ctrl.AddISP(name, w.ISPs[name])
+	}
+	if err := ctrl.Start(); err != nil {
+		return e14Row{}, err
+	}
+
+	byNode := make(map[int]*nms.NMS)
+	for _, name := range w.ISPNames() {
+		m := w.ISPs[name]
+		for _, node := range m.Nodes() {
+			byNode[node] = m
+		}
+	}
+
+	// Fault bookkeeping: crashAt tracks the oldest unhealed crash, so the
+	// redeploy latency is measured from the first state loss to the journal
+	// replay that repaired it.
+	var (
+		crashes      int
+		crashPending bool
+		crashAt      sim.Time
+		redeploySum  sim.Time
+		redeployN    int
+	)
+	noteCrash := func() {
+		crashes++
+		if !crashPending {
+			crashPending, crashAt = true, w.Sim.Now()
+		}
+	}
+	applied := sched.Apply(w.Sim, fault.Hooks{
+		CrashDevice: func(node int) error {
+			m := byNode[node]
+			if m == nil {
+				return fmt.Errorf("e14: crash for unmanaged node %d", node)
+			}
+			noteCrash()
+			return m.CrashDevice(node)
+		},
+		CrashNMS: func(isp string) error {
+			m := w.ISPs[isp]
+			if m == nil {
+				return fmt.Errorf("e14: crash for unknown ISP %q", isp)
+			}
+			noteCrash()
+			m.Crash()
+			return nil
+		},
+	})
+	injector := fault.NewInjector(sched)
+
+	// protected reports whether every scoped device actually carries the
+	// owner's enabled dest-stage service right now.
+	protected := func() bool {
+		for _, node := range e14Stubs {
+			d, ok := byNode[node].Device(node)
+			if !ok {
+				return false
+			}
+			found := false
+			for _, svc := range d.Services() {
+				if svc.Owner == e14Owner && svc.Stage == device.StageDest && svc.Enabled {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+
+	var loopErr error
+	fail := func(err error) {
+		if err != nil && loopErr == nil {
+			loopErr = err
+		}
+	}
+	var mitTicks, coveredTicks int
+	w.Sim.NewTicker(e14Tick, func(now sim.Time) {
+		// 1. Continuity, measured before healing: the fraction of
+		// mitigating ticks where protection was installed at observation
+		// time is exactly what a crash between ticks costs.
+		if ctrl.Mitigating() {
+			mitTicks++
+			if protected() {
+				coveredTicks++
+			}
+		}
+		// 2. Self-heal: replay the install journal onto any device whose
+		// boot epoch changed (device crash) or that the NMS no longer
+		// remembers configuring (NMS crash).
+		healed := 0
+		for _, name := range w.ISPNames() {
+			n, err := w.ISPs[name].Heal()
+			fail(err)
+			healed += n
+		}
+		if healed > 0 && crashPending {
+			redeploySum += now - crashAt
+			redeployN++
+			crashPending = false
+		}
+		// 3. Telemetry reports, through the fault injector: a dropped
+		// report never reaches the TCSP; a delayed one carries its original
+		// timestamps, so the store's freshness signal (and the controller's
+		// gap tolerance) sees the stall either way.
+		for _, name := range w.ISPNames() {
+			f := injector.ReportFault(now, name)
+			if f.Drop {
+				continue
+			}
+			snap := w.ISPs[name].Snapshot(int64(now))
+			name := name
+			if f.Delay > 0 {
+				w.Sim.AfterFunc(f.Delay, func(sim.Time) {
+					fail(w.TCSP.Report(name, snap))
+				})
+				continue
+			}
+			fail(w.TCSP.Report(name, snap))
+		}
+		// 4. One control decision.
+		fail(ctrl.Step(now))
+	})
+	if _, err := w.Sim.Run(e14RunUntil); err != nil {
+		return e14Row{}, err
+	}
+	if loopErr != nil {
+		return e14Row{}, loopErr
+	}
+	if err := applied.Err(); err != nil {
+		return e14Row{}, err
+	}
+
+	var attackSent, legitSent uint64
+	for _, s := range atk {
+		attackSent += s.Sent()
+	}
+	for _, s := range legit {
+		legitSent += s.Sent()
+	}
+	row := e14Row{
+		crashes:      crashes,
+		reportFaults: injector.Applied(),
+		reactMS:      -1,
+		redeployMS:   -1,
+		attackPct:    pct(victim.Delivered[packet.KindAttack], attackSent),
+		legitPct:     pct(victim.Delivered[packet.KindLegit], legitSent),
+		resyncs:      ctrl.Status().Resyncs,
+	}
+	for _, tr := range ctrl.Transitions() {
+		if tr.Mitigating && row.reactMS < 0 {
+			row.reactMS = float64(tr.At-e14Onset) / float64(sim.Millisecond)
+		}
+		if !tr.Mitigating && tr.At < e14AttackEnd {
+			row.earlyRetract = true
+		}
+	}
+	if redeployN > 0 {
+		row.redeployMS = float64(redeploySum) / float64(redeployN) / float64(sim.Millisecond)
+	}
+	row.continuityPct = 100
+	if mitTicks > 0 {
+		row.continuityPct = 100 * float64(coveredTicks) / float64(mitTicks)
+	}
+	for _, node := range e14Stubs {
+		d, _ := byNode[node].Device(node)
+		count := 0
+		for _, svc := range d.Services() {
+			if svc.Owner == e14Owner {
+				count++
+			}
+		}
+		if count > row.maxOwnerSvcs {
+			row.maxOwnerSvcs = count
+		}
+	}
+	return row, nil
+}
+
+// runE14 sweeps fault intensity against attack intensity. Traffic
+// randomness derives from opts.Seed via the sweep runner's substreams;
+// fault schedules derive from opts.FaultSeed via per-point substreams of
+// their own — so tables are byte-identical at any worker count, and the
+// same fault storyline can be replayed against different traffic seeds.
+func runE14(opts Options) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		"E14: self-healing closed loop under fault injection (fault rate × attack intensity)",
+		"fault_rate", "attack_pps", "crashes", "report_faults", "react_ms",
+		"redeploy_ms", "continuity_%", "legit_goodput_%", "attack_delivery_%", "resyncs")
+
+	rates := []float64{0, 2, 8}
+	attacks := []float64{1000, 4000}
+	if opts.Quick {
+		rates = []float64{0, 8}
+		attacks = []float64{2000}
+	}
+	if opts.FaultRate > 0 {
+		rates = []float64{0, opts.FaultRate}
+	}
+	sub, err := e14Substrate(opts)
+	if err != nil {
+		return nil, err
+	}
+	type point struct{ rate, attack float64 }
+	var pts []point
+	for _, r := range rates {
+		for _, a := range attacks {
+			pts = append(pts, point{r, a})
+		}
+	}
+	rows, err := sweep.Run(len(pts), opts.Workers, opts.Seed, func(i int, rng *sim.RNG) (e14Row, error) {
+		sched := fault.Plan(sim.NewRNG(opts.FaultSeed).Substream(uint64(i)), fault.PlanConfig{
+			Start: e14FaultStart, End: e14FaultEnd,
+			CrashRate: pts[i].rate, Nodes: e14Stubs,
+			DropRate: pts[i].rate / 2, DelayRate: pts[i].rate / 2,
+			MaxDelay:     60 * sim.Millisecond,
+			NMSCrashRate: pts[i].rate / 2,
+			ISPs:         []string{"isp1", "isp2"},
+		})
+		return runE14Point(sub, rng.Uint64(), sched, pts[i].attack)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		tbl.AddRow(pts[i].rate, pts[i].attack, r.crashes, r.reportFaults, r.reactMS,
+			r.redeployMS, r.continuityPct, r.legitPct, r.attackPct, r.resyncs)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport-layer fault wrappers for the live control plane: a net.Conn
+// whose writes can be delayed, chunked, or cut mid-message after a
+// configured count, and a net.Listener that wraps every accepted
+// connection. All behaviour is a deterministic function of the config and
+// the write sequence — no randomness — so control-plane robustness tests
+// reproduce exactly.
+
+// ErrInjected is the error surfaced by an injected connection reset.
+var ErrInjected = errors.New("fault: injected connection reset")
+
+// ConnConfig shapes the faults a Conn injects.
+type ConnConfig struct {
+	// WriteDelay stalls each Write before any bytes move (a congested or
+	// badly scheduled control path).
+	WriteDelay time.Duration
+	// ChunkBytes splits each Write into chunks of at most this many bytes
+	// (<=0 writes whole buffers) — exercises reader-side reassembly.
+	ChunkBytes int
+	// ResetAfterWrites, when positive, cuts the connection during the
+	// N+1th Write: half the buffer is written (a torn message on the
+	// wire), the conn is closed, and ErrInjected is returned.
+	ResetAfterWrites int
+}
+
+// Conn wraps a net.Conn with deterministic write faults.
+type Conn struct {
+	net.Conn
+	cfg    ConnConfig
+	mu     sync.Mutex
+	writes int
+}
+
+// WrapConn applies cfg to an established connection.
+func WrapConn(c net.Conn, cfg ConnConfig) *Conn { return &Conn{Conn: c, cfg: cfg} }
+
+// Write implements net.Conn with the configured faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	reset := c.cfg.ResetAfterWrites > 0 && c.writes > c.cfg.ResetAfterWrites
+	c.mu.Unlock()
+	if c.cfg.WriteDelay > 0 {
+		time.Sleep(c.cfg.WriteDelay)
+	}
+	if reset {
+		n, _ := c.Conn.Write(p[:len(p)/2]) // torn frame: peer sees a partial message
+		c.Conn.Close()
+		return n, ErrInjected
+	}
+	if c.cfg.ChunkBytes <= 0 || len(p) <= c.cfg.ChunkBytes {
+		return c.Conn.Write(p)
+	}
+	total := 0
+	for len(p) > 0 {
+		n := c.cfg.ChunkBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		w, err := c.Conn.Write(p[:n])
+		total += w
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Writes returns how many Write calls have been issued.
+func (c *Conn) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// Listener wraps accepted connections with per-connection fault configs.
+type Listener struct {
+	net.Listener
+	// Wrap transforms each accepted conn; nil passes conns through.
+	Wrap func(net.Conn) net.Conn
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.Wrap != nil {
+		c = l.Wrap(c)
+	}
+	return c, nil
+}

@@ -1,0 +1,217 @@
+// Package fault is the deterministic fault-injection engine: seeded
+// schedules of component failures (link cuts, device crashes, NMS process
+// loss, telemetry report drops and delays, control-connection resets) that
+// replay identically from the seed alone, in the same splitmix-substream
+// idiom as the parallel sweep runner. Schedules drive both layers of the
+// stack — simulated-network faults are applied as sim events (Apply), and
+// control-plane faults are consulted through the Injector interface at
+// control cadence (telemetry ticks, report paths), never per packet, so
+// the forwarding hot paths stay untouched and allocation-free.
+package fault
+
+import (
+	"fmt"
+
+	"dtc/internal/sim"
+)
+
+// Kind enumerates the fault classes a schedule can carry.
+type Kind uint8
+
+// Fault kinds. LinkDown, DeviceCrash, NMSCrash and ConnReset are applied
+// as simulation events by Apply; ReportDrop and ReportDelay are consumed
+// by the report-path Injector.
+const (
+	LinkDown    Kind = iota // cut edge (A, B) permanently
+	DeviceCrash             // wipe device A's service table (restart with state loss)
+	NMSCrash                // ISP's NMS loses in-memory state (journal survives)
+	ReportDrop              // the ISP's next telemetry report is lost
+	ReportDelay             // the ISP's next telemetry report arrives Delay late
+	ConnReset               // the ISP's control connections are severed
+	numKinds
+)
+
+// kindNames is the canonical textual form, used by String and Parse.
+var kindNames = [numKinds]string{
+	LinkDown: "linkdown", DeviceCrash: "crash", NMSCrash: "nmscrash",
+	ReportDrop: "drop", ReportDelay: "delay", ConnReset: "reset",
+}
+
+// String returns the schedule-format name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scheduled fault. Which fields are meaningful depends on
+// Kind: LinkDown uses A and B as edge endpoints, DeviceCrash uses A as the
+// node, the ISP-directed kinds use ISP, and ReportDelay additionally
+// carries Delay.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	A, B  int
+	ISP   string
+	Delay sim.Time
+}
+
+// Schedule is an ordered list of fault events (ascending At; ties keep
+// insertion order). Construct with Plan, Parse, or literal Events + Sort.
+type Schedule struct {
+	Events []Event
+}
+
+// Sort orders events by At, stable so equal-time events keep their
+// generation order — part of the determinism contract.
+func (s *Schedule) Sort() {
+	evs := s.Events
+	// Insertion sort: schedules are small and mostly sorted already, and a
+	// stable in-place sort avoids pulling in sort.SliceStable's closures.
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		j := i - 1
+		for j >= 0 && evs[j].At > e.At {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = e
+	}
+}
+
+// ReportFault is the Injector's verdict on one telemetry report attempt.
+// The zero value means "deliver normally".
+type ReportFault struct {
+	Drop  bool
+	Delay sim.Time
+}
+
+// Injector is consulted by control-plane components at their injection
+// points. Implementations must be deterministic functions of (now, isp)
+// and their own construction state. The default None answers without
+// branching into any schedule machinery, so fault-free runs pay one
+// interface call per telemetry tick and nothing else.
+type Injector interface {
+	// ReportFault rules on the ISP's telemetry report at time now.
+	ReportFault(now sim.Time, isp string) ReportFault
+}
+
+// nopInjector is the zero-cost default.
+type nopInjector struct{}
+
+func (nopInjector) ReportFault(sim.Time, string) ReportFault { return ReportFault{} }
+
+// None is the no-op Injector; use it wherever a nil check would otherwise
+// sit on a control path.
+var None Injector = nopInjector{}
+
+// ScheduleInjector feeds a schedule's ReportDrop/ReportDelay events to the
+// report path: each report attempt for an ISP consumes the oldest due
+// event for that ISP, if any. Not safe for concurrent use — report paths
+// run on the simulation (or live tick) goroutine.
+type ScheduleInjector struct {
+	pending map[string][]Event // per ISP, ascending At
+	applied int
+}
+
+// NewInjector extracts the report-affecting events of s into an Injector.
+func NewInjector(s *Schedule) *ScheduleInjector {
+	in := &ScheduleInjector{pending: make(map[string][]Event)}
+	for _, e := range s.Events {
+		if e.Kind == ReportDrop || e.Kind == ReportDelay {
+			in.pending[e.ISP] = append(in.pending[e.ISP], e)
+		}
+	}
+	return in
+}
+
+// ReportFault implements Injector.
+func (in *ScheduleInjector) ReportFault(now sim.Time, isp string) ReportFault {
+	q := in.pending[isp]
+	if len(q) == 0 || q[0].At > now {
+		return ReportFault{}
+	}
+	e := q[0]
+	in.pending[isp] = q[1:]
+	in.applied++
+	if e.Kind == ReportDrop {
+		return ReportFault{Drop: true}
+	}
+	return ReportFault{Delay: e.Delay}
+}
+
+// Applied reports how many report faults have been consumed so far.
+func (in *ScheduleInjector) Applied() int { return in.applied }
+
+// Hooks binds a schedule's event kinds to the system under test. Nil
+// hooks skip their kind. Hook errors abort nothing mid-run (the sim has
+// no error channel); the first one is retained on Applied.
+type Hooks struct {
+	FailLink    func(a, b int) error
+	CrashDevice func(node int) error
+	CrashNMS    func(isp string) error
+	ResetConns  func(isp string) error
+}
+
+// Applied tracks the outcome of an Apply call as its events fire.
+type Applied struct {
+	firstErr error
+	fired    int
+}
+
+// Err returns the first hook error raised while firing, if any.
+func (a *Applied) Err() error { return a.firstErr }
+
+// Fired returns how many schedule events have fired so far.
+func (a *Applied) Fired() int { return a.fired }
+
+// Apply schedules every sim-layer event of s (LinkDown, DeviceCrash,
+// NMSCrash, ConnReset) on sm; events whose At is already past fire at the
+// current time. Report faults are not applied here — feed them through
+// NewInjector. Check Applied.Err after the run.
+func (s *Schedule) Apply(sm *sim.Simulation, h Hooks) *Applied {
+	ap := &Applied{}
+	for _, e := range s.Events {
+		var fn func() error
+		switch e.Kind {
+		case LinkDown:
+			if h.FailLink == nil {
+				continue
+			}
+			a, b := e.A, e.B
+			fn = func() error { return h.FailLink(a, b) }
+		case DeviceCrash:
+			if h.CrashDevice == nil {
+				continue
+			}
+			node := e.A
+			fn = func() error { return h.CrashDevice(node) }
+		case NMSCrash:
+			if h.CrashNMS == nil {
+				continue
+			}
+			isp := e.ISP
+			fn = func() error { return h.CrashNMS(isp) }
+		case ConnReset:
+			if h.ResetConns == nil {
+				continue
+			}
+			isp := e.ISP
+			fn = func() error { return h.ResetConns(isp) }
+		default:
+			continue
+		}
+		at := e.At
+		if at < sm.Now() {
+			at = sm.Now()
+		}
+		sm.At(at, sim.EventFunc(func(sim.Time) {
+			ap.fired++
+			if err := fn(); err != nil && ap.firstErr == nil {
+				ap.firstErr = err
+			}
+		}))
+	}
+	return ap
+}

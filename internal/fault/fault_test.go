@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dtc/internal/sim"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	text := `
+# warmup is fault free
+120ms linkdown 2 5
+250ms crash 3
+300ms nmscrash isp1
+400ms drop isp2
+450ms delay isp1 40ms
+500ms reset isp1
+100ms crash 7   # sorts before the rest
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 7 {
+		t.Fatalf("parsed %d events, want 7", len(s.Events))
+	}
+	if s.Events[0].Kind != DeviceCrash || s.Events[0].A != 7 {
+		t.Fatalf("events not sorted by time: first is %+v", s.Events[0])
+	}
+	out := s.String()
+	s2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("canonical form failed to parse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(s.Events, s2.Events) {
+		t.Fatalf("round trip changed events:\n%v\n%v", s.Events, s2.Events)
+	}
+	if s2.String() != out {
+		t.Fatalf("String not a fixed point:\n%q\n%q", out, s2.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"10ms", "10ms linkdown 1", "10ms crash x", "-5ms crash 1",
+		"10ms delay isp1", "10ms delay isp1 -3ms", "10ms explode 1",
+		"zzz crash 1", "10ms crash -2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestPlanDeterministicAndClassIndependent(t *testing.T) {
+	cfg := PlanConfig{
+		End:       sim.Second,
+		CrashRate: 10, Nodes: []int{0, 1, 2, 3},
+		LinkRate: 5, Links: [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		DropRate: 8, DelayRate: 4, ISPs: []string{"a", "b"},
+		NMSCrashRate: 2,
+	}
+	a := Plan(sim.NewRNG(7), cfg)
+	b := Plan(sim.NewRNG(7), cfg)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("plan generated no events")
+	}
+	if Plan(sim.NewRNG(8), cfg).String() == a.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// Substream independence: turning off every other class must leave the
+	// crash events byte-identical — the property that makes a crash-rate
+	// sweep comparable across rows.
+	only := cfg
+	only.LinkRate, only.DropRate, only.DelayRate, only.NMSCrashRate = 0, 0, 0, 0
+	crashesOf := func(s *Schedule) []Event {
+		var out []Event
+		for _, e := range s.Events {
+			if e.Kind == DeviceCrash {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(crashesOf(a), crashesOf(Plan(sim.NewRNG(7), only))) {
+		t.Fatal("crash substream perturbed by other fault classes")
+	}
+
+	// A consumed caller stream must not shift the plan (Substream contract).
+	r := sim.NewRNG(7)
+	r.Uint64()
+	if !reflect.DeepEqual(Plan(r, cfg).Events, a.Events) {
+		t.Fatal("plan depends on caller RNG consumption")
+	}
+}
+
+func TestApplyFiresHooksInOrder(t *testing.T) {
+	s, err := Parse("30ms crash 2\n10ms linkdown 0 1\n20ms nmscrash ispA\n40ms reset ispA\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := sim.New(1)
+	var got []string
+	ap := s.Apply(sm, Hooks{
+		FailLink:    func(a, b int) error { got = append(got, "link"); return nil },
+		CrashDevice: func(node int) error { got = append(got, "crash"); return nil },
+		CrashNMS:    func(isp string) error { got = append(got, "nms"); return nil },
+		ResetConns:  func(isp string) error { got = append(got, "reset"); return nil },
+	})
+	if _, err := sm.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Err() != nil {
+		t.Fatal(ap.Err())
+	}
+	want := []string{"link", "nms", "crash", "reset"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hook order = %v, want %v", got, want)
+	}
+	if ap.Fired() != 4 {
+		t.Fatalf("fired = %d, want 4", ap.Fired())
+	}
+}
+
+func TestInjectorConsumesDueFaults(t *testing.T) {
+	s, err := Parse("10ms drop ispA\n20ms delay ispA 5ms\n30ms drop ispB\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(s)
+	if f := in.ReportFault(5*sim.Millisecond, "ispA"); f.Drop || f.Delay != 0 {
+		t.Fatalf("fault before due time: %+v", f)
+	}
+	if f := in.ReportFault(15*sim.Millisecond, "ispA"); !f.Drop {
+		t.Fatalf("due drop not applied: %+v", f)
+	}
+	if f := in.ReportFault(25*sim.Millisecond, "ispA"); f.Delay != 5*sim.Millisecond {
+		t.Fatalf("due delay not applied: %+v", f)
+	}
+	if f := in.ReportFault(25*sim.Millisecond, "ispA"); f.Drop || f.Delay != 0 {
+		t.Fatalf("fault applied twice: %+v", f)
+	}
+	if f := in.ReportFault(25*sim.Millisecond, "ispB"); f.Drop {
+		t.Fatal("ispB fault applied early")
+	}
+	if f := in.ReportFault(30*sim.Millisecond, "ispB"); !f.Drop {
+		t.Fatal("ispB drop not applied")
+	}
+	if in.Applied() != 3 {
+		t.Fatalf("applied = %d, want 3", in.Applied())
+	}
+	if None.ReportFault(sim.Second, "ispA") != (ReportFault{}) {
+		t.Fatal("None injected a fault")
+	}
+}
+
+func TestConnChunkedWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, ConnConfig{ChunkBytes: 3})
+	msg := []byte("hello fault injection")
+	go func() {
+		if n, err := fc.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("chunked write: n=%d err=%v", n, err)
+		}
+		fc.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+func TestConnResetAfterWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, ConnConfig{ResetAfterWrites: 2})
+	done := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		done <- buf
+	}()
+	if _, err := fc.Write([]byte("one\n")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := fc.Write([]byte("two\n")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if _, err := fc.Write([]byte("three\n")); err != ErrInjected {
+		t.Fatalf("write 3 err = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Write([]byte("four\n")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	select {
+	case buf := <-done:
+		// The third frame is torn: only half its bytes reached the wire.
+		if want := "one\ntwo\nthr"; string(buf) != want {
+			t.Fatalf("peer read %q, want %q", buf, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never saw the reset")
+	}
+}
+
+func TestListenerWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &Listener{Listener: ln, Wrap: func(c net.Conn) net.Conn {
+		return WrapConn(c, ConnConfig{ResetAfterWrites: 1})
+	}}
+	defer fl.Close()
+	go func() {
+		c, err := fl.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("a\n"))
+		if _, err := c.Write([]byte("b\n")); err != ErrInjected {
+			t.Errorf("wrapped conn err = %v, want ErrInjected", err)
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf, _ := io.ReadAll(c)
+	if !strings.HasPrefix(string(buf), "a\n") {
+		t.Fatalf("read %q, want prefix %q", buf, "a\n")
+	}
+}

@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSchedule pins the parser's canonicalization contract: any input
+// Parse accepts must render to a form that re-parses to the same events,
+// with String a fixed point of the round trip.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add("120ms linkdown 2 5\n")
+	f.Add("250ms crash 3")
+	f.Add("300ms nmscrash isp1\n400ms drop isp2")
+	f.Add("450ms delay isp1 40ms\n# comment\n\n500ms reset isp1")
+	f.Add("1h2m3.5s crash 0\n0s crash 0")
+	f.Add("10ms drop \"quoted\"")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return // malformed input is allowed to fail; it must not panic
+		}
+		out := s.String()
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %q", err, text, out)
+		}
+		if !reflect.DeepEqual(s.Events, s2.Events) {
+			t.Fatalf("round trip changed events\ninput: %q\nfirst: %#v\nsecond: %#v", text, s.Events, s2.Events)
+		}
+		if out2 := s2.String(); out2 != out {
+			t.Fatalf("String not a fixed point\ninput: %q\nfirst: %q\nsecond: %q", text, out, out2)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dtc/internal/sim"
+)
+
+// Textual schedule format, one event per line, `#` comments and blank
+// lines ignored:
+//
+//	120ms linkdown 2 5
+//	250ms crash 3
+//	300ms nmscrash isp1
+//	400ms drop isp2
+//	450ms delay isp1 40ms
+//	500ms reset isp1
+//
+// Times are Go durations from simulation start. Parse sorts events by
+// time (stable), so String renders the canonical form and
+// Parse(s.String()) is a fixed point — the property FuzzFaultSchedule
+// pins.
+
+// parseDur parses a non-negative Go duration.
+func parseDur(tok string) (sim.Time, error) {
+	d, err := time.ParseDuration(tok)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("fault: negative duration %q", tok)
+	}
+	return sim.Time(d), nil
+}
+
+// parseNode parses a non-negative node index.
+func parseNode(tok string) (int, error) {
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("fault: bad node %q", tok)
+	}
+	return n, nil
+}
+
+// Parse decodes the textual schedule format.
+func Parse(text string) (*Schedule, error) {
+	s := &Schedule{}
+	for lineNo, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		if len(f) < 2 {
+			return nil, fail("want `<time> <kind> <args>`, got %q", line)
+		}
+		at, err := parseDur(f[0])
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		e := Event{At: at}
+		args := f[2:]
+		switch f[1] {
+		case "linkdown":
+			if len(args) != 2 {
+				return nil, fail("linkdown wants `a b`")
+			}
+			e.Kind = LinkDown
+			if e.A, err = parseNode(args[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if e.B, err = parseNode(args[1]); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "crash":
+			if len(args) != 1 {
+				return nil, fail("crash wants `node`")
+			}
+			e.Kind = DeviceCrash
+			if e.A, err = parseNode(args[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "nmscrash", "drop", "reset":
+			if len(args) != 1 {
+				return nil, fail("%s wants `isp`", f[1])
+			}
+			switch f[1] {
+			case "nmscrash":
+				e.Kind = NMSCrash
+			case "drop":
+				e.Kind = ReportDrop
+			default:
+				e.Kind = ConnReset
+			}
+			e.ISP = args[0]
+		case "delay":
+			if len(args) != 2 {
+				return nil, fail("delay wants `isp duration`")
+			}
+			e.Kind = ReportDelay
+			e.ISP = args[0]
+			if e.Delay, err = parseDur(args[1]); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown kind %q", f[1])
+		}
+		s.Events = append(s.Events, e)
+	}
+	s.Sort()
+	return s, nil
+}
+
+// String renders the canonical textual form (sorted, one event per line).
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s.Events {
+		b.WriteString(e.At.String())
+		b.WriteByte(' ')
+		b.WriteString(e.Kind.String())
+		switch e.Kind {
+		case LinkDown:
+			fmt.Fprintf(&b, " %d %d", e.A, e.B)
+		case DeviceCrash:
+			fmt.Fprintf(&b, " %d", e.A)
+		case ReportDelay:
+			b.WriteByte(' ')
+			b.WriteString(e.ISP)
+			b.WriteByte(' ')
+			b.WriteString(e.Delay.String())
+		default:
+			b.WriteByte(' ')
+			b.WriteString(e.ISP)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PlanConfig parameterizes Plan. Each fault class is an independent
+// Poisson process over [Start, End) at the configured expected rate per
+// simulated second; classes with rate 0 or no candidates generate nothing.
+type PlanConfig struct {
+	Start, End sim.Time
+
+	// CrashRate crashes a uniformly chosen Nodes entry.
+	CrashRate float64
+	Nodes     []int
+
+	// LinkRate cuts a uniformly chosen Links edge (each at most once).
+	LinkRate float64
+	Links    [][2]int
+
+	// DropRate / DelayRate lose or delay a uniformly chosen ISP's report;
+	// delays are uniform in (0, MaxDelay] (default 50ms).
+	DropRate  float64
+	DelayRate float64
+	MaxDelay  sim.Time
+	ISPs      []string
+
+	// NMSCrashRate restarts a uniformly chosen ISP's NMS process.
+	NMSCrashRate float64
+}
+
+// Plan generates a schedule from rng's seed alone. Each fault class draws
+// from its own Substream, so the events of one class are identical no
+// matter which other classes are enabled — and, like the sweep runner,
+// independent of how much of rng's own stream the caller consumed.
+func Plan(rng *sim.RNG, cfg PlanConfig) *Schedule {
+	s := &Schedule{}
+	maxDelay := cfg.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 50 * sim.Millisecond
+	}
+	// Substream indices are fixed per class: adding a class later must not
+	// reshuffle existing schedules.
+	poisson := func(sub uint64, rate float64, emit func(r *sim.RNG, at sim.Time)) {
+		if rate <= 0 {
+			return
+		}
+		r := rng.Substream(sub)
+		at := cfg.Start
+		for {
+			at += sim.Time(r.Exp(float64(sim.Second) / rate))
+			if at >= cfg.End {
+				return
+			}
+			emit(r, at)
+		}
+	}
+	poisson(0, cfg.CrashRate, func(r *sim.RNG, at sim.Time) {
+		if len(cfg.Nodes) == 0 {
+			return
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: DeviceCrash, A: cfg.Nodes[r.Intn(len(cfg.Nodes))]})
+	})
+	linksLeft := append([][2]int(nil), cfg.Links...)
+	poisson(1, cfg.LinkRate, func(r *sim.RNG, at sim.Time) {
+		if len(linksLeft) == 0 {
+			return
+		}
+		i := r.Intn(len(linksLeft))
+		l := linksLeft[i]
+		linksLeft = append(linksLeft[:i], linksLeft[i+1:]...)
+		s.Events = append(s.Events, Event{At: at, Kind: LinkDown, A: l[0], B: l[1]})
+	})
+	poisson(2, cfg.DropRate, func(r *sim.RNG, at sim.Time) {
+		if len(cfg.ISPs) == 0 {
+			return
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: ReportDrop, ISP: cfg.ISPs[r.Intn(len(cfg.ISPs))]})
+	})
+	poisson(3, cfg.DelayRate, func(r *sim.RNG, at sim.Time) {
+		if len(cfg.ISPs) == 0 {
+			return
+		}
+		d := 1 + sim.Time(r.Float64()*float64(maxDelay))
+		s.Events = append(s.Events, Event{At: at, Kind: ReportDelay, ISP: cfg.ISPs[r.Intn(len(cfg.ISPs))], Delay: d})
+	})
+	poisson(4, cfg.NMSCrashRate, func(r *sim.RNG, at sim.Time) {
+		if len(cfg.ISPs) == 0 {
+			return
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: NMSCrash, ISP: cfg.ISPs[r.Intn(len(cfg.ISPs))]})
+	})
+	s.Sort()
+	return s
+}

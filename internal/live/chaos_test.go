@@ -1,0 +1,210 @@
+package live
+
+import (
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dtc/internal/ctl"
+)
+
+// leakGuard snapshots the goroutine count and fails the test if, after all
+// cleanups (including the server's Close), goroutines have not returned to
+// the baseline. Hand-rolled on purpose: no external leak-check dependency.
+func leakGuard(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLiveSelfHealsAfterCrash is the live half of the self-healing story:
+// with the defense controller's service deployed, crash one ISP's NMS and
+// all its devices; the telemetry tick's Heal must replay the install
+// journal so every service instance is back within bounded intervals, and
+// repeated healing must not duplicate installs. (Mitigation-continuity
+// under attack is pinned deterministically in experiment e14 — here the
+// attack is present from t=0, so the detector learns it as baseline.)
+func TestLiveSelfHealsAfterCrash(t *testing.T) {
+	s := startServer(t, Config{ISPs: 2, Defense: true, LegitPPS: 40, AttackPPS: 400, DefenseLimitPPS: 50})
+	waitForReports(t, s, 2)
+
+	// Direct NMS access needs the server lock: live serializes all control
+	// and data plane work through s.mu.
+	m := s.nmsMgrs[0]
+	s.mu.Lock()
+	journalBefore := m.JournalLen()
+	s.mu.Unlock()
+	if journalBefore == 0 {
+		t.Fatal("no journaled services before crash")
+	}
+
+	// NMS loses all in-memory state; every device loses its service table.
+	if err := s.CrashNMS(0); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 4; node++ {
+		if err := s.CrashDevice(0, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One journal entry spans 4 nodes: 4 instances must come back.
+	waitFor(t, "self-heal to re-deploy services", func() bool {
+		return s.Heals() >= uint64(journalBefore*4)
+	})
+	s.mu.Lock()
+	journalAfter := m.JournalLen()
+	snap := m.Snapshot(time.Now().UnixNano())
+	s.mu.Unlock()
+	if journalAfter != journalBefore {
+		t.Errorf("journal grew across heal: %d -> %d (duplicate installs?)", journalBefore, journalAfter)
+	}
+	// The healed devices carry exactly one service per journal entry — the
+	// idempotence half of the invariant.
+	for _, d := range snap {
+		if len(d.Services) != journalBefore {
+			t.Errorf("node %d carries %d services after heal, want %d", d.Node, len(d.Services), journalBefore)
+		}
+	}
+	// A second crash+heal cycle converges the same way: no growth anywhere.
+	healsBefore := s.Heals()
+	if err := s.CrashDevice(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second heal", func() bool { return s.Heals() > healsBefore })
+	s.mu.Lock()
+	journalFinal := m.JournalLen()
+	s.mu.Unlock()
+	if journalFinal != journalBefore {
+		t.Errorf("journal grew across second heal: %d -> %d", journalBefore, journalFinal)
+	}
+}
+
+// TestWatchReplayAfterSeq pins the reconnect contract of the watch stream:
+// updates carry monotonically increasing hub sequence numbers, and a
+// subscriber presenting AfterSeq gets the retained gap replayed before
+// fresh ticks, with no duplicates and no holes.
+func TestWatchReplayAfterSeq(t *testing.T) {
+	s := startServer(t, Config{ISPs: 1, LegitPPS: -1, AttackPPS: -1})
+
+	recv := func(p *WatchParams, n int) []uint64 {
+		cl, err := ctl.Dial(s.TCSPAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		st, err := cl.Subscribe("watch", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seqs []uint64
+		for len(seqs) < n {
+			var u WatchUpdate
+			if err := st.Recv(&u); err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatal(err)
+			}
+			if u.Seq == 0 || u.Seq != st.Seq() {
+				t.Fatalf("update seq %d, envelope seq %d", u.Seq, st.Seq())
+			}
+			seqs = append(seqs, u.Seq)
+		}
+		return seqs
+	}
+
+	first := recv(&WatchParams{Count: 3}, 3)
+	for i := 1; i < len(first); i++ {
+		if first[i] != first[i-1]+1 {
+			t.Fatalf("first subscriber saw a gap: %v", first)
+		}
+	}
+
+	// Resume after the first sequence seen: the ring replays the rest of
+	// the first subscriber's window immediately, then fresh ticks follow.
+	second := recv(&WatchParams{AfterSeq: first[0], Count: 5}, 5)
+	if second[0] != first[0]+1 {
+		t.Errorf("replay started at %d, want %d", second[0], first[0]+1)
+	}
+	for i, q := range second {
+		if q <= first[0] {
+			t.Errorf("replayed already-consumed update %d", q)
+		}
+		if i > 0 && q != second[i-1]+1 {
+			t.Errorf("resumed stream has a gap: %v", second)
+		}
+	}
+}
+
+// TestRestartNMSSeversAndRecovers bounces one ISP's control listener:
+// existing connections die, the same address accepts again, and no
+// goroutine outlives the test.
+func TestRestartNMSSeversAndRecovers(t *testing.T) {
+	leakGuard(t)
+	s := startServer(t, Config{ISPs: 1, LegitPPS: -1, AttackPPS: -1})
+	addr := s.NMSAddrs()[0]
+
+	old, err := ctl.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	// Liveness probe: a bad request is a protocol-level ("remote error")
+	// reply carried over a healthy connection.
+	if err := old.Call("nosuch", nil, nil); err == nil || !strings.Contains(err.Error(), "remote error") {
+		t.Fatalf("probe before restart: %v", err)
+	}
+
+	if err := s.RestartNMS(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old connection was severed: the next call fails at the transport,
+	// not with a protocol reply.
+	if err := old.Call("nosuch", nil, nil); err == nil || strings.Contains(err.Error(), "remote error") {
+		t.Fatalf("severed connection still answered: %v", err)
+	}
+
+	// The same address serves again.
+	fresh, err := ctl.DialRetry(addr, 20, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.Call("nosuch", nil, nil); err == nil || !strings.Contains(err.Error(), "remote error") {
+		t.Fatalf("probe after restart: %v", err)
+	}
+
+	if err := s.RestartNMS(5); err == nil {
+		t.Error("restarting an unknown ISP succeeded")
+	}
+}

@@ -101,10 +101,15 @@ type WatchParams struct {
 	// Count bounds the number of updates before the server ends the
 	// stream; 0 streams until the client disconnects.
 	Count int `json:"count,omitempty"`
+	// AfterSeq resumes the stream after a hub sequence number already
+	// consumed: retained updates with Seq > AfterSeq replay immediately.
+	// 0 (a fresh subscriber) receives only new updates.
+	AfterSeq uint64 `json:"after_seq,omitempty"`
 }
 
 // WatchUpdate is one telemetry-tick summary pushed to watch subscribers.
 type WatchUpdate struct {
+	Seq          uint64  `json:"seq"`
 	AtNanos      int64   `json:"at_nanos"`
 	OfferedPPS   float64 `json:"offered_pps"`
 	DiscardedPPS float64 `json:"discarded_pps"`
@@ -113,21 +118,45 @@ type WatchUpdate struct {
 	Score        float64 `json:"score"`
 }
 
+// StreamSeq stamps the hub-global sequence number onto the stream
+// envelope, so ctl.Subscriber can resume and dedupe across reconnects.
+func (u WatchUpdate) StreamSeq() uint64 { return u.Seq }
+
+// watchRing is how many recent updates the hub retains for replay to
+// reconnecting subscribers.
+const watchRing = 64
+
 // hub fans telemetry updates out to watch subscribers, each behind its own
 // bounded drop-oldest queue so one stalled watcher cannot block the tick.
+// Every update carries a hub-global sequence number and the last watchRing
+// updates are retained, so a subscriber that reconnects with AfterSeq set
+// gets the gap replayed instead of silently missing ticks.
 type hub struct {
-	mu     sync.Mutex
-	subs   map[int]*telemetry.Queue[WatchUpdate]
-	nextID int
+	mu      sync.Mutex
+	subs    map[int]*telemetry.Queue[WatchUpdate]
+	nextID  int
+	seq     uint64
+	ring    []WatchUpdate // retained tail, oldest first
+	retired uint64        // drops accumulated by unsubscribed queues
 }
 
 func newHub() *hub { return &hub{subs: make(map[int]*telemetry.Queue[WatchUpdate])} }
 
-func (h *hub) subscribe() (int, *telemetry.Queue[WatchUpdate]) {
+func (h *hub) subscribe(afterSeq uint64) (int, *telemetry.Queue[WatchUpdate]) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.nextID++
-	q := telemetry.NewQueue[WatchUpdate](16)
+	// Queue capacity covers a full ring replay plus a burst of fresh
+	// ticks; replay happens under the hub lock, so no published update can
+	// interleave with (or duplicate) the replayed tail.
+	q := telemetry.NewQueue[WatchUpdate](watchRing + 16)
+	if afterSeq > 0 {
+		for _, u := range h.ring {
+			if u.Seq > afterSeq {
+				q.Push(u)
+			}
+		}
+	}
 	h.subs[h.nextID] = q
 	return h.nextID, q
 }
@@ -135,15 +164,37 @@ func (h *hub) subscribe() (int, *telemetry.Queue[WatchUpdate]) {
 func (h *hub) unsubscribe(id int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	delete(h.subs, id)
+	if q, ok := h.subs[id]; ok {
+		h.retired += q.Dropped()
+		delete(h.subs, id)
+	}
 }
 
 func (h *hub) publish(u WatchUpdate) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.seq++
+	u.Seq = h.seq
+	if len(h.ring) == watchRing {
+		copy(h.ring, h.ring[1:])
+		h.ring = h.ring[:watchRing-1]
+	}
+	h.ring = append(h.ring, u)
 	for _, q := range h.subs {
 		q.Push(u)
 	}
+}
+
+// dropped totals drop-oldest evictions across all watch queues, live and
+// retired — the counter the telemetry store exports as queue="watch".
+func (h *hub) dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := h.retired
+	for _, q := range h.subs {
+		total += q.Dropped()
+	}
+	return total
 }
 
 // DemoOwner is the pre-allocated demo user every live server recognizes.
@@ -162,14 +213,17 @@ type Server struct {
 	victim *netsim.Host
 	start  time.Time
 
-	tcspSrv  *ctl.Server
-	nmsSrvs  []*ctl.Server
-	nmsAddrs []string
-	httpSrv  *http.Server
-	httpLn   net.Listener
+	tcspSrv     *ctl.Server
+	nmsSrvs     []*ctl.Server
+	nmsAddrs    []string
+	nmsHandlers []ctl.Handler
+	nmsMgrs     []*nms.NMS
+	httpSrv     *http.Server
+	httpLn      net.Listener
 
 	scrapes metrics.AtomicCounter
 	reports metrics.AtomicCounter
+	heals   metrics.AtomicCounter
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -264,8 +318,11 @@ func (s *Server) build() error {
 		if err != nil {
 			return err
 		}
-		s.nmsSrvs = append(s.nmsSrvs, ctl.NewServer(ln, locked(ctl.NMSHandler(m))))
+		h := locked(ctl.NMSHandler(m))
+		s.nmsSrvs = append(s.nmsSrvs, ctl.NewServer(ln, h))
 		s.nmsAddrs = append(s.nmsAddrs, ln.Addr().String())
+		s.nmsHandlers = append(s.nmsHandlers, h)
+		s.nmsMgrs = append(s.nmsMgrs, m)
 		if err := tc.AddISP(name, m); err != nil {
 			return err
 		}
@@ -276,6 +333,8 @@ func (s *Server) build() error {
 	if err := ctrl.Start(); err != nil {
 		return err
 	}
+	// Watch-fanout evictions surface on /metrics as queue="watch".
+	tc.Telemetry().RegisterQueueDrops("watch", s.hub.dropped)
 
 	// Telemetry pipeline: a simulation ticker (identical mechanics to the
 	// deterministic experiments — live, simulated time just happens to
@@ -285,6 +344,16 @@ func (s *Server) build() error {
 	// plane is quiescent and s.mu is held by the advancing goroutine.
 	sm.NewTicker(s.cfg.TelemetryPeriod, func(now sim.Time) {
 		for _, e := range isps {
+			// Self-healing precedes snapshotting: a device (or NMS) that
+			// crashed since the last tick gets its journaled services
+			// replayed before its counters are reported, so mitigation
+			// resumes within one telemetry interval of the fault.
+			if n, err := e.m.Heal(); err != nil {
+				s.cfg.Logf("self-heal %s: %v", e.name, err)
+			} else if n > 0 {
+				s.heals.Add(uint64(n))
+				s.cfg.Logf("self-heal %s: re-deployed %d service instances", e.name, n)
+			}
 			if err := tc.Report(e.name, e.m.Snapshot(int64(now))); err != nil {
 				s.cfg.Logf("telemetry report %s: %v", e.name, err)
 				continue
@@ -383,7 +452,7 @@ func (s *Server) handler(base ctl.Handler) ctl.Handler {
 // watchStream subscribes a connection to the telemetry hub.
 func (s *Server) watchStream(p WatchParams) ctl.StreamFunc {
 	return func(push func(v any) error) error {
-		id, q := s.hub.subscribe()
+		id, q := s.hub.subscribe(p.AfterSeq)
 		defer s.hub.unsubscribe(id)
 		sent := 0
 		for p.Count <= 0 || sent < p.Count {
@@ -450,6 +519,64 @@ func (s *Server) Telemetry() *telemetry.Store { return s.tc.Telemetry() }
 
 // Defense exposes the controller status.
 func (s *Server) Defense() defense.Status { return s.ctrl.Status() }
+
+// Heals returns the total service instances the self-healing loop has
+// re-deployed after device or NMS crashes.
+func (s *Server) Heals() uint64 { return s.heals.Value() }
+
+// CrashDevice simulates a crash-and-cold-restart of one device in ISP i:
+// its service table, owner bindings and counters vanish. The telemetry
+// tick's Heal replays the install journal within one interval.
+func (s *Server) CrashDevice(i, node int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.nmsMgrs) {
+		return fmt.Errorf("live: no ISP %d", i)
+	}
+	return s.nmsMgrs[i].CrashDevice(node)
+}
+
+// CrashNMS simulates an NMS process restart for ISP i: all in-memory
+// deployment state is lost; only the durable install journal survives. The
+// next telemetry tick re-deploys every journaled service.
+func (s *Server) CrashNMS(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.nmsMgrs) {
+		return fmt.Errorf("live: no ISP %d", i)
+	}
+	s.nmsMgrs[i].Crash()
+	return nil
+}
+
+// RestartNMS bounces ISP i's control listener: every open control
+// connection (including watch-style streams) is severed, then a fresh
+// server comes up on the same address with the same handler. Clients using
+// ctl.Subscriber resubscribe and resume; the NMS state itself is untouched
+// — pair with CrashNMS to model a full process restart.
+func (s *Server) RestartNMS(i int) error {
+	s.mu.Lock()
+	if i < 0 || i >= len(s.nmsSrvs) {
+		s.mu.Unlock()
+		return fmt.Errorf("live: no ISP %d", i)
+	}
+	srv, addr, h := s.nmsSrvs[i], s.nmsAddrs[i], s.nmsHandlers[i]
+	s.mu.Unlock()
+	// Shutdown waits for in-flight handlers, which take s.mu — so the lock
+	// must be released here.
+	if err := srv.Shutdown(); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.nmsSrvs[i] = ctl.NewServer(ln, h)
+	s.mu.Unlock()
+	s.cfg.Logf("NMS isp%d control listener restarted on %s", i+1, addr)
+	return nil
+}
 
 // VictimDelivered returns the victim host's delivered packet counts.
 func (s *Server) VictimDelivered() (legit, attack uint64) {
@@ -521,6 +648,7 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP dtc_defense_score Detector CUSUM score (excess packets).\n# TYPE dtc_defense_score gauge\ndtc_defense_score %g\n", st.Score)
 	fmt.Fprintf(w, "# HELP dtc_defense_baseline_pps Learned calm-traffic rate.\n# TYPE dtc_defense_baseline_pps gauge\ndtc_defense_baseline_pps %g\n", st.BaselinePPS)
 	fmt.Fprintf(w, "# HELP dtc_telemetry_reports_total ISP snapshot reports ingested.\n# TYPE dtc_telemetry_reports_total counter\ndtc_telemetry_reports_total %d\n", s.reports.Value())
+	fmt.Fprintf(w, "# HELP dtc_selfheal_reinstalls_total Service instances re-deployed by the self-healing loop.\n# TYPE dtc_selfheal_reinstalls_total counter\ndtc_selfheal_reinstalls_total %d\n", s.heals.Value())
 	fmt.Fprintf(w, "# HELP dtc_metrics_scrapes_total Scrapes of this endpoint.\n# TYPE dtc_metrics_scrapes_total counter\ndtc_metrics_scrapes_total %d\n", s.scrapes.Value())
 }
 

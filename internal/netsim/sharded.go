@@ -82,21 +82,26 @@ type ShardedNetwork struct {
 	Engine *sim.Sharded
 	Graph  *topology.Graph
 
-	assign    []int
-	nets      []*Network
-	lookahead sim.Time
+	assign     []int
+	nets       []*Network
+	lookahead  sim.Time
+	routes     routing.Source
+	ownsRoutes bool // routes built here, not borrowed: topology may mutate
 }
 
 // NewSharded partitions g per assign across eng's shards. routes must be
 // safe for concurrent readers (nil builds a routing.Shared); owners is the
-// compiled address map (nil compiles one). Topology is immutable for the
-// network's lifetime — FailLink is rejected, exactly as on any network
-// sharing substrate state.
+// compiled address map (nil compiles one). When routes are borrowed from a
+// caller-owned substrate the topology is immutable for the network's
+// lifetime — FailLink is rejected, exactly as on any network sharing
+// substrate state. With engine-owned routes (routes == nil here),
+// ShardedNetwork.FailLink is available between Run calls.
 func NewSharded(eng *sim.Sharded, g *topology.Graph, cfg LinkConfig, routes routing.Source, owners *ownership.Compiled[int], assign []int) (*ShardedNetwork, error) {
 	shards := eng.Shards()
 	if err := topology.ValidatePartition(g, assign, shards); err != nil {
 		return nil, err
 	}
+	ownsRoutes := routes == nil
 	if routes == nil {
 		routes = routing.NewShared(g, nil)
 	}
@@ -108,10 +113,12 @@ func NewSharded(eng *sim.Sharded, g *topology.Graph, cfg LinkConfig, routes rout
 		owners = t.Compiled()
 	}
 	sn := &ShardedNetwork{
-		Engine: eng,
-		Graph:  g,
-		assign: assign,
-		nets:   make([]*Network, shards),
+		Engine:     eng,
+		Graph:      g,
+		assign:     assign,
+		nets:       make([]*Network, shards),
+		routes:     routes,
+		ownsRoutes: ownsRoutes,
 	}
 	for s := 0; s < shards; s++ {
 		n, err := newNetwork(eng.Shard(s), g, cfg, routes, owners, assign, s)
@@ -254,6 +261,48 @@ func (sn *ShardedNetwork) SetLinkConfig(a, b int, cfg LinkConfig) error {
 	}
 	if err := sn.NetOf(a).SetLinkConfig(a, b, cfg); err != nil {
 		return err
+	}
+	sn.recomputeLookahead()
+	return nil
+}
+
+// FailLink removes the duplex edge (a, b) from the topology: both
+// directed links disappear from their owning shards, the engine-owned
+// routing source is invalidated (every shard rebuilds its trees lazily on
+// next lookup), routing observers fire on all shards, and the conservative
+// lookahead window is re-derived — failing the narrowest cut link widens
+// the window, failing the last one removes the barrier entirely.
+//
+// Only available when NewSharded built the routing source itself (routes
+// was nil): with a caller-provided substrate the topology is shared state
+// the network must not mutate, exactly like plain Network.FailLink on a
+// shared substrate. The call is quiescent-only: invoke it between Run
+// calls, never from inside a running event (shard goroutines read links
+// and routes concurrently).
+func (sn *ShardedNetwork) FailLink(a, b int) error {
+	if !sn.ownsRoutes {
+		return fmt.Errorf("netsim: FailLink on caller-provided routes; topology is immutable")
+	}
+	if a < 0 || a >= sn.Graph.Len() || b < 0 || b >= sn.Graph.Len() {
+		return fmt.Errorf("netsim: no edge (%d,%d) to fail", a, b)
+	}
+	if !sn.Graph.RemoveEdge(a, b) {
+		return fmt.Errorf("netsim: no edge (%d,%d) to fail", a, b)
+	}
+	na, nb := sn.NetOf(a), sn.NetOf(b)
+	delete(na.links, [2]int{a, b})
+	delete(nb.links, [2]int{b, a})
+	if r := na.routers[a]; r != nil {
+		delete(r.out, b)
+	}
+	if r := nb.routers[b]; r != nil {
+		delete(r.out, a)
+	}
+	sn.routes.Invalidate()
+	for _, n := range sn.nets {
+		for _, fn := range n.routeObs {
+			fn()
+		}
 	}
 	sn.recomputeLookahead()
 	return nil

@@ -1,0 +1,261 @@
+package netsim
+
+import (
+	"testing"
+
+	"dtc/internal/packet"
+	"dtc/internal/routing"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// runFailLinkScenario drives a contract-conforming workload to 5ms, fails
+// one heavily loaded edge (the first one incident to the sink hub), and
+// drains. shards == 0 runs the plain engine with plain Network.FailLink, so
+// the sharded method is checked against the reference semantics, not just
+// against itself.
+func runFailLinkScenario(t *testing.T, shards int) scenarioResult {
+	t.Helper()
+	const seed = 11
+	g, err := topology.BarabasiAlbert(60, 2, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond, QueueCap: 1024}
+
+	type net interface {
+		AttachHost(node int) (*Host, error)
+		NewServer(node int, serviceTime sim.Time, queueCap int) (*Server, error)
+	}
+	var (
+		world net
+		fail  func(a, b int) error
+		runTo func(until sim.Time) (sim.Time, error)
+		run   func() (sim.Time, error)
+		done  func() scenarioResult
+	)
+	if shards == 0 {
+		s := sim.New(seed)
+		n, err := New(s, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world, fail, runTo, run = n, n.FailLink, s.Run, s.RunAll
+		done = func() scenarioResult {
+			return scenarioResult{stats: *n.Stats, fired: s.Fired(), frontier: s.Now()}
+		}
+	} else {
+		eng := sim.NewSharded(seed, shards)
+		eng.SetEventLimit(50_000_000)
+		assign, err := topology.PartitionGreedy(g, shards, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, err := NewSharded(eng, g, cfg, nil, nil, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world, fail, runTo, run = sn, sn.FailLink, sn.Run, sn.RunAll
+		done = func() scenarioResult {
+			return scenarioResult{stats: *sn.MergedStats(), fired: sn.Fired(), frontier: sn.Engine.Now()}
+		}
+	}
+
+	hubs := g.NodesByDegree()
+	sink, err := world.AttachHost(hubs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := world.NewServer(hubs[1], 200*sim.Microsecond, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.OnServe = func(now sim.Time, pkt *packet.Packet) {
+		srv.Host.Send(now, &packet.Packet{Src: srv.Host.Addr, Dst: pkt.Src, Kind: packet.KindControl, Size: 120})
+	}
+
+	// The edge to fail: first one incident to the sink hub, so it carries
+	// real traffic. Picked before running — the graph (and so the pick) is
+	// identical at every shard count.
+	fa, fb := -1, -1
+	for _, e := range g.Edges() {
+		if e.A == hubs[0] || e.B == hubs[0] {
+			fa, fb = e.A, e.B
+			break
+		}
+	}
+	if fa < 0 {
+		t.Fatal("sink hub has no incident edge")
+	}
+
+	stubs := g.Stubs()
+	root := sim.NewRNG(seed)
+	for i := 0; i < 20 && i < len(stubs); i++ {
+		node := stubs[i]
+		h, err := world.AttachHost(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Phase offsets + per-node substreams: the §10 contract's two
+		// obligations, so counters stay shard-count-invariant.
+		start := sim.Millisecond + sim.Time(node%61)*sim.Microsecond
+		dst, limit := sink.Addr, uint64(20)
+		if i%3 == 0 {
+			dst = srv.Host.Addr
+		}
+		var cbr *Source
+		cbr = h.StartCBR(start, 500, func(k uint64) *packet.Packet {
+			if k+1 >= limit {
+				cbr.Stop()
+			}
+			return &packet.Packet{Src: h.Addr, Dst: dst, Kind: packet.KindLegit, Size: 400}
+		})
+		var poisson *Source
+		poisson = h.StartPoissonRNG(start, 300, root.Substream(uint64(node)), func(k uint64) *packet.Packet {
+			if k+1 >= 10 {
+				poisson.Stop()
+			}
+			return &packet.Packet{Src: h.Addr, Dst: sink.Addr, Kind: packet.KindAttack, Size: 900}
+		})
+	}
+
+	// Quiescent-point failure: run to 5ms (mid-traffic), cut, drain.
+	if _, err := runTo(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := fail(fa, fb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(); err != nil {
+		t.Fatal(err)
+	}
+	res := done()
+	res.delivered = sink.Delivered[packet.KindLegit] + sink.Delivered[packet.KindAttack]
+	for _, v := range srv.Served {
+		res.served += v
+	}
+	return res
+}
+
+// TestShardedFailLinkShardCountInvariance pins the lifted restriction's
+// determinism: a mid-run link failure produces identical statistics,
+// deliveries, and event counts on the plain engine and at every shard
+// count.
+func TestShardedFailLinkShardCountInvariance(t *testing.T) {
+	base := runFailLinkScenario(t, 0)
+	if base.delivered == 0 || base.served == 0 {
+		t.Fatalf("degenerate scenario: delivered %d, served %d", base.delivered, base.served)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got := runFailLinkScenario(t, shards)
+		if got.stats != base.stats {
+			t.Errorf("shards=%d: stats diverge after FailLink:\nbase %+v\ngot  %+v", shards, base.stats, got.stats)
+		}
+		if got.delivered != base.delivered || got.served != base.served {
+			t.Errorf("shards=%d: deliveries %d/%d, want %d/%d", shards, got.delivered, got.served, base.delivered, base.served)
+		}
+		if got.fired != base.fired {
+			t.Errorf("shards=%d: fired %d, want %d", shards, got.fired, base.fired)
+		}
+	}
+}
+
+// TestShardedFailLinkReroutesAndLookahead cuts a ring's cheapest cut link
+// and checks traffic reroutes the long way, the lookahead window widens to
+// the surviving cut link, and removing the last cut link lifts the barrier
+// entirely.
+func TestShardedFailLinkReroutesAndLookahead(t *testing.T) {
+	g := topology.NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := sim.NewSharded(3, 2)
+	assign := []int{0, 0, 1, 1} // cut edges: (1,2) and (3,0)
+	sn, err := NewSharded(eng, g, DefaultLink, nil, nil, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := DefaultLink
+	slow.Delay = 5 * sim.Millisecond
+	if err := sn.SetDuplexLinkConfig(3, 0, slow); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Lookahead() != DefaultLink.Delay {
+		t.Fatalf("lookahead = %v, want %v (cheap cut link)", sn.Lookahead(), DefaultLink.Delay)
+	}
+
+	a, err := sn.AttachHost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sn.AttachHost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hops []uint8
+	b.Recv = func(_ sim.Time, p *packet.Packet) { hops = append(hops, packet.DefaultTTL-p.TTL) }
+
+	a.Send(0, &packet.Packet{Src: a.Addr, Dst: b.Addr, Size: 100})
+	if _, err := sn.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 || hops[0] != 1 {
+		t.Fatalf("direct path hops = %v, want [1]", hops)
+	}
+
+	// Fail the cheap cut link: traffic reroutes 1->0->3->2 and the window
+	// widens to the slow link's delay.
+	if err := sn.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Lookahead() != slow.Delay {
+		t.Fatalf("lookahead = %v after failing cheap cut link, want %v", sn.Lookahead(), slow.Delay)
+	}
+	a.Send(eng.Now(), &packet.Packet{Src: a.Addr, Dst: b.Addr, Size: 100})
+	if _, err := sn.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 2 || hops[1] != 3 {
+		t.Fatalf("rerouted hops = %v, want second delivery over 3 hops", hops)
+	}
+
+	// Fail the last cut link: shards no longer interact, the barrier lifts.
+	if err := sn.FailLink(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Lookahead() != sim.MaxTime {
+		t.Fatalf("lookahead = %v with no cut links, want unbounded", sn.Lookahead())
+	}
+
+	// Error paths: already-failed edge, never-existed edge, out of range.
+	if err := sn.FailLink(1, 2); err == nil {
+		t.Error("double failure succeeded")
+	}
+	if err := sn.FailLink(0, 2); err == nil {
+		t.Error("failing a non-edge succeeded")
+	}
+	if err := sn.FailLink(0, 9); err == nil {
+		t.Error("failing an out-of-range edge succeeded")
+	}
+}
+
+// TestShardedFailLinkRejectsSharedRoutes pins that topology mutation stays
+// forbidden when the routing substrate is caller-owned — the same contract
+// plain networks enforce via Network.FailLink's shared check.
+func TestShardedFailLinkRejectsSharedRoutes(t *testing.T) {
+	g := topology.Line(4)
+	eng := sim.NewSharded(1, 2)
+	routes := routing.NewShared(g, nil)
+	sn, err := NewSharded(eng, g, DefaultLink, routes, nil, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.FailLink(0, 1); err == nil {
+		t.Fatal("FailLink mutated a caller-provided routing substrate")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("rejected FailLink still removed the edge")
+	}
+}

@@ -1,0 +1,184 @@
+package nms
+
+import (
+	"testing"
+
+	"dtc/internal/device"
+	"dtc/internal/device/modules"
+	"dtc/internal/netsim"
+	"dtc/internal/packet"
+	"dtc/internal/service"
+)
+
+func TestJournalIdempotentAcrossRedeploys(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 3; i++ {
+		if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := f.nms.JournalLen(); n != 1 {
+		t.Fatalf("journal grew to %d entries across redeploys, want 1", n)
+	}
+	d, _ := f.nms.Device(0)
+	if svcs := d.Services(); len(svcs) != 1 {
+		t.Fatalf("device has %d services after redeploys, want 1: %+v", len(svcs), svcs)
+	}
+	// Healing a consistent world is a no-op.
+	if n, err := f.nms.Heal(); err != nil || n != 0 {
+		t.Fatalf("Heal on consistent world = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestDeviceCrashHealRestoresService(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.nms.Device(1)
+	if err := f.nms.CrashDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Services()) != 0 {
+		t.Fatal("crash did not wipe the service table")
+	}
+	healed, err := f.nms.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != 1 {
+		t.Fatalf("Heal re-deployed %d instances, want 1", healed)
+	}
+	svcs := d.Services()
+	if len(svcs) != 1 || svcs[0].Owner != "acme" || svcs[0].Stage != device.StageDest || !svcs[0].Enabled {
+		t.Fatalf("healed services = %+v", svcs)
+	}
+	// Idempotence: healing again re-deploys nothing and duplicates nothing.
+	if n, err := f.nms.Heal(); err != nil || n != 0 {
+		t.Fatalf("second Heal = (%d, %v), want (0, nil)", n, err)
+	}
+	if len(d.Services()) != 1 {
+		t.Fatalf("duplicate services after repeated Heal: %+v", d.Services())
+	}
+	if f.nms.Reinstalls() != 1 {
+		t.Fatalf("Reinstalls = %d, want 1", f.nms.Reinstalls())
+	}
+
+	// The healed instance actually filters again.
+	src, _ := f.net.AttachHost(0)
+	dst, _ := f.net.AttachHost(3)
+	src.Send(f.sim.Now(), &packet.Packet{Src: src.Addr, Dst: dst.Addr, DstPort: 666, Size: 100})
+	if _, err := f.sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Delivered[packet.KindLegit] != 0 {
+		t.Error("healed service not filtering")
+	}
+}
+
+func TestNMSCrashHealRedeploysEverything(t *testing.T) {
+	f := newFixture(t)
+	// Three services with journaled post-install state: a certified
+	// firewall left deactivated, a certified source-stage rate limiter
+	// whose rate was updated live, and an operator-deployed limiter.
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "deactivate", Stage: "dest"})); err != nil {
+		t.Fatal(err)
+	}
+	rlSpec := service.RateLimit("rl", service.MatchSpec{}, 1000, 100)
+	rlSpec.Stage = "source"
+	rlReq := &DeployRequest{
+		Owner:    "acme",
+		Prefixes: []string{netsim.NodePrefix(3).String()},
+		Spec:     *rlSpec,
+	}
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, rlReq)); err != nil {
+		t.Fatal(err)
+	}
+	rate := 250.0
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{
+		Owner: "acme", Op: "update", Stage: "source", Component: "limit",
+		Update: &ParamUpdate{Rate: &rate},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	opSpec := service.RateLimit("op-rl", service.MatchSpec{}, 500, 50)
+	if _, err := f.nms.DeployOperator("op", []packet.Prefix{netsim.NodePrefix(2)}, opSpec, Scope{Nodes: []int{2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Total loss: the NMS process restarts AND every device cold-boots.
+	f.nms.Crash()
+	for _, n := range f.nms.Nodes() {
+		if err := f.nms.CrashDevice(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healed, err := f.nms.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// firewall ×4 nodes + source limiter ×4 + operator limiter ×2.
+	if healed != 10 {
+		t.Fatalf("Heal re-deployed %d instances, want 10", healed)
+	}
+	// The firewall comes back deactivated, exactly as journaled.
+	d0, _ := f.nms.Device(0)
+	for _, s := range d0.Services() {
+		if s.Stage == device.StageDest && s.Owner == "acme" && s.Enabled {
+			t.Fatalf("firewall re-enabled by heal: %+v", d0.Services())
+		}
+	}
+	// The certified limiter comes back with the updated rate, and
+	// Component resolves through the rebuilt in-memory install table.
+	for _, n := range f.nms.Nodes() {
+		comp, ok := f.nms.Component("acme", device.StageSource, n, "limit")
+		if !ok {
+			t.Fatalf("limit component missing on node %d after heal", n)
+		}
+		rl, ok := comp.(*modules.RateLimiter)
+		if !ok {
+			t.Fatalf("node %d limit is %T", n, comp)
+		}
+		if rl.Rate != rate {
+			t.Fatalf("node %d limiter rate = %v after heal, want %v", n, rl.Rate, rate)
+		}
+	}
+	// Exactly one service instance per (owner, stage) — zero duplicates.
+	for _, n := range []int{2, 3} {
+		d, _ := f.nms.Device(n)
+		if len(d.Services()) != 3 {
+			t.Fatalf("node %d has %d services after heal, want 3: %+v", n, len(d.Services()), d.Services())
+		}
+	}
+	// Control-plane ops work against the rebuilt tables.
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "activate", Stage: "dest"})); err != nil {
+		t.Fatalf("control after heal: %v", err)
+	}
+}
+
+func TestRemoveRetiresJournalEntry(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.nms.Deploy(f.cert, f.signedDeploy(t, firewallReq(netsim.NodePrefix(3).String()))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.nms.Control(f.cert, f.signedControl(t, &ControlRequest{Owner: "acme", Op: "remove", Stage: "dest"})); err != nil {
+		t.Fatal(err)
+	}
+	if f.nms.JournalLen() != 0 {
+		t.Fatalf("journal holds %d entries after remove, want 0", f.nms.JournalLen())
+	}
+	// A removed service must not resurrect on heal.
+	if err := f.nms.CrashDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.nms.Heal(); err != nil || n != 0 {
+		t.Fatalf("Heal after remove = (%d, %v), want (0, nil)", n, err)
+	}
+	d, _ := f.nms.Device(0)
+	if len(d.Services()) != 0 {
+		t.Fatalf("removed service resurrected: %+v", d.Services())
+	}
+}

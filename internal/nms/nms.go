@@ -113,6 +113,28 @@ type installKey struct {
 	stage device.Stage
 }
 
+// journalUpdate is one parameter change applied after install, kept so a
+// replay restores the component to its last-configured parameters.
+type journalUpdate struct {
+	component string
+	update    ParamUpdate
+}
+
+// journalEntry is one durable install record: everything needed to
+// re-deploy a service from scratch onto a restarted device. Entries are
+// keyed by (owner, stage) — the same key device.Install replaces on — so
+// re-deploying an existing service overwrites its entry and the journal
+// never grows with repetition: replay is idempotent by construction.
+type journalEntry struct {
+	owner    string
+	stage    device.Stage
+	prefixes []packet.Prefix
+	spec     *service.Spec
+	nodes    []int // scope resolved at install time
+	enabled  bool
+	updates  []journalUpdate
+}
+
 // NMS is one ISP's network management system.
 type NMS struct {
 	Name string
@@ -126,6 +148,13 @@ type NMS struct {
 	installed map[installKey]map[int]*service.Compiled
 	events    map[string][]device.Event // keyed by owner
 	peers     []*NMS
+
+	// The install journal (durable across Crash) plus the per-device boot
+	// epoch last configured — the self-healing state Heal reconciles.
+	journal     map[installKey]*journalEntry
+	journalKeys []installKey // install order; deterministic replay
+	configured  map[int]uint64
+	reinstalls  uint64
 
 	routingUpdates int
 }
@@ -144,9 +173,11 @@ func New(name string, net *netsim.Network, nodes []int, trusted ed25519.PublicKe
 	m := &NMS{
 		Name: name, net: net, nodes: append([]int(nil), nodes...),
 		trusted: trusted, clock: clock,
-		devices:   make(map[int]*device.Device),
-		installed: make(map[installKey]map[int]*service.Compiled),
-		events:    make(map[string][]device.Event),
+		devices:    make(map[int]*device.Device),
+		installed:  make(map[installKey]map[int]*service.Compiled),
+		events:     make(map[string][]device.Event),
+		journal:    make(map[installKey]*journalEntry),
+		configured: make(map[int]uint64),
 	}
 	reg := modules.NewRegistry()
 	rpf := &uRPF{net: net}
@@ -160,6 +191,7 @@ func New(name string, net *netsim.Network, nodes []int, trusted ed25519.PublicKe
 			m.events[e.Owner] = append(m.events[e.Owner], e)
 		})
 		m.devices[node] = d
+		m.configured[node] = d.Epoch()
 		net.AddHook(node, &deviceHook{dev: d})
 	}
 	// Topology-dependent configuration adapts automatically on routing
@@ -343,7 +375,144 @@ func (m *NMS) install(owner string, prefixes []packet.Prefix, spec *service.Spec
 		insts[node] = compiled
 	}
 	m.installed[key] = insts
+	// Journal the deployment for post-crash replay. The spec is copied
+	// shallowly (components included) so later caller-side mutation cannot
+	// corrupt the record; replacing an existing key resets its enabled
+	// state and parameter-update history, matching the fresh install the
+	// devices just received.
+	specCopy := *spec
+	specCopy.Components = append([]service.ComponentSpec(nil), spec.Components...)
+	if _, known := m.journal[key]; !known {
+		m.journalKeys = append(m.journalKeys, key)
+	}
+	m.journal[key] = &journalEntry{
+		owner: owner, stage: stage,
+		prefixes: append([]packet.Prefix(nil), prefixes...),
+		spec:     &specCopy,
+		nodes:    nodes,
+		enabled:  true,
+	}
 	return &DeployResult{ISP: m.Name, Nodes: nodes}, nil
+}
+
+// JournalLen returns the number of live install-journal entries. Because
+// entries are keyed by (owner, stage), repeated deployments of the same
+// service leave the length unchanged — the observable half of journal
+// idempotence.
+func (m *NMS) JournalLen() int { return len(m.journal) }
+
+// Reinstalls returns how many service instances Heal has re-deployed.
+func (m *NMS) Reinstalls() uint64 { return m.reinstalls }
+
+// CrashDevice simulates a crash and cold restart of the device at node:
+// its entire service table, owner bindings and counters are lost. The NMS
+// notices the new boot epoch on its next Heal and replays the journal.
+func (m *NMS) CrashDevice(node int) error {
+	d, ok := m.devices[node]
+	if !ok {
+		return fmt.Errorf("nms %s: no device at node %d", m.Name, node)
+	}
+	d.Reset()
+	return nil
+}
+
+// Crash simulates an NMS process restart: every in-memory structure —
+// compiled service instances, event log, device-epoch bookkeeping — is
+// lost. The install journal survives (it models the NMS's durable
+// configuration store), so the next Heal re-deploys every journaled
+// service and rebuilds the in-memory state from it.
+func (m *NMS) Crash() {
+	m.installed = make(map[installKey]map[int]*service.Compiled)
+	m.events = make(map[string][]device.Event)
+	m.configured = make(map[int]uint64)
+}
+
+// Heal reconciles device state against the install journal: any device
+// whose boot epoch differs from the last one this NMS configured — a
+// crashed-and-restarted device, or every device after an NMS Crash — gets
+// the journal replayed onto it. Replay is idempotent: installs key by
+// (owner, stage) and replace, so healing an already-consistent device
+// cannot duplicate services. It returns the number of service instances
+// re-deployed; zero is the steady state and costs one map lookup per
+// device.
+func (m *NMS) Heal() (int, error) {
+	healed := 0
+	nodes := append([]int(nil), m.nodes...)
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		d := m.devices[node]
+		if epoch, known := m.configured[node]; known && epoch == d.Epoch() {
+			continue
+		}
+		n, err := m.replay(node)
+		if err != nil {
+			return healed, err
+		}
+		healed += n
+		m.configured[node] = d.Epoch()
+	}
+	return healed, nil
+}
+
+// replay re-deploys every journaled service scoped to node, restoring
+// owner bindings, the compiled graph, the enabled flag and any journaled
+// parameter updates, and re-registers the fresh compiled instances in the
+// in-memory install table.
+func (m *NMS) replay(node int) (int, error) {
+	d := m.devices[node]
+	count := 0
+	for _, key := range m.journalKeys {
+		e, ok := m.journal[key]
+		if !ok {
+			continue // removed since; key slot retired lazily
+		}
+		inScope := false
+		for _, n := range e.nodes {
+			if n == node {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		compiled, err := e.spec.Compile()
+		if err != nil {
+			return count, fmt.Errorf("nms %s: replay %q: %w", m.Name, e.owner, err)
+		}
+		for _, p := range e.prefixes {
+			if err := d.BindOwner(p, e.owner); err != nil {
+				return count, fmt.Errorf("nms %s node %d: replay: %w", m.Name, node, err)
+			}
+		}
+		if err := d.Install(e.owner, e.stage, compiled.Graph); err != nil {
+			return count, fmt.Errorf("nms %s node %d: replay: %w", m.Name, node, err)
+		}
+		if !e.enabled {
+			if err := d.SetEnabled(e.owner, e.stage, false); err != nil {
+				return count, err
+			}
+		}
+		for i := range e.updates {
+			u := &e.updates[i]
+			comp, ok := compiled.Components[u.component]
+			if !ok {
+				continue
+			}
+			if err := applyUpdate(comp, &u.update); err != nil {
+				return count, fmt.Errorf("nms %s node %d: replay update: %w", m.Name, node, err)
+			}
+		}
+		insts := m.installed[key]
+		if insts == nil {
+			insts = make(map[int]*service.Compiled, len(e.nodes))
+			m.installed[key] = insts
+		}
+		insts[node] = compiled
+		m.reinstalls++
+		count++
+	}
+	return count, nil
 }
 
 // DeployOperator installs a service on the ISP's own authority — the
@@ -431,11 +600,21 @@ func (m *NMS) Control(cert *auth.Certificate, sreq *auth.SignedRequest) (*Contro
 				return nil, fmt.Errorf("nms %s: %w", m.Name, err)
 			}
 		}
+		if e := m.journal[key]; e != nil {
+			e.enabled = on
+		}
 	case "remove":
 		for _, n := range nodes {
 			m.devices[n].Remove(req.Owner, stage)
 		}
 		delete(m.installed, key)
+		delete(m.journal, key)
+		for i, k := range m.journalKeys {
+			if k == key {
+				m.journalKeys = append(m.journalKeys[:i], m.journalKeys[i+1:]...)
+				break
+			}
+		}
 	case "counters":
 		for _, n := range nodes {
 			p, d, ok := m.devices[n].ServiceCounters(req.Owner, stage)
@@ -469,6 +648,9 @@ func (m *NMS) Control(cert *auth.Certificate, sreq *auth.SignedRequest) (*Contro
 			if err := applyUpdate(comp, req.Update); err != nil {
 				return nil, fmt.Errorf("nms %s node %d: %w", m.Name, n, err)
 			}
+		}
+		if e := m.journal[key]; e != nil {
+			e.updates = append(e.updates, journalUpdate{component: req.Component, update: *req.Update})
 		}
 	default:
 		return nil, fmt.Errorf("nms %s: unknown op %q", m.Name, req.Op)

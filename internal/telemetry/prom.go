@@ -117,8 +117,16 @@ func (s *Store) WriteProm(w io.Writer) error {
 	for _, k := range keys {
 		snaps = append(snaps, s.devs[k].at(0))
 	}
-	s.promKeys, s.promSnaps = keys, snaps
+	sources := s.queueDrops
 	s.mu.Unlock()
+
+	// Sample drop counters outside the store mutex: the callbacks reach
+	// into transport-side state with locks of its own.
+	drops := s.promDrops[:0]
+	for _, src := range sources {
+		drops = append(drops, queueDropRead{name: src.name, value: src.fn()})
+	}
+	s.promKeys, s.promSnaps, s.promDrops = keys, snaps, drops
 
 	buf := s.promBuf[:0]
 	for _, m := range deviceMetrics {
@@ -152,6 +160,20 @@ func (s *Store) WriteProm(w io.Writer) error {
 				buf = strconv.AppendUint(buf, m.value(sc), 10)
 				buf = append(buf, '\n')
 			}
+		}
+	}
+	// Transport queue evictions: a nonzero rate here means subscribers or
+	// reporting links are shedding history under backpressure.
+	if len(drops) > 0 {
+		const dropMetric = "dtc_telemetry_queue_dropped_total"
+		buf = appendHeader(buf, dropMetric, "Elements evicted from bounded telemetry queues under backpressure.", "counter")
+		for _, d := range drops {
+			buf = append(buf, dropMetric...)
+			buf = append(buf, '{')
+			buf = appendLabel(buf, "queue", d.name)
+			buf = append(buf, "} "...)
+			buf = strconv.AppendUint(buf, d.value, 10)
+			buf = append(buf, '\n')
 		}
 	}
 	// Snapshot timestamps let dashboards spot a stalled reporting pipeline.

@@ -44,11 +44,16 @@ func (r *ring) at(i int) *Snapshot {
 // the TCSP-side half of the telemetry pipeline. It is safe for concurrent
 // use: the simulation/report path writes while HTTP scrapes read.
 type Store struct {
-	mu    sync.Mutex
-	depth int
-	devs  map[Key]*ring
-	keys  []Key // sorted; rebuilt lazily when dirty
-	dirty bool
+	mu       sync.Mutex
+	depth    int
+	devs     map[Key]*ring
+	keys     []Key // sorted; rebuilt lazily when dirty
+	dirty    bool
+	newestAt int64 // max snapshot At ever ingested; freshness signal
+
+	// Queue-drop gauges registered by transport layers (RegisterQueueDrops),
+	// sorted by name for deterministic exposition.
+	queueDrops []queueDropSource
 
 	// Scrape scratch, owned by promMu (see WriteProm): the exposition
 	// buffer plus key/snapshot copies, all reused across scrapes.
@@ -56,6 +61,37 @@ type Store struct {
 	promBuf   []byte
 	promKeys  []Key
 	promSnaps []*Snapshot
+	promDrops []queueDropRead
+}
+
+// queueDropSource is one registered eviction counter.
+type queueDropSource struct {
+	name string
+	fn   func() uint64
+}
+
+// queueDropRead is a sampled counter value; callbacks run outside the
+// store mutex (they may take transport-side locks of their own).
+type queueDropRead struct {
+	name  string
+	value uint64
+}
+
+// RegisterQueueDrops exposes a transport queue's eviction counter in the
+// store's Prometheus output as dtc_telemetry_queue_dropped_total{queue=name}.
+// fn must be safe to call concurrently; re-registering a name replaces its
+// callback. Intended for setup time, before scraping starts.
+func (s *Store) RegisterQueueDrops(name string, fn func() uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.queueDrops {
+		if s.queueDrops[i].name == name {
+			s.queueDrops[i].fn = fn
+			return
+		}
+	}
+	s.queueDrops = append(s.queueDrops, queueDropSource{name: name, fn: fn})
+	sort.Slice(s.queueDrops, func(i, j int) bool { return s.queueDrops[i].name < s.queueDrops[j].name })
 }
 
 // NewStore creates a store keeping depth snapshots per device
@@ -79,6 +115,18 @@ func (s *Store) Ingest(isp string, snap *Snapshot) {
 		s.dirty = true
 	}
 	r.push(snap)
+	if snap.At > s.newestAt {
+		s.newestAt = snap.At
+	}
+}
+
+// NewestAt returns the timestamp of the newest snapshot ever ingested, or
+// zero before the first one — consumers compare it across polls to detect
+// telemetry gaps (reporting stalled network-wide) without scanning rings.
+func (s *Store) NewestAt() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newestAt
 }
 
 // sortedKeys returns the device keys in (ISP, node) order. Caller holds mu.

@@ -285,3 +285,44 @@ func TestEscapeLabel(t *testing.T) {
 		t.Fatalf("escapeLabel = %q", got)
 	}
 }
+
+func TestWritePromQueueDrops(t *testing.T) {
+	st := NewStore(4)
+	st.Ingest("isp1", &Snapshot{Node: 1, At: 1_000_000_000})
+	q := NewQueue[int](2)
+	st.RegisterQueueDrops("watch", q.Dropped)
+	st.RegisterQueueDrops("ingest", func() uint64 { return 3 })
+	for i := 0; i < 5; i++ {
+		q.Push(i) // capacity 2: three evictions
+	}
+	var b strings.Builder
+	if err := st.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dtc_telemetry_queue_dropped_total counter",
+		`dtc_telemetry_queue_dropped_total{queue="ingest"} 3`,
+		`dtc_telemetry_queue_dropped_total{queue="watch"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is irrelevant: series sort by queue name.
+	if strings.Index(out, `queue="ingest"`) > strings.Index(out, `queue="watch"`) {
+		t.Error("queue-drop series not sorted by name")
+	}
+	// Re-registering a name replaces the callback instead of duplicating.
+	st.RegisterQueueDrops("ingest", func() uint64 { return 9 })
+	var b2 strings.Builder
+	if err := st.WriteProm(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b2.String(), `queue="ingest"`) != 1 {
+		t.Error("re-registration duplicated the series")
+	}
+	if !strings.Contains(b2.String(), `dtc_telemetry_queue_dropped_total{queue="ingest"} 9`) {
+		t.Error("re-registration did not replace the callback")
+	}
+}
