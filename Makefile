@@ -3,14 +3,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-experiment race-live race-shard chaos vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
+.PHONY: all check build test race race-experiment race-live race-shard race-hybrid chaos vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
 
 all: build vet fmtcheck test
 
 # The pre-commit gate: everything `all` runs plus the benchmark regression
-# comparison against the previous PR's recorded baseline and the chaos
-# suite (fault injection + recovery) under the race detector.
-check: all benchcmp chaos
+# comparison against the previous PR's recorded baseline, the chaos suite
+# (fault injection + recovery) and the hybrid-substrate suite, both under
+# the race detector.
+check: all benchcmp chaos race-hybrid
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,14 @@ race-shard:
 	$(GO) test -race -run 'Sharded|Partition|PeekTime|AdvanceTo' ./internal/sim ./internal/netsim ./internal/topology
 	$(GO) test -race -run 'TestWorkerInvariance/e13' ./internal/experiment
 
+# Race-check the hybrid fluid/packet substrate: boundary injectors and
+# absorbers run on shard workers while the fluid model serves concurrent
+# FateFrom walks, plus the e15 experiment that drives it end to end at
+# worker counts {1,2,8}.
+race-hybrid:
+	$(GO) test -race ./internal/hybrid
+	$(GO) test -race -run 'TestE15' ./internal/experiment
+
 # The chaos suite: the deterministic fault-injection engine plus every
 # crash/heal/resync/reconnect/leak test across the stack, all under the
 # race detector (DESIGN.md §11 lists the invariants these pin).
@@ -68,9 +77,9 @@ fuzz:
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.
-MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkShardedForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASE ?= BENCH_PR5.json
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkShardedForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition|BenchmarkE15Hybrid|BenchmarkHybridMemory
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR6.json
 
 # Three samples per benchmark; benchjson keeps the per-metric minimum,
 # which filters scheduling noise on shared machines.

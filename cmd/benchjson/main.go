@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench -benchmem` output read from
 // stdin into a deterministic JSON file mapping benchmark name to ns/op,
-// B/op and allocs/op. The Makefile's bench target uses it to record the
-// per-PR performance trajectory (BENCH_PR1.json and successors).
+// B/op, allocs/op and any b.ReportMetric custom metrics (keyed by unit,
+// lower-is-better by repo convention). The Makefile's bench target uses
+// it to record the per-PR performance trajectory (BENCH_PR1.json and
+// successors).
 // Repeated samples of one benchmark (from -count=N) fold to the
 // per-metric minimum: on a shared machine, scheduling noise only ever
 // adds time, so the fastest sample is the robust estimate.
@@ -32,22 +34,31 @@ import (
 	"strings"
 )
 
-// Result holds the benchmem metrics of one benchmark.
+// Result holds the benchmem metrics of one benchmark, plus any custom
+// metrics it reported via b.ReportMetric (keyed by unit, e.g. "ns/flow"
+// or "bytes/host"). Custom metrics follow the repo convention that lower
+// is better, so they min-fold and regression-gate like the built-ins.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 // benchLine matches e.g.
 //
 //	BenchmarkEventQueue-8   13161582   88.37 ns/op   0 B/op   0 allocs/op
 //
-// The GOMAXPROCS suffix and the memory columns are optional, and custom
-// metrics reported via b.ReportMetric (e.g. "202.1 ns/flow") may sit
-// between ns/op and the memory columns.
+// The GOMAXPROCS suffix and the memory columns are optional. Custom
+// metrics reported via b.ReportMetric (e.g. "202.1 ns/flow") sit between
+// ns/op and the memory columns; the lazy group captures them for
+// sub-parsing while still yielding B/op and allocs/op to the anchored
+// tail when those columns are present.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:(?:\s+[\d.]+ [^\s/]+/\S+)*\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op((?:\s+[\d.]+ [^\s/]+/\S+)*?)(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?\s*$`)
+
+// customMetric splits the captured custom-metric run into value/unit pairs.
+var customMetric = regexp.MustCompile(`([\d.]+) (\S+)`)
 
 func parse(r io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
@@ -63,14 +74,34 @@ func parse(r io.Reader) (map[string]Result, error) {
 		}
 		res := Result{}
 		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
-		if m[3] != "" {
-			res.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
-			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		for _, cm := range customMetric.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(cm[1], 64)
+			if err != nil {
+				continue
+			}
+			if res.Custom == nil {
+				res.Custom = make(map[string]float64)
+			}
+			res.Custom[cm[2]] = v
+		}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
 		}
 		if prev, seen := out[m[1]]; seen {
 			res.NsPerOp = math.Min(res.NsPerOp, prev.NsPerOp)
 			res.BytesPerOp = math.Min(res.BytesPerOp, prev.BytesPerOp)
 			res.AllocsPerOp = math.Min(res.AllocsPerOp, prev.AllocsPerOp)
+			for unit, v := range prev.Custom {
+				if cur, ok := res.Custom[unit]; ok {
+					res.Custom[unit] = math.Min(cur, v)
+				} else {
+					if res.Custom == nil {
+						res.Custom = make(map[string]float64)
+					}
+					res.Custom[unit] = v
+				}
+			}
 		}
 		out[m[1]] = res
 	}
@@ -103,7 +134,9 @@ func regressed(old, new float64) bool {
 }
 
 // compare prints an old-vs-new table to w and reports whether every shared
-// benchmark stayed within the regression limit on ns/op and allocs/op.
+// benchmark stayed within the regression limit on ns/op, allocs/op and
+// every shared custom metric (custom metrics are lower-is-better by repo
+// convention, e.g. ns/flow and bytes/host).
 func compare(w io.Writer, old, new map[string]Result) bool {
 	names := make([]string, 0, len(new))
 	for name := range new {
@@ -123,9 +156,25 @@ func compare(w io.Writer, old, new map[string]Result) bool {
 			ok = false
 			mark = "   REGRESSION"
 		}
-		fmt.Fprintf(w, "%-40s %12.1f -> %-12.1f ns/op (%s)   %.0f -> %.0f allocs/op (%s)%s\n",
+		var custom strings.Builder
+		units := make([]string, 0, len(n.Custom))
+		for unit := range n.Custom {
+			if _, both := o.Custom[unit]; both {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := o.Custom[unit], n.Custom[unit]
+			if regressed(ov, nv) {
+				ok = false
+				mark = "   REGRESSION"
+			}
+			fmt.Fprintf(&custom, "   %.1f -> %.1f %s (%s)", ov, nv, unit, delta(ov, nv))
+		}
+		fmt.Fprintf(w, "%-40s %12.1f -> %-12.1f ns/op (%s)   %.0f -> %.0f allocs/op (%s)%s%s\n",
 			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
-			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp), mark)
+			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp), custom.String(), mark)
 	}
 	for name := range old {
 		if _, still := new[name]; !still {

@@ -26,8 +26,17 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := res["BenchmarkSweepE10/substrate-serial"]; r.NsPerOp != 363708 || r.BytesPerOp != 219681 || r.AllocsPerOp != 3136 {
+	if r := res["BenchmarkSweepE10/substrate-serial"]; r.NsPerOp != 363708 || r.BytesPerOp != 219681 || r.AllocsPerOp != 3136 ||
+		r.Custom["ns/flow"] != 202.1 {
 		t.Errorf("custom-metric line = %+v", r)
+	}
+	// Custom metrics without -benchmem columns still parse.
+	res, err = parse(strings.NewReader("BenchmarkHybridMemory-8  1  5000 ns/op  19.2 bytes/host  52631578.9 hosts/GB\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res["BenchmarkHybridMemory"]; r.Custom["bytes/host"] != 19.2 || r.Custom["hosts/GB"] != 52631578.9 {
+		t.Errorf("memless custom metrics = %+v", r)
 	}
 	if _, err := parse(strings.NewReader("--- FAIL: TestX\n")); err == nil {
 		t.Error("FAIL line not rejected")
@@ -37,16 +46,16 @@ PASS
 func TestParseKeepsMinAcrossRepeats(t *testing.T) {
 	// -count=N emits each benchmark N times; the per-metric minimum is the
 	// noise-robust sample on a shared machine.
-	in := `BenchmarkX-8   100   120.0 ns/op   64 B/op   2 allocs/op
-BenchmarkX-8   100   95.5 ns/op   80 B/op   1 allocs/op
-BenchmarkX-8   100   110.0 ns/op   48 B/op   3 allocs/op
+	in := `BenchmarkX-8   100   120.0 ns/op   30.5 ns/flow   64 B/op   2 allocs/op
+BenchmarkX-8   100   95.5 ns/op   28.0 ns/flow   80 B/op   1 allocs/op
+BenchmarkX-8   100   110.0 ns/op   33.0 ns/flow   48 B/op   3 allocs/op
 `
 	res, err := parse(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := res["BenchmarkX"]; r.NsPerOp != 95.5 || r.BytesPerOp != 48 || r.AllocsPerOp != 1 {
-		t.Errorf("min-fold = %+v, want {95.5 48 1}", r)
+	if r := res["BenchmarkX"]; r.NsPerOp != 95.5 || r.BytesPerOp != 48 || r.AllocsPerOp != 1 || r.Custom["ns/flow"] != 28.0 {
+		t.Errorf("min-fold = %+v, want {95.5 48 1 ns/flow:28}", r)
 	}
 }
 
@@ -102,5 +111,30 @@ func TestCompare(t *testing.T) {
 	b.Reset()
 	if compare(&b, old, map[string]Result{"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 1}}) {
 		t.Error("lost zero-alloc guarantee not flagged")
+	}
+}
+
+func TestCompareCustomMetrics(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkHybridMemory": {NsPerOp: 100, Custom: map[string]float64{"bytes/host": 19.0}},
+	}
+	var b strings.Builder
+	if !compare(&b, old, map[string]Result{
+		"BenchmarkHybridMemory": {NsPerOp: 100, Custom: map[string]float64{"bytes/host": 19.5, "extra/op": 7}},
+	}) {
+		t.Errorf("2.6%% custom growth flagged as regression:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "bytes/host") {
+		t.Errorf("custom metric missing from output:\n%s", b.String())
+	}
+
+	b.Reset()
+	if compare(&b, old, map[string]Result{
+		"BenchmarkHybridMemory": {NsPerOp: 100, Custom: map[string]float64{"bytes/host": 25.0}},
+	}) {
+		t.Error("31% bytes/host growth not flagged")
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("REGRESSION marker missing:\n%s", b.String())
 	}
 }

@@ -42,6 +42,7 @@ func run() int {
 		shards     = flag.Int("shards", 0, "shard counts for sharded-engine experiments (e13): 0 = default ladder {1,2,4,8}, N>1 compares {1,N}, 1 = single-shard reference")
 		faultseed  = flag.Uint64("faultseed", 7, "seed for fault schedules in fault-injection experiments (e14); independent of -seed")
 		faultrate  = flag.Float64("faultrate", 0, "override e14's fault-rate ladder with {0, rate} expected faults per class per simulated second; 0 = default ladder")
+		hybrid     = flag.Bool("hybrid", true, "run hybrid-substrate experiments (e15) with fluid background + packet cone; -hybrid=false forces the all-packet reference (quick sizes only)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -54,7 +55,7 @@ func run() int {
 		}
 		return 0
 	}
-	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Timeout: *timeout, Shards: *shards, FaultSeed: *faultseed, FaultRate: *faultrate}
+	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Timeout: *timeout, Shards: *shards, FaultSeed: *faultseed, FaultRate: *faultrate, PacketOnly: !*hybrid}
 	var ids []string
 	switch {
 	case *all:

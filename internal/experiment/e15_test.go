@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"dtc/internal/sweep"
+)
+
+// TestE15WorkerInvariance pins e15's determinism at worker counts
+// {1, 2, 8} on the quick scenario: the hybrid world's boundary schedules
+// are keyed by (seed, boundary), never by worker or scheduling order, so
+// the table is byte-identical.
+func TestE15WorkerInvariance(t *testing.T) {
+	for _, packetOnly := range []bool{false, true} {
+		opts := Options{Quick: true, Seed: 42, PacketOnly: packetOnly}
+		var base string
+		for _, workers := range []int{1, 2, 8} {
+			sweep.ResetCache()
+			opts.Workers = workers
+			tbl, err := Run("e15", opts)
+			if err != nil {
+				t.Fatalf("packetOnly=%v workers=%d: %v", packetOnly, workers, err)
+			}
+			rows := maskedRows(tbl, nil)
+			if workers == 1 {
+				base = rows
+				continue
+			}
+			if rows != base {
+				t.Errorf("packetOnly=%v: table differs between workers=1 and workers=%d:\n--- workers=1\n%s--- workers=%d\n%s",
+					packetOnly, workers, base, workers, rows)
+			}
+		}
+	}
+}
+
+// TestE15HybridMatchesReference is the substrate's acceptance check at
+// experiment level: the hybrid run and the all-packet reference run of
+// the same quick scenario agree, row by row, on goodput, reflected flood
+// at the victim, overload and reply delivery. (The cut_attack_% column is
+// intentionally different in kind: the hybrid world removes filtered
+// agents analytically before emission, the reference drops their packets
+// in flight — the agreement of the downstream columns is precisely the
+// claim under test.)
+func TestE15HybridMatchesReference(t *testing.T) {
+	sweep.ResetCache()
+	hyb, err := Run("e15", Options{Quick: true, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run("e15", Options{Quick: true, Seed: 42, Workers: 1, PacketOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, r := hyb.Rows(), ref.Rows()
+	if len(h) != len(r) || len(h) == 0 {
+		t.Fatalf("row counts differ: hybrid %d, reference %d", len(h), len(r))
+	}
+	cell := func(row []string, c int) float64 {
+		v, err := strconv.ParseFloat(row[c], 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", row[c], err)
+		}
+		return v
+	}
+	// Columns: 7 goodput_%, 8 reflect_pps, 9 overload_%, 10 replies_%.
+	for i := range h {
+		for _, col := range []struct {
+			idx  int
+			name string
+			abs  float64 // absolute slack on top of 25% relative
+		}{
+			{7, "legit_goodput_%", 3},
+			{8, "reflect_at_victim_pps", 150},
+			{9, "victim_overload_%", 3},
+			{10, "replies_%", 3},
+		} {
+			a, b := cell(h[i], col.idx), cell(r[i], col.idx)
+			tol := 0.25 * b
+			if tol < col.abs {
+				tol = col.abs
+			}
+			if a < b-tol || a > b+tol {
+				t.Errorf("row %d %s: hybrid %v vs reference %v (tolerance %v)", i, col.name, a, b, tol)
+			}
+		}
+	}
+}

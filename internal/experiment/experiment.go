@@ -43,6 +43,11 @@ type Options struct {
 	// with {0, FaultRate} (expected faults per fault class per simulated
 	// second). <= 0 keeps the default ladder.
 	FaultRate float64
+	// PacketOnly forces hybrid-substrate experiments (e15) onto the
+	// all-packet reference path: the cone swallows the whole graph and
+	// every modeled client becomes a real simulated host. Only feasible
+	// at Quick sizes; the zero value (hybrid on) is the normal mode.
+	PacketOnly bool
 }
 
 // Runner executes one experiment and renders its table.

@@ -42,7 +42,7 @@ func maskedRows(tbl *metrics.Table, volatile []int) string {
 // ported experiment produces a byte-identical table at workers=1 and
 // workers=8 (modulo masked wall-clock columns).
 func TestWorkerInvariance(t *testing.T) {
-	for _, id := range []string{"e1", "e4", "e5", "e10", "e12", "e13", "e14", "a2", "a3"} {
+	for _, id := range []string{"e1", "e4", "e5", "e10", "e12", "e13", "e14", "e15", "a2", "a3"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			sweep.ResetCache()

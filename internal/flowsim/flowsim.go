@@ -169,6 +169,41 @@ func (m *Model) Route(f *Flow) (Result, error) {
 	return Result{Delivered: true, DropHop: -1, ByteHops: byteRate * float64(len(path)-1)}, nil
 }
 
+// FateFrom walks flow f along tr starting mid-path: the flow is at node
+// `at` having arrived from neighbor `prev` (pass prev == at for a locally
+// originated flow, which makes FateFrom(tr, f, f.From, f.From) agree with
+// Route hop for hop, without materializing the path). DropHop and
+// ByteHops are counted from `at`, not from f.From.
+//
+// Unlike Evaluate/EvalBatch, FateFrom touches no Model scratch: when the
+// Model reads a concurrency-safe Routes (routing.Shared) and the
+// deployment is frozen, concurrent FateFrom calls are safe. The hybrid
+// substrate leans on this to evaluate fluid prefixes and continuations
+// from inside sharded packet workers.
+func (m *Model) FateFrom(tr *routing.Tree, f *Flow, at, prev int) Result {
+	n := len(tr.Next)
+	if at < 0 || at >= n || (at != tr.Dst && tr.Next[at] == routing.NoRoute) {
+		return Result{Delivered: false, DropHop: 0}
+	}
+	if m.filterDrops(f, at, prev) {
+		return Result{Delivered: false, DropHop: 0}
+	}
+	byteRate := f.Rate * float64(f.Size)
+	hop := 0
+	for at != tr.Dst {
+		next := tr.Next[at]
+		if next == routing.NoRoute || hop >= n-1 {
+			return Result{Delivered: false, DropHop: hop, ByteHops: byteRate * float64(hop)}
+		}
+		prev, at = at, next
+		hop++
+		if m.filterDrops(f, at, prev) {
+			return Result{Delivered: false, DropHop: hop, ByteHops: byteRate * float64(hop)}
+		}
+	}
+	return Result{Delivered: true, DropHop: -1, ByteHops: byteRate * float64(hop)}
+}
+
 // Sweep evaluates many flows and aggregates delivery and waste.
 type Sweep struct {
 	Flows          int

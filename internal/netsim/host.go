@@ -86,6 +86,12 @@ type Server struct {
 	// web-server behaviour (sending replies) is implemented here.
 	OnServe func(now sim.Time, pkt *packet.Packet)
 
+	// OnOverload is called for each request dropped at a full queue,
+	// after overload accounting. The packet is dead at that point, so
+	// pooled-traffic scenarios recycle it here (PutPacket); leave nil to
+	// let dropped requests fall to the garbage collector.
+	OnOverload func(now sim.Time, pkt *packet.Packet)
+
 	busyUntil sim.Time
 	queued    int
 
@@ -112,6 +118,9 @@ func (s *Server) recv(now sim.Time, pkt *packet.Packet) {
 			s.Overloaded[pkt.Kind]++
 		}
 		s.Host.net.Stats.addOverload(pkt)
+		if s.OnOverload != nil {
+			s.OnOverload(now, pkt)
+		}
 		return
 	}
 	s.queued++

@@ -119,7 +119,7 @@ func (l *link) send(now sim.Time, pkt *packet.Packet) {
 			// the outbox; the coordinator's barrier hands it over before
 			// any shard's clock can reach its deadline (conservative
 			// lookahead <= this link's Delay guarantees that).
-			l.net.outbox[d] = append(l.net.outbox[d], crossMsg{
+			l.net.pushCross(d, crossMsg{
 				at: done + l.cfg.Delay, from: int32(l.from), to: int32(l.to), pkt: pkt,
 			})
 			return

@@ -128,13 +128,15 @@ type Network struct {
 	pktPool []*packet.Packet
 
 	// Sharded execution state (zero/nil on a plain network). assign maps
-	// node -> shard, shardID names this network's shard, peers holds every
-	// shard's network, outbox[d] buffers packets bound for shard d until
-	// the coordinator's next barrier, and crossPool recycles the arrival
-	// events that carry them in (see sharded.go).
+	// node -> shard, shardID names this network's shard, outbox[d] chains
+	// fixed-size blocks of packets bound for shard d until the
+	// coordinator's next barrier, blockPool is the fungible block free
+	// list those chains recycle through, and crossPool recycles the
+	// arrival events that carry them in (see sharded.go).
 	shardID   int
 	assign    []int
-	outbox    [][]crossMsg
+	outbox    []crossBox
+	blockPool *crossBlock
 	crossPool []*crossArrivalEvent
 
 	// idStride is the packet-ID allocation stride: 1 on a plain network;
@@ -388,6 +390,30 @@ func (n *Network) InjectBatch(now sim.Time, pkts []*packet.Packet, node, from in
 		r.forward(now, pkt)
 	}
 	n.batchPkts, n.batchKeep = cur[:0], keep[:0]
+}
+
+// InjectExternal introduces traffic that originates outside this
+// network's packet-level scope — the hybrid substrate's fluid->packet
+// boundary converters use it to materialize flows at the edge of the
+// packet cone. Each packet is stamped exactly as Host.Send stamps it
+// (TTL/Size defaults, a fresh globally unique ID, sent statistics) except
+// for Origin, which the caller sets to the true originating node, and
+// then the burst enters node's router as if arriving from neighbor `from`
+// (Local for traffic materialized at its actual origin). On a sharded
+// network, call this on the shard owning node.
+func (n *Network) InjectExternal(now sim.Time, pkts []*packet.Packet, node, from int) {
+	for _, pkt := range pkts {
+		if pkt.TTL == 0 {
+			pkt.TTL = packet.DefaultTTL
+		}
+		if pkt.Size == 0 {
+			pkt.Size = packet.MinHeaderBytes
+		}
+		pkt.ID = n.nextID
+		n.nextID += n.idStride
+		n.Stats.addSent(pkt)
+	}
+	n.InjectBatch(now, pkts, node, from)
 }
 
 // drop records a packet drop and notifies observers.

@@ -40,6 +40,55 @@ type crossMsg struct {
 	pkt      *packet.Packet
 }
 
+// crossBlockLen is the outbox block granularity. Blocks are fungible
+// across destination shards, so the source network's free list converges
+// to the worst-case *total* barrier volume (bounded by the in-flight
+// packet population) instead of the sum of per-(src,dst) maxima that a
+// growable slice per pair would chase — the residual-allocation source
+// BENCH_PR6 recorded at shards >= 4.
+const crossBlockLen = 512
+
+// crossBlock is one fixed-size chunk of a per-destination outbox chain.
+type crossBlock struct {
+	n    int
+	next *crossBlock
+	msgs [crossBlockLen]crossMsg
+}
+
+// crossBox is the per-destination outbox: a chain of blocks plus a
+// message count (so drain can decide serial vs parallel without walking).
+type crossBox struct {
+	head, tail *crossBlock
+	count      int
+}
+
+// pushCross buffers one cross-shard arrival bound for shard d. Called
+// from the source shard's goroutine during rounds; blocks come from this
+// network's free list, refilled single-threaded at the barrier.
+func (n *Network) pushCross(d int, m crossMsg) {
+	box := &n.outbox[d]
+	b := box.tail
+	if b == nil || b.n == crossBlockLen {
+		nb := n.blockPool
+		if nb != nil {
+			n.blockPool = nb.next
+			nb.next, nb.n = nil, 0
+		} else {
+			nb = &crossBlock{}
+		}
+		if b == nil {
+			box.head = nb
+		} else {
+			b.next = nb
+		}
+		box.tail = nb
+		b = nb
+	}
+	b.msgs[b.n] = m
+	b.n++
+	box.count++
+}
+
 // crossArrivalEvent injects a handed-over packet at its destination
 // router. Instances are recycled through the destination network's
 // crossPool: allocated at barrier time (single-threaded) and released in
@@ -87,6 +136,12 @@ type ShardedNetwork struct {
 	lookahead  sim.Time
 	routes     routing.Source
 	ownsRoutes bool // routes built here, not borrowed: topology may mutate
+
+	// Parallel-drain machinery, built once: per-destination closures and a
+	// reusable WaitGroup, so barriers spawn goroutines without fresh
+	// allocations.
+	drainFns []func()
+	drainWG  sync.WaitGroup
 }
 
 // NewSharded partitions g per assign across eng's shards. routes must be
@@ -125,10 +180,15 @@ func NewSharded(eng *sim.Sharded, g *topology.Graph, cfg LinkConfig, routes rout
 		if err != nil {
 			return nil, err
 		}
-		n.outbox = make([][]crossMsg, shards)
+		n.outbox = make([]crossBox, shards)
 		n.nextID = uint64(s)
 		n.idStride = uint64(shards)
 		sn.nets[s] = n
+	}
+	sn.drainFns = make([]func(), shards)
+	for d := 0; d < shards; d++ {
+		d := d
+		sn.drainFns[d] = func() { sn.drainTo(d); sn.drainWG.Done() }
 	}
 	sn.recomputeLookahead()
 	eng.OnBarrier(sn.drain)
@@ -168,40 +228,54 @@ func (sn *ShardedNetwork) drain() {
 	total := 0
 	for _, n := range sn.nets {
 		for d := range n.outbox {
-			total += len(n.outbox[d])
+			total += n.outbox[d].count
 		}
 	}
 	if total == 0 {
 		return
 	}
 	if len(sn.nets) > 1 && total >= parallelDrainMin && runtime.GOMAXPROCS(0) > 1 {
-		var wg sync.WaitGroup
-		for d := range sn.nets {
-			wg.Add(1)
-			go func(d int) {
-				defer wg.Done()
-				sn.drainTo(d)
-			}(d)
+		sn.drainWG.Add(len(sn.drainFns))
+		for _, fn := range sn.drainFns {
+			go fn()
 		}
-		wg.Wait()
-		return
+		sn.drainWG.Wait()
+	} else {
+		for d := range sn.nets {
+			sn.drainTo(d)
+		}
 	}
-	for d := range sn.nets {
-		sn.drainTo(d)
+	// Recycle drained block chains onto their source network's free list.
+	// Single-threaded on the coordinator goroutine: the parallel phase
+	// above only reads outbox[*][d] from destination-goroutine d, so block
+	// ownership returns to the source without any cross-goroutine pool.
+	for _, n := range sn.nets {
+		for d := range n.outbox {
+			box := &n.outbox[d]
+			if box.head == nil {
+				continue
+			}
+			box.tail.next = n.blockPool
+			n.blockPool = box.head
+			box.head, box.tail, box.count = nil, nil, 0
+		}
 	}
 }
 
-// drainTo delivers every shard's outbox for destination shard d.
+// drainTo delivers every shard's outbox for destination shard d, walking
+// each source's block chain in FIFO order. Packet pointers are cleared so
+// recycled blocks don't pin packets; the chains themselves are returned to
+// their source pools by drain's single-threaded recycle pass.
 func (sn *ShardedNetwork) drainTo(d int) {
 	dst := sn.nets[d]
 	for s := range sn.nets {
-		box := sn.nets[s].outbox[d]
-		for i := range box {
-			m := &box[i]
-			dst.Sim.At(m.at, dst.newCrossArrival(m.from, m.to, m.pkt))
-			m.pkt = nil
+		for b := sn.nets[s].outbox[d].head; b != nil; b = b.next {
+			for i := 0; i < b.n; i++ {
+				m := &b.msgs[i]
+				dst.Sim.At(m.at, dst.newCrossArrival(m.from, m.to, m.pkt))
+				m.pkt = nil
+			}
 		}
-		sn.nets[s].outbox[d] = box[:0]
 	}
 }
 

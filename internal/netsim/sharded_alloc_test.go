@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"runtime"
+	"testing"
+
+	"dtc/internal/packet"
+	"dtc/internal/sim"
+	"dtc/internal/topology"
+)
+
+// TestShardedSteadyStateZeroAlloc guards the cross-shard fast path: once
+// the block free lists, event pools and heaps have reached their
+// high-water marks, running more simulated time must not allocate — at
+// any shard count. This is the invariant BENCH_PR6 showed broken (489-737
+// B/op at shards >= 4 from per-(src,dst) outbox slice growth); the
+// chained-block outboxes restore it.
+//
+// The engine is pinned to one worker: the coordinator's worker pool is
+// per-Run scaffolding (channels + goroutines) whose cost is amortized
+// over a whole Run, not a steady-state per-event cost, and the serial
+// schedule is the one whose per-hop path must be allocation-free.
+func TestShardedSteadyStateZeroAlloc(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(map[int]string{1: "shards=1", 2: "shards=2", 4: "shards=4", 8: "shards=8"}[shards], func(t *testing.T) {
+			g, err := topology.BarabasiAlbert(300, 2, sim.NewRNG(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := LinkConfig{Bandwidth: 1e10, Delay: sim.Millisecond, QueueCap: 1 << 16}
+			eng := sim.NewSharded(11, shards)
+			eng.Workers = 1
+			assign, err := topology.PartitionGreedy(g, shards, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sn, err := NewSharded(eng, g, cfg, nil, nil, assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// A closed relay ring over the hubs: every delivery immediately
+			// re-sends, so the packet population — and with it the per-barrier
+			// cross-shard volume — is constant for as long as we run.
+			hubs := g.NodesByDegree()[:24]
+			hosts := make([]*Host, len(hubs))
+			for i, node := range hubs {
+				h, err := sn.AttachHost(node)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hosts[i] = h
+			}
+			for i, h := range hosts {
+				next := hosts[(i+1)%len(hosts)].Addr
+				h.Recv = func(now sim.Time, pkt *packet.Packet) {
+					dst := next
+					src := h.Addr
+					pkt.Src, pkt.Dst, pkt.TTL = src, dst, 64
+					h.Send(now, pkt)
+				}
+				for k := 0; k < 64; k++ {
+					h.Send(sim.Time(k)*sim.Microsecond, &packet.Packet{
+						Src: h.Addr, Dst: next, Kind: packet.KindLegit, Size: 400,
+					})
+				}
+			}
+
+			// Warm to the high-water marks, then measure an identical window.
+			warm := sim.Time(200) * sim.Millisecond
+			if _, err := sn.Run(warm); err != nil {
+				t.Fatal(err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			if _, err := sn.Run(warm + 100*sim.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			runtime.ReadMemStats(&after)
+			if n := after.Mallocs - before.Mallocs; n > 0 {
+				t.Errorf("shards=%d: %d allocations in steady state, want 0", shards, n)
+			}
+		})
+	}
+}

@@ -136,21 +136,26 @@ func (ss *Sharded) Run(until Time) (Time, error) {
 
 	// Persistent round pool: workers pull shard indices for the round in
 	// flight; the two channel hops per shard per round are the only
-	// synchronization the parallel path pays.
+	// synchronization the parallel path pays. The channels are handed to
+	// the workers as arguments, not captured: a by-reference capture would
+	// move both variables to the heap at function entry, taxing even the
+	// serial path (which must stay allocation-free) with two allocations
+	// per Run call.
 	var work chan int
 	var done chan struct{}
 	if workers > 1 {
-		work = make(chan int, n)
-		done = make(chan struct{}, n)
+		wch := make(chan int, n)
+		dch := make(chan struct{}, n)
+		work, done = wch, dch
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(work chan int, done chan struct{}) {
 				for i := range work {
 					_, ss.errs[i] = ss.sims[i].Run(ss.roundEnd)
 					done <- struct{}{}
 				}
-			}()
+			}(wch, dch)
 		}
-		defer close(work)
+		defer close(wch)
 	}
 
 	for {
