@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: all check build test race race-experiment race-live race-shard race-hybrid chaos vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
+.PHONY: all check build test race race-experiment race-live race-shard race-hybrid race-deploy chaos deploy-smoke vet fmtcheck fuzz bench benchcmp benchfull experiments examples clean
 
 all: build vet fmtcheck test
 
 # The pre-commit gate: everything `all` runs plus the benchmark regression
 # comparison against the previous PR's recorded baseline, the chaos suite
-# (fault injection + recovery) and the hybrid-substrate suite, both under
-# the race detector.
-check: all benchcmp chaos race-hybrid
+# (fault injection + recovery), the hybrid-substrate suite under the race
+# detector, and the multi-process deployment smoke (real OS processes over
+# loopback TCP, torn down with an orphan check).
+check: all benchcmp chaos race-hybrid deploy-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +68,18 @@ chaos:
 		./internal/nms ./internal/defense ./internal/ctl ./internal/live \
 		./internal/netsim ./internal/experiment
 
+# Multi-process deployment smoke: one command brings up TCSP + ISP NMS +
+# attack + user-agent processes, drives the scripted control-plane
+# workload, and verifies teardown leaves no orphan processes.
+deploy-smoke:
+	$(GO) test -run 'TestDeploySmoke|TestDeployPortCollision' -count=1 ./internal/deploy
+
+# The deployment harness under the race detector (the orchestrator and the
+# in-process side of every role run in the instrumented test binary, which
+# is also re-executed as each child role).
+race-deploy:
+	$(GO) test -race -short -count=1 ./internal/deploy
+
 # Short fuzz pass over the wire-format and parser fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/packet/
@@ -77,14 +90,14 @@ fuzz:
 
 # Hot-path micro-benchmarks, recorded as the per-PR performance trajectory.
 # Bump BENCH_OUT in the PR that changes performance-relevant code.
-MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkShardedForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition|BenchmarkE15Hybrid|BenchmarkHybridMemory
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR6.json
+MICROBENCH = BenchmarkDeviceFastPath|BenchmarkDeviceTwoStage|BenchmarkDeviceProcessBatch|BenchmarkTrieLookup|BenchmarkCompiledTrieLookup|BenchmarkEventQueue|BenchmarkPacketForwarding|BenchmarkShardedForwarding|BenchmarkSweepE10|BenchmarkFlowEvalBatch|BenchmarkTelemetryWire|BenchmarkDetectorObserve|BenchmarkPromExposition|BenchmarkE15Hybrid|BenchmarkHybridMemory|BenchmarkCtlLoad
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 
 # Three samples per benchmark; benchjson keeps the per-metric minimum,
 # which filters scheduling noise on shared machines.
 bench:
-	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' -count=3 . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) test -bench='$(MICROBENCH)' -benchmem -run='^$$' -count=3 -timeout 40m . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Compare the current recording against the previous PR's baseline; fails
 # on a >20% ns/op or allocs/op regression in any shared benchmark.

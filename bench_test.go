@@ -10,11 +10,17 @@ package dtc_test
 // and regenerate the full-size tables with `go run ./cmd/ddosim -all`.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
+	"dtc/internal/ctl"
 	"dtc/internal/defense"
 	"dtc/internal/device"
 	"dtc/internal/device/modules"
@@ -612,4 +618,103 @@ func BenchmarkFlowEvalBatch(b *testing.B) {
 	}
 	b.Run("route-per-flow", func(b *testing.B) { run(b, m.Evaluate) })
 	b.Run("batched", func(b *testing.B) { run(b, m.EvalBatch) })
+}
+
+// BenchmarkCtlLoad measures control-plane throughput over real loopback
+// TCP under many concurrent callers — the PR-9 single-request reference
+// path against the batched, multiplexed path (pipelined server, pooled
+// MuxClient connections with write coalescing). Reports aggregate ops/s
+// (higher-is-better, gated by benchjson) and the p99 call latency.
+func BenchmarkCtlLoad(b *testing.B) {
+	const workers = 64
+	pong := any(json.RawMessage(`"pong"`))
+	handler := func(method string, payload json.RawMessage) (any, error) {
+		return pong, nil
+	}
+	ping := any(json.RawMessage(`"ping"`))
+
+	run := func(b *testing.B, call func(w int) error) {
+		lat := make([][]time.Duration, workers)
+		share := make([]int, workers)
+		for w := 0; w < workers; w++ {
+			share[w] = b.N / workers
+			if w < b.N%workers {
+				share[w]++
+			}
+			lat[w] = make([]time.Duration, 0, share[w])
+		}
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < share[w]; i++ {
+					t0 := time.Now()
+					if err := call(w); err != nil {
+						b.Error(err)
+						return
+					}
+					lat[w] = append(lat[w], time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		if b.Failed() {
+			return
+		}
+		all := make([]time.Duration, 0, b.N)
+		for w := 0; w < workers; w++ {
+			all = append(all, lat[w]...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		b.ReportMetric(float64(len(all))/elapsed.Seconds(), "ops/s")
+		if len(all) > 0 {
+			idx := len(all) * 99 / 100
+			if idx >= len(all) {
+				idx = len(all) - 1
+			}
+			b.ReportMetric(float64(all[idx]), "p99ns/op")
+		}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		// Reference path: sequential server, one connection per caller,
+		// one request in flight per connection.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := ctl.NewServer(ln, handler)
+		defer srv.Close()
+		clients := make([]*ctl.Client, workers)
+		for w := range clients {
+			if clients[w], err = ctl.Dial(ln.Addr().String()); err != nil {
+				b.Fatal(err)
+			}
+			defer clients[w].Close()
+		}
+		run(b, func(w int) error { return clients[w].Call("ping", ping, nil) })
+	})
+
+	b.Run("mux", func(b *testing.B) {
+		// Batched path: pipelined server, callers multiplexed over a small
+		// connection pool with coalesced writes.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := ctl.NewServer(ln, handler)
+		srv.SetPipelining(32)
+		defer srv.Close()
+		pool, err := ctl.DialMuxPool(ln.Addr().String(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		run(b, func(int) error { return pool.Call("ping", ping, nil) })
+	})
 }

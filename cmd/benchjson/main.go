@@ -36,8 +36,11 @@ import (
 
 // Result holds the benchmem metrics of one benchmark, plus any custom
 // metrics it reported via b.ReportMetric (keyed by unit, e.g. "ns/flow"
-// or "bytes/host"). Custom metrics follow the repo convention that lower
-// is better, so they min-fold and regression-gate like the built-ins.
+// or "bytes/host"). Custom metrics are lower-is-better by repo convention
+// — they min-fold and regression-gate like the built-ins — except
+// throughput units ending in "/s" (e.g. "ops/s"), which are
+// higher-is-better: repeats fold to the maximum and the regression gate
+// inverts, failing when throughput drops by more than the limit.
 type Result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op"`
@@ -94,7 +97,11 @@ func parse(r io.Reader) (map[string]Result, error) {
 			res.AllocsPerOp = math.Min(res.AllocsPerOp, prev.AllocsPerOp)
 			for unit, v := range prev.Custom {
 				if cur, ok := res.Custom[unit]; ok {
-					res.Custom[unit] = math.Min(cur, v)
+					if higherIsBetter(unit) {
+						res.Custom[unit] = math.Max(cur, v)
+					} else {
+						res.Custom[unit] = math.Min(cur, v)
+					}
 				} else {
 					if res.Custom == nil {
 						res.Custom = make(map[string]float64)
@@ -133,10 +140,27 @@ func regressed(old, new float64) bool {
 	return (new-old)/old > regressionLimit
 }
 
+// higherIsBetter classifies a custom-metric unit: throughput units
+// ("ops/s", "reqs/s", ...) grow when things improve; everything else
+// (latency, bytes) follows the repo's lower-is-better convention.
+func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// regressedUnit applies the direction-aware regression rule for a custom
+// metric: throughput fails when it falls, everything else when it grows.
+func regressedUnit(unit string, old, new float64) bool {
+	if higherIsBetter(unit) {
+		if old == 0 {
+			return false // no baseline throughput to defend
+		}
+		return (old-new)/old > regressionLimit
+	}
+	return regressed(old, new)
+}
+
 // compare prints an old-vs-new table to w and reports whether every shared
 // benchmark stayed within the regression limit on ns/op, allocs/op and
-// every shared custom metric (custom metrics are lower-is-better by repo
-// convention, e.g. ns/flow and bytes/host).
+// every shared custom metric — direction-aware: "/s" throughput units must
+// not fall, everything else (ns/flow, bytes/host, ...) must not grow.
 func compare(w io.Writer, old, new map[string]Result) bool {
 	names := make([]string, 0, len(new))
 	for name := range new {
@@ -166,7 +190,7 @@ func compare(w io.Writer, old, new map[string]Result) bool {
 		sort.Strings(units)
 		for _, unit := range units {
 			ov, nv := o.Custom[unit], n.Custom[unit]
-			if regressed(ov, nv) {
+			if regressedUnit(unit, ov, nv) {
 				ok = false
 				mark = "   REGRESSION"
 			}

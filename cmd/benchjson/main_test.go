@@ -138,3 +138,65 @@ func TestCompareCustomMetrics(t *testing.T) {
 		t.Errorf("REGRESSION marker missing:\n%s", b.String())
 	}
 }
+
+func TestParseKeepsMaxForThroughputRepeats(t *testing.T) {
+	// "/s" units are higher-is-better: across -count=N repeats the best
+	// throughput sample wins, while lower-is-better units still min-fold.
+	in := `BenchmarkLoad-8   10   1000.0 ns/op   5200 ops/s   30.0 ns/flow
+BenchmarkLoad-8   10   1200.0 ns/op   6100 ops/s   28.0 ns/flow
+BenchmarkLoad-8   10   1100.0 ns/op   4800 ops/s   33.0 ns/flow
+`
+	res, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res["BenchmarkLoad"]
+	if r.Custom["ops/s"] != 6100 {
+		t.Errorf("ops/s folded to %v, want max 6100", r.Custom["ops/s"])
+	}
+	if r.Custom["ns/flow"] != 28.0 {
+		t.Errorf("ns/flow folded to %v, want min 28", r.Custom["ns/flow"])
+	}
+}
+
+func TestRegressedUnitDirection(t *testing.T) {
+	cases := []struct {
+		unit     string
+		old, new float64
+		want     bool
+	}{
+		{"ops/s", 1000, 850, false},  // -15% throughput: within limit
+		{"ops/s", 1000, 700, true},   // -30% throughput: regression
+		{"ops/s", 1000, 5000, false}, // improvement
+		{"ops/s", 0, 0, false},       // no baseline to defend
+		{"ns/flow", 100, 130, true},  // lower-is-better still gates growth
+		{"ns/flow", 100, 70, false},
+	}
+	for _, c := range cases {
+		if got := regressedUnit(c.unit, c.old, c.new); got != c.want {
+			t.Errorf("regressedUnit(%s, %v, %v) = %v, want %v", c.unit, c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestCompareThroughputMetric(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkCtl": {NsPerOp: 100, Custom: map[string]float64{"ops/s": 10000}},
+	}
+	var b strings.Builder
+	if !compare(&b, old, map[string]Result{
+		"BenchmarkCtl": {NsPerOp: 100, Custom: map[string]float64{"ops/s": 14000}},
+	}) {
+		t.Errorf("throughput gain flagged as regression:\n%s", b.String())
+	}
+
+	b.Reset()
+	if compare(&b, old, map[string]Result{
+		"BenchmarkCtl": {NsPerOp: 100, Custom: map[string]float64{"ops/s": 7000}},
+	}) {
+		t.Error("30% throughput drop not flagged")
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("REGRESSION marker missing:\n%s", b.String())
+	}
+}

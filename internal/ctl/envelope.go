@@ -1,0 +1,655 @@
+package ctl
+
+// Hand-rolled envelope encode/decode. The control plane frames every
+// message as one JSON envelope per line; at thousands of concurrent users
+// the encoding/json round trip (reflection on the request path, a fresh
+// byte slice per read on the response path) dominates the protocol cost.
+// The encoder appends into a caller-owned scratch buffer and the decoder
+// borrows the payload bytes straight out of the read buffer, so a simple
+// request/response exchange allocates nothing in steady state (pinned by
+// TestCallSteadyStateZeroAlloc). Correctness is pinned differentially:
+// FuzzEnvelopeDecode requires encoding/json to agree with every envelope
+// this decoder accepts, and the encoder's output must round-trip through
+// both decoders.
+
+import (
+	"fmt"
+	"unicode/utf8"
+)
+
+// appendJSONString appends s as a JSON string literal, matching
+// encoding/json's escaping (control characters, quotes, backslashes, the
+// HTML-sensitive <>&, and the JS line separators U+2028/U+2029).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				const hex = "0123456789abcdef"
+				dst = append(dst, '\\', 'u', '0', '0', hex[b>>4], hex[b&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', byte('8'+r-'\u2028'))
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	return append(append(dst, s[start:]...), '"')
+}
+
+// appendUint appends the decimal form of v.
+func appendUint(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// appendEnvelope appends env's JSON encoding (no trailing newline),
+// producing the same field order and omitempty behaviour as
+// json.Marshal(*Envelope).
+func appendEnvelope(dst []byte, env *Envelope) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = appendUint(dst, env.ID)
+	if env.Method != "" {
+		dst = append(dst, `,"method":`...)
+		dst = appendJSONString(dst, env.Method)
+	}
+	if env.Seq != 0 {
+		dst = append(dst, `,"seq":`...)
+		dst = appendUint(dst, env.Seq)
+	}
+	if len(env.Payload) != 0 { // omitempty is length-based, like the stdlib
+		dst = append(dst, `,"payload":`...)
+		dst = append(dst, env.Payload...)
+	}
+	if env.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, env.Error)
+	}
+	return append(dst, '}')
+}
+
+// errBadEnvelope is wrapped into every decode failure so callers (and the
+// robustness tests) can keep matching on "bad envelope".
+type envelopeError struct{ msg string }
+
+func (e *envelopeError) Error() string { return "ctl: bad envelope: " + e.msg }
+
+func badEnvelope(msg string) error { return &envelopeError{msg: msg} }
+
+// decodeEnvelope parses one JSON envelope from line into env. The Payload
+// field BORROWS line's bytes: it is valid only until the underlying read
+// buffer is reused, so callers either consume it before the next read
+// (the sequential client/server paths do) or copy it (the mux paths do).
+// The decoder accepts any field order, insignificant whitespace, unknown
+// fields (skipped, with full grammar validation) and duplicate fields
+// (last wins), and matches field names with the same ASCII case folding
+// as encoding/json; it is stricter than encoding/json only in ways that
+// cannot occur on this wire (e.g. a null or fractional id). The converse
+// holds exactly: every line this decoder accepts, encoding/json decodes
+// to the same Envelope — fuzzed differentially by FuzzEnvelopeDecode.
+func decodeEnvelope(line []byte, env *Envelope) error {
+	return decodeEnvelopeCached(line, env, nil)
+}
+
+// methodCache interns a connection's repeating method names: real clients
+// call the same handful of methods forever, so after warmup the method
+// string on the request decode path is free.
+type methodCache struct{ s string }
+
+func (mc *methodCache) intern(body []byte) string {
+	if mc == nil {
+		return string(body)
+	}
+	if mc.s != "" && string(body) == mc.s { // compared in place, no alloc
+		return mc.s
+	}
+	mc.s = string(body)
+	return mc.s
+}
+
+// decodeEnvelopeCached is decodeEnvelope with a per-connection method
+// name intern cache.
+func decodeEnvelopeCached(line []byte, env *Envelope, mc *methodCache) error {
+	*env = Envelope{}
+	i := skipSpace(line, 0)
+	if i >= len(line) || line[i] != '{' {
+		return badEnvelope("expected object")
+	}
+	i = skipSpace(line, i+1)
+	if i < len(line) && line[i] == '}' {
+		return checkTail(line, i+1)
+	}
+	for {
+		key, j, err := scanString(line, i)
+		if err != nil {
+			return err
+		}
+		i = skipSpace(line, j)
+		if i >= len(line) || line[i] != ':' {
+			return badEnvelope("expected ':'")
+		}
+		i = skipSpace(line, i+1)
+		start := i
+		j, err = scanValue(line, i)
+		if err != nil {
+			return err
+		}
+		val := line[start:j]
+		switch keyField(key) {
+		case "id":
+			v, err := parseUint(val)
+			if err != nil {
+				return err
+			}
+			env.ID = v
+		case "seq":
+			v, err := parseUint(val)
+			if err != nil {
+				return err
+			}
+			env.Seq = v
+		case "method":
+			s, err := unquoteMethod(val, mc)
+			if err != nil {
+				return err
+			}
+			env.Method = s
+		case "error":
+			s, err := unquote(val)
+			if err != nil {
+				return err
+			}
+			env.Error = s
+		case "payload":
+			// Keep a literal null as the 4-byte raw message, exactly as
+			// encoding/json does for json.RawMessage fields.
+			env.Payload = val
+		}
+		i = skipSpace(line, j)
+		if i >= len(line) {
+			return badEnvelope("unterminated object")
+		}
+		switch line[i] {
+		case ',':
+			i = skipSpace(line, i+1)
+		case '}':
+			return checkTail(line, i+1)
+		default:
+			return badEnvelope("expected ',' or '}'")
+		}
+	}
+}
+
+// checkTail verifies only whitespace follows the closing brace.
+func checkTail(line []byte, i int) error {
+	if skipSpace(line, i) != len(line) {
+		return badEnvelope("trailing data")
+	}
+	return nil
+}
+
+func skipSpace(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// envelopeFields are the wire names, in the order they are tried.
+var envelopeFields = [...]string{"id", "method", "seq", "payload", "error"}
+
+// asciiFoldEq reports whether b equals name under ASCII case folding
+// (non-ASCII bytes must match exactly) — encoding/json's field-name rule.
+func asciiFoldEq(b []byte, name string) bool {
+	if len(b) != len(name) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := b[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyField resolves a scanned key token (quotes included) to an envelope
+// field name, or "" for an unknown key. Escaped spellings of known keys
+// take the (allocating) unquote path; plain keys — the entire wire in
+// practice — compare in place.
+func keyField(tok []byte) string {
+	body := tok[1 : len(tok)-1]
+	esc := false
+	for _, c := range body {
+		if c == '\\' {
+			esc = true
+			break
+		}
+	}
+	if !esc {
+		for _, name := range envelopeFields {
+			if asciiFoldEq(body, name) {
+				return name
+			}
+		}
+		return ""
+	}
+	s, err := unquote(tok)
+	if err != nil {
+		return ""
+	}
+	for _, name := range envelopeFields {
+		if asciiFoldEq([]byte(s), name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// scanString scans a JSON string starting at b[i] == '"', returning the
+// raw token (quotes included) and the index past it. Escapes are
+// validated structurally (known escape letter, 4 hex digits after \u) so
+// that acceptance matches encoding/json even for strings that are only
+// ever skipped.
+func scanString(b []byte, i int) (tok []byte, end int, err error) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, badEnvelope("expected string")
+	}
+	start := i
+	i++
+	for i < len(b) {
+		switch b[i] {
+		case '\\':
+			if i+1 >= len(b) {
+				return nil, 0, badEnvelope("truncated escape")
+			}
+			switch b[i+1] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				i += 2
+			case 'u':
+				if i+6 > len(b) {
+					return nil, 0, badEnvelope("truncated \\u escape")
+				}
+				if _, err := hex4(b[i+2 : i+6]); err != nil {
+					return nil, 0, err
+				}
+				i += 6
+			default:
+				return nil, 0, badEnvelope("invalid escape")
+			}
+		case '"':
+			return b[start : i+1], i + 1, nil
+		default:
+			if b[i] < 0x20 {
+				return nil, 0, badEnvelope("control character in string")
+			}
+			i++
+		}
+	}
+	return nil, 0, badEnvelope("unterminated string")
+}
+
+// scanValue scans one complete JSON value starting at b[i], returning the
+// index past it. It validates the full grammar — even values that are
+// only skipped (unknown fields) or passed through opaquely (payloads):
+// a syntax error anywhere must poison the frame exactly as it would under
+// encoding/json, and a raw payload accepted here can never corrupt the
+// connection's framing. Iterative, so hostile nesting depth costs one
+// byte of stack per level instead of a frame.
+func scanValue(b []byte, i int) (end int, err error) {
+	var local [64]byte // composite nesting stack; deep frames spill to heap
+	stack := local[:0]
+
+value:
+	i = skipSpace(b, i)
+	if i >= len(b) {
+		return 0, badEnvelope("missing value")
+	}
+	switch c := b[i]; {
+	case c == '"':
+		_, j, err := scanString(b, i)
+		if err != nil {
+			return 0, err
+		}
+		i = j
+	case c == '{':
+		i = skipSpace(b, i+1)
+		if i < len(b) && b[i] == '}' {
+			i++
+			break
+		}
+		stack = append(stack, '{')
+		goto key
+	case c == '[':
+		i = skipSpace(b, i+1)
+		if i < len(b) && b[i] == ']' {
+			i++
+			break
+		}
+		stack = append(stack, '[')
+		goto value
+	case c == 't':
+		j, err := literal(b, i, "true")
+		if err != nil {
+			return 0, err
+		}
+		i = j
+	case c == 'f':
+		j, err := literal(b, i, "false")
+		if err != nil {
+			return 0, err
+		}
+		i = j
+	case c == 'n':
+		j, err := literal(b, i, "null")
+		if err != nil {
+			return 0, err
+		}
+		i = j
+	case c == '-' || (c >= '0' && c <= '9'):
+		j, err := scanNumber(b, i)
+		if err != nil {
+			return 0, err
+		}
+		i = j
+	default:
+		return 0, badEnvelope("unexpected character")
+	}
+
+	// A value just completed; unwind enclosing composites.
+	for len(stack) > 0 {
+		i = skipSpace(b, i)
+		if i >= len(b) {
+			return 0, badEnvelope("unterminated value")
+		}
+		switch top := stack[len(stack)-1]; b[i] {
+		case ',':
+			i++
+			if top == '{' {
+				goto key
+			}
+			goto value
+		case '}':
+			if top != '{' {
+				return 0, badEnvelope("mismatched bracket")
+			}
+			stack = stack[:len(stack)-1]
+			i++
+		case ']':
+			if top != '[' {
+				return 0, badEnvelope("mismatched bracket")
+			}
+			stack = stack[:len(stack)-1]
+			i++
+		default:
+			return 0, badEnvelope("expected ',' or close")
+		}
+	}
+	return i, nil
+
+key:
+	i = skipSpace(b, i)
+	_, j, err := scanString(b, i)
+	if err != nil {
+		return 0, err
+	}
+	i = skipSpace(b, j)
+	if i >= len(b) || b[i] != ':' {
+		return 0, badEnvelope("expected ':'")
+	}
+	i++
+	goto value
+}
+
+// scanNumber scans a number under the strict JSON grammar.
+func scanNumber(b []byte, i int) (int, error) {
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return 0, badEnvelope("malformed number")
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, badEnvelope("malformed number")
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, badEnvelope("malformed number")
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return i, nil
+}
+
+func literal(b []byte, i int, lit string) (int, error) {
+	if len(b)-i < len(lit) || string(b[i:i+len(lit)]) != lit {
+		return 0, badEnvelope("bad literal")
+	}
+	return i + len(lit), nil
+}
+
+// parseUint parses a plain decimal uint64 token.
+func parseUint(tok []byte) (uint64, error) {
+	if len(tok) == 0 {
+		return 0, badEnvelope("empty number")
+	}
+	var v uint64
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, badEnvelope("expected unsigned integer")
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, badEnvelope("integer overflow")
+		}
+		v = v*10 + d
+	}
+	if len(tok) > 1 && tok[0] == '0' {
+		return 0, badEnvelope("leading zero")
+	}
+	return v, nil
+}
+
+// unquoteMethod is unquote with interning on the escape-free fast path.
+func unquoteMethod(tok []byte, mc *methodCache) (string, error) {
+	if len(tok) >= 2 && tok[0] == '"' && tok[len(tok)-1] == '"' {
+		body := tok[1 : len(tok)-1]
+		clean := true
+		for _, c := range body {
+			if c == '\\' || c >= 0x80 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return mc.intern(body), nil
+		}
+	}
+	return unquote(tok)
+}
+
+// unquote decodes a scanned JSON string token (quotes included). The
+// common escape-free case returns string(b) directly — one allocation,
+// and only for envelopes that carry the field at all.
+func unquote(tok []byte) (string, error) {
+	if len(tok) < 2 || tok[0] != '"' || tok[len(tok)-1] != '"' {
+		return "", badEnvelope("expected string")
+	}
+	body := tok[1 : len(tok)-1]
+	esc := false
+	for _, c := range body {
+		if c == '\\' {
+			esc = true
+			break
+		}
+	}
+	if !esc && utf8.Valid(body) {
+		return string(body), nil
+	}
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); {
+		c := body[i]
+		if c != '\\' {
+			if c < utf8.RuneSelf {
+				out = append(out, c)
+				i++
+				continue
+			}
+			// Invalid UTF-8 becomes U+FFFD, as in encoding/json's unquote.
+			r, size := utf8.DecodeRune(body[i:])
+			if r == utf8.RuneError && size == 1 {
+				out = utf8.AppendRune(out, utf8.RuneError)
+				i++
+			} else {
+				out = append(out, body[i:i+size]...)
+				i += size
+			}
+			continue
+		}
+		if i+1 >= len(body) {
+			return "", badEnvelope("truncated escape")
+		}
+		switch body[i+1] {
+		case '"', '\\', '/':
+			out = append(out, body[i+1])
+			i += 2
+		case 'b':
+			out = append(out, '\b')
+			i += 2
+		case 'f':
+			out = append(out, '\f')
+			i += 2
+		case 'n':
+			out = append(out, '\n')
+			i += 2
+		case 'r':
+			out = append(out, '\r')
+			i += 2
+		case 't':
+			out = append(out, '\t')
+			i += 2
+		case 'u':
+			if i+6 > len(body) {
+				return "", badEnvelope("truncated \\u escape")
+			}
+			r, err := hex4(body[i+2 : i+6])
+			if err != nil {
+				return "", err
+			}
+			i += 6
+			if r >= 0xD800 && r < 0xDC00 { // high surrogate: need the pair
+				if i+6 <= len(body) && body[i] == '\\' && body[i+1] == 'u' {
+					r2, err := hex4(body[i+2 : i+6])
+					if err != nil {
+						return "", err
+					}
+					if r2 >= 0xDC00 && r2 < 0xE000 {
+						r = 0x10000 + (r-0xD800)<<10 + (r2 - 0xDC00)
+						i += 6
+					} else {
+						r = utf8.RuneError
+					}
+				} else {
+					r = utf8.RuneError
+				}
+			} else if r >= 0xDC00 && r < 0xE000 { // lone low surrogate
+				r = utf8.RuneError
+			}
+			out = utf8.AppendRune(out, r)
+		default:
+			return "", badEnvelope(fmt.Sprintf("unknown escape %q", body[i+1]))
+		}
+	}
+	return string(out), nil
+}
+
+func hex4(b []byte) (rune, error) {
+	var r rune
+	for _, c := range b {
+		r <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			r |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			r |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			r |= rune(c-'A') + 10
+		default:
+			return 0, badEnvelope("bad hex digit")
+		}
+	}
+	return r, nil
+}

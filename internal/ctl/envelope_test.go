@@ -1,0 +1,266 @@
+package ctl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// envelopeCases cover the encoder/decoder corner space: omitempty
+// boundaries, escaping, whitespace, field order, unknown fields.
+var envelopeCases = []Envelope{
+	{},
+	{ID: 1},
+	{ID: 7, Method: "ping"},
+	{ID: 7, Method: "echo", Payload: json.RawMessage(`"hello"`)},
+	{ID: 42, Method: "deploy", Payload: json.RawMessage(`{"a":[1,2,{"b":null}],"c":"x"}`)},
+	{ID: 9, Seq: 3, Payload: json.RawMessage(`{"tick":12}`)},
+	{ID: 9, Error: "ctl: end of stream"},
+	{ID: 1<<64 - 1, Seq: 1<<64 - 1, Method: "max"},
+	{ID: 5, Method: "quote\"back\\slash"},
+	{ID: 5, Method: "ctl<&>html"},
+	{ID: 5, Method: "tab\tnl\ncr\rnull\x00bell\x07"},
+	{ID: 5, Method: "unicode \u2028 sep \u2029 done é漢"},
+	{ID: 5, Error: "remote: bad prefix 10.0.0.0/8"},
+	{ID: 3, Payload: json.RawMessage(`null`)},
+	{ID: 3, Payload: json.RawMessage(`[]`)},
+	{ID: 3, Payload: json.RawMessage(`0`)},
+	{ID: 3, Payload: json.RawMessage(`"payload with \"escapes\" and \u00e9"`)},
+}
+
+// TestAppendEnvelopeMatchesStdlib pins the hand-rolled encoder
+// byte-for-byte against encoding/json for every case — same field order,
+// omitempty behaviour, and escaping rules.
+func TestAppendEnvelopeMatchesStdlib(t *testing.T) {
+	for i, env := range envelopeCases {
+		want, err := json.Marshal(&env)
+		if err != nil {
+			t.Fatalf("case %d: stdlib marshal: %v", i, err)
+		}
+		got := appendEnvelope(nil, &env)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestAppendJSONStringMatchesStdlib sweeps every byte value plus invalid
+// UTF-8 and the JS separator runes through both encoders.
+func TestAppendJSONStringMatchesStdlib(t *testing.T) {
+	var inputs []string
+	for b := 0; b < 256; b++ {
+		inputs = append(inputs, "a"+string(rune(b)), string([]byte{byte(b)}))
+	}
+	inputs = append(inputs, "\u2028", "\u2029", "\xff\xfe", "ok\xc3\x28bad", "漢字", "")
+	for _, in := range inputs {
+		want, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("stdlib marshal %q: %v", in, err)
+		}
+		got := appendJSONString(nil, in)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%q: got %s want %s", in, got, want)
+		}
+	}
+}
+
+// TestDecodeEnvelopeRoundTrip pins decode(encode(env)) == env.
+func TestDecodeEnvelopeRoundTrip(t *testing.T) {
+	for i, env := range envelopeCases {
+		line := appendEnvelope(nil, &env)
+		line = append(line, '\n')
+		var got Envelope
+		if err := decodeEnvelope(line, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !envelopeEqual(&got, &env) {
+			t.Errorf("case %d: got %+v want %+v", i, got, env)
+		}
+	}
+}
+
+// TestDecodeEnvelopeTolerance feeds hand-written JSON the decoder must
+// accept the same way encoding/json does: reordered fields, whitespace,
+// unknown fields, escapes in keys' values.
+func TestDecodeEnvelopeTolerance(t *testing.T) {
+	lines := []string{
+		`{"method":"ping","id":3}`,
+		"  {  \"id\" : 4 , \"seq\" : 9 }  ",
+		`{"id":1,"future_field":{"x":[1,"]}"]},"method":"a"}`,
+		`{"id":1,"payload":{"nested":{"deep":[true,false,null]}}}`,
+		`{"id":1,"payload":null}`,
+		`{"id":1,"method":"\u0065\u0073\uD83D\uDE00"}`,
+		`{"id":1,"error":"line1\nline2\t\"quoted\""}`,
+		`{"id":2,"id":5}`,
+		`{}`,
+		`{"payload":-12.5e3,"id":8}`,
+		"{\"id\":6}\r",
+	}
+	for _, line := range lines {
+		var want Envelope
+		if err := json.Unmarshal([]byte(strings.TrimRight(line, "\r\n ")), &want); err != nil {
+			t.Fatalf("stdlib rejects fixture %q: %v", line, err)
+		}
+		var got Envelope
+		if err := decodeEnvelope([]byte(line+"\n"), &got); err != nil {
+			t.Errorf("decode %q: %v", line, err)
+			continue
+		}
+		if !envelopeEqual(&got, &want) {
+			t.Errorf("%q: got %+v want %+v", line, got, want)
+		}
+	}
+}
+
+// TestDecodeEnvelopeRejects pins inputs that must fail: framing-relevant
+// breakage, not stylistic strictness.
+func TestDecodeEnvelopeRejects(t *testing.T) {
+	lines := []string{
+		``,
+		`not json`,
+		`[1,2,3]`,
+		`"a string"`,
+		`{"id":1} trailing`,
+		`{"id":}`,
+		`{"id":1,}`,
+		`{"id":"7"}`,
+		`{"id":-1}`,
+		`{"id":1.5}`,
+		`{"id":01}`,
+		`{"id":99999999999999999999999}`,
+		`{"method":7}`,
+		`{"id":1,"method":"unterminated`,
+		`{"id":1,"payload":{"open":1}`,
+		`{"id":1 "method":"x"}`,
+	}
+	for _, line := range lines {
+		var got Envelope
+		if err := decodeEnvelope([]byte(line+"\n"), &got); err == nil {
+			t.Errorf("decode %q: accepted, want error", line)
+		}
+	}
+}
+
+func envelopeEqual(a, b *Envelope) bool {
+	payloadEq := (a.Payload == nil) == (b.Payload == nil) &&
+		bytes.Equal(a.Payload, b.Payload)
+	return a.ID == b.ID && a.Method == b.Method && a.Seq == b.Seq &&
+		a.Error == b.Error && payloadEq
+}
+
+// FuzzEnvelopeDecode is the differential property: any line this decoder
+// accepts must decode identically under encoding/json, and re-encoding
+// the result must survive both decoders again.
+func FuzzEnvelopeDecode(f *testing.F) {
+	for _, env := range envelopeCases {
+		f.Add(appendEnvelope(nil, &env))
+	}
+	f.Add([]byte(`{"id":3,"junk":[{"a":"]"}],"seq":2}`))
+	f.Add([]byte(`{"id":1,"payload":12e-4}`))
+	f.Add([]byte("not json at all"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if bytes.IndexByte(line, '\n') >= 0 {
+			return // framing strips newlines before decode
+		}
+		var mine Envelope
+		if err := decodeEnvelope(append(line, '\n'), &mine); err != nil {
+			return // rejection is always allowed; acceptance must agree
+		}
+		var std Envelope
+		if err := json.Unmarshal(line, &std); err != nil {
+			t.Fatalf("accepted %q but stdlib rejects: %v", line, err)
+		}
+		if !envelopeEqual(&mine, &std) {
+			t.Fatalf("decode mismatch for %q:\n mine %+v\n std  %+v", line, mine, std)
+		}
+		if mine.Payload != nil && !utf8.Valid(mine.Payload) {
+			return // stdlib re-marshal mangles invalid UTF-8 payloads
+		}
+		// Round-trip: my encoder's output must parse back identically
+		// under both decoders (semantic, not byte, equality — the input
+		// may carry whitespace the encoder normalizes away).
+		re := appendEnvelope(nil, &mine)
+		var mine2, std2 Envelope
+		if err := decodeEnvelope(append(re, '\n'), &mine2); err != nil {
+			t.Fatalf("re-decode of own encoding %q: %v", re, err)
+		}
+		if err := json.Unmarshal(re, &std2); err != nil {
+			t.Fatalf("stdlib rejects own encoding %q: %v", re, err)
+		}
+		if !envelopeEqual(&mine, &mine2) || !envelopeEqual(&std2, &mine2) {
+			t.Fatalf("round trip drifted for %q -> %q", line, re)
+		}
+	})
+}
+
+// TestCallSteadyStateZeroAlloc is the repo's alloc-guard idiom applied to
+// the control plane: a warm sequential request/response exchange over
+// loopback TCP allocates nothing on either side of the connection
+// (AllocsPerRun measures the whole process, so the server's read, decode,
+// dispatch, encode and write paths must all be clean too).
+func TestCallSteadyStateZeroAlloc(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler returns a pre-boxed value: converting a fresh value to
+	// `any` per call would itself allocate.
+	pong := any(json.RawMessage(`"pong"`))
+	srv := NewServer(ln, func(method string, payload json.RawMessage) (any, error) {
+		return pong, nil
+	})
+	defer srv.Close()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Pre-boxed: converting the typed payload to `any` at each call site
+	// would allocate for the interface value itself.
+	ping := any(json.RawMessage(`"ping"`))
+	call := func() {
+		if err := cl.Call("ping", ping, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		call() // warm buffers on both sides
+	}
+	if avg := testing.AllocsPerRun(200, call); avg != 0 {
+		t.Errorf("steady-state Call allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestOversizedInboundMessage covers the read-side limit: a peer that
+// streams an over-limit line is cut off rather than buffered unboundedly.
+func TestOversizedInboundMessage(t *testing.T) {
+	_, addr := startServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	head := []byte(`{"id":1,"method":"echo","payload":"`)
+	if _, err := raw.Write(head); err != nil {
+		t.Fatal(err)
+	}
+	filler := bytes.Repeat([]byte("x"), 64<<10)
+	wrote := len(head)
+	for wrote <= MaxMessageBytes+len(filler) {
+		n, err := raw.Write(filler)
+		wrote += n
+		if err != nil {
+			return // server already cut us off — that's the point
+		}
+	}
+	fmt.Fprint(raw, "\"}\n")
+	// The server must terminate the connection, not answer.
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("server answered an oversized message")
+	}
+}

@@ -1,0 +1,356 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MuxClient multiplexes many concurrent requests (and streams) over one
+// connection. Where Client serializes — one request, one round trip — a
+// MuxClient lets any number of goroutines have calls in flight at once:
+// requests are written through the codec's coalescing flusher (concurrent
+// callers batch into shared syscalls) and a single reader goroutine routes
+// responses back by envelope ID, in whatever order the server finishes
+// them. Pair it with a server running ServeConnPipelined; against a
+// sequential server it still works, degrading to in-order completion.
+//
+// Unlike Client, calls and streams share the connection freely — a
+// telemetry subscription does not block service installs.
+type MuxClient struct {
+	c       *codec
+	mu      sync.Mutex
+	nextID  uint64
+	calls   map[uint64]*muxCall
+	streams map[uint64]*MuxStream
+	err     error // terminal transport error, set once
+	timeout time.Duration
+}
+
+type muxCall struct {
+	out  any
+	err  error
+	done chan struct{}
+}
+
+// NewMuxClient wraps an established connection.
+func NewMuxClient(conn net.Conn) *MuxClient {
+	mc := &MuxClient{
+		c:       newCodec(conn),
+		calls:   make(map[uint64]*muxCall),
+		streams: make(map[uint64]*MuxStream),
+	}
+	mc.c.startFlusher()
+	go mc.readLoop()
+	return mc
+}
+
+// DialMux connects a MuxClient to a server over TCP.
+func DialMux(addr string) (*MuxClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dial %s: %w", addr, err)
+	}
+	return NewMuxClient(conn), nil
+}
+
+// SetTimeout bounds each subsequent Call's wait for its response. Zero
+// (the default) waits indefinitely. Unlike the sequential client this is
+// not a connection deadline — other in-flight calls are unaffected; a
+// timed-out call's late response is discarded when it arrives.
+func (mc *MuxClient) SetTimeout(d time.Duration) {
+	mc.mu.Lock()
+	mc.timeout = d
+	mc.mu.Unlock()
+}
+
+// Call issues a request and decodes the response payload into out (out
+// may be nil to discard). Safe for unlimited concurrent use.
+func (mc *MuxClient) Call(method string, in, out any) error {
+	var payload json.RawMessage
+	if in != nil {
+		data, err := marshalPayload(in)
+		if err != nil {
+			return fmt.Errorf("ctl: marshal request: %w", err)
+		}
+		payload = data
+	}
+	call := &muxCall{out: out, done: make(chan struct{})}
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return mc.err
+	}
+	mc.nextID++
+	id := mc.nextID
+	mc.calls[id] = call
+	timeout := mc.timeout
+	mc.mu.Unlock()
+	if err := mc.c.write(&Envelope{ID: id, Method: method, Payload: payload}); err != nil {
+		mc.mu.Lock()
+		delete(mc.calls, id)
+		mc.mu.Unlock()
+		return err
+	}
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case <-call.done:
+		case <-timer.C:
+			mc.mu.Lock()
+			_, pending := mc.calls[id]
+			delete(mc.calls, id)
+			mc.mu.Unlock()
+			if pending {
+				return fmt.Errorf("ctl: call %s timed out after %v", method, timeout)
+			}
+			<-call.done // response raced the timer; take it
+		}
+	} else {
+		<-call.done
+	}
+	return call.err
+}
+
+// readLoop is the single reader: it routes every inbound envelope to the
+// pending call or stream owning its ID. Payload bytes are borrowed from
+// the read buffer, so calls decode and streams copy before the next read.
+func (mc *MuxClient) readLoop() {
+	var env Envelope
+	for {
+		if err := mc.c.readEnvelope(&env); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		if call, ok := mc.calls[env.ID]; ok {
+			delete(mc.calls, env.ID)
+			mc.mu.Unlock()
+			if env.Error != "" {
+				call.err = fmt.Errorf("ctl: remote error: %s", env.Error)
+			} else if call.out != nil && len(env.Payload) != 0 {
+				if err := json.Unmarshal(env.Payload, call.out); err != nil {
+					call.err = fmt.Errorf("ctl: decode response: %w", err)
+				}
+			}
+			close(call.done)
+			continue
+		}
+		st, ok := mc.streams[env.ID]
+		if ok && env.Error != "" {
+			delete(mc.streams, env.ID)
+		}
+		mc.mu.Unlock()
+		if !ok {
+			continue // late response to a timed-out call: drop
+		}
+		switch {
+		case env.Error == endOfStream:
+			st.end(io.EOF)
+		case env.Error != "":
+			st.end(fmt.Errorf("ctl: remote error: %s", env.Error))
+		default:
+			st.push(env.Seq, env.Payload)
+		}
+	}
+}
+
+// fail poisons the client: every pending call errors, every open stream
+// ends, and future calls fail fast.
+func (mc *MuxClient) fail(err error) {
+	mc.mu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	calls := mc.calls
+	streams := mc.streams
+	mc.calls = make(map[uint64]*muxCall)
+	mc.streams = make(map[uint64]*MuxStream)
+	mc.mu.Unlock()
+	for _, call := range calls {
+		call.err = err
+		close(call.done)
+	}
+	for _, st := range streams {
+		st.end(err)
+	}
+}
+
+// Subscribe issues a streaming request; pushed payloads buffer in a
+// bounded drop-oldest queue of bufCap frames (<=0 selects a default of
+// 64), so one slow stream consumer cannot stall the connection's reader
+// and with it every other call in flight.
+func (mc *MuxClient) Subscribe(method string, in any, bufCap int) (*MuxStream, error) {
+	var payload json.RawMessage
+	if in != nil {
+		data, err := marshalPayload(in)
+		if err != nil {
+			return nil, fmt.Errorf("ctl: marshal request: %w", err)
+		}
+		payload = data
+	}
+	if bufCap <= 0 {
+		bufCap = 64
+	}
+	st := &MuxStream{capacity: bufCap}
+	st.cond = sync.NewCond(&st.mu)
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return nil, mc.err
+	}
+	mc.nextID++
+	id := mc.nextID
+	st.id = id
+	mc.streams[id] = st
+	mc.mu.Unlock()
+	if err := mc.c.write(&Envelope{ID: id, Method: method, Payload: payload}); err != nil {
+		mc.mu.Lock()
+		delete(mc.streams, id)
+		mc.mu.Unlock()
+		return nil, err
+	}
+	return st, nil
+}
+
+// Close closes the connection; pending calls and streams error out.
+func (mc *MuxClient) Close() error {
+	err := mc.c.conn.Close()
+	mc.c.stopFlusher()
+	return err
+}
+
+// MuxStream is the client side of a multiplexed server-push stream.
+type MuxStream struct {
+	id       uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	frames   []muxFrame
+	capacity int
+	dropped  uint64
+	err      error // terminal: io.EOF on clean end
+	seq      uint64
+}
+
+type muxFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// push buffers one frame, evicting the oldest when full (drop-oldest, the
+// same back-pressure rule as the telemetry ingest queues).
+func (s *MuxStream) push(seq uint64, payload []byte) {
+	frame := muxFrame{seq: seq, payload: append([]byte(nil), payload...)}
+	s.mu.Lock()
+	if s.err == nil {
+		if len(s.frames) >= s.capacity {
+			s.frames = s.frames[1:]
+			s.dropped++
+		}
+		s.frames = append(s.frames, frame)
+	}
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *MuxStream) end(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Recv decodes the next pushed payload into out. io.EOF means the server
+// ended the stream cleanly; buffered frames are always delivered before
+// the terminal error.
+func (s *MuxStream) Recv(out any) error {
+	s.mu.Lock()
+	for len(s.frames) == 0 && s.err == nil {
+		s.cond.Wait()
+	}
+	if len(s.frames) == 0 {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	frame := s.frames[0]
+	s.frames = s.frames[1:]
+	s.mu.Unlock()
+	if frame.seq != 0 {
+		s.seq = frame.seq
+	}
+	if out != nil && len(frame.payload) != 0 {
+		if err := json.Unmarshal(frame.payload, out); err != nil {
+			return fmt.Errorf("ctl: decode stream payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the last payload Recv delivered.
+func (s *MuxStream) Seq() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.seq }
+
+// Dropped returns how many frames were evicted because the consumer fell
+// more than the buffer capacity behind.
+func (s *MuxStream) Dropped() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.dropped }
+
+// Pool stripes mux clients across several connections, spreading load
+// that would saturate a single reader/writer pair. Calls round-robin;
+// all connections run pipelined.
+type Pool struct {
+	clients []*MuxClient
+	next    atomic.Uint64
+}
+
+// DialMuxPool opens conns multiplexed connections to addr.
+func DialMuxPool(addr string, conns int) (*Pool, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	p := &Pool{clients: make([]*MuxClient, 0, conns)}
+	for i := 0; i < conns; i++ {
+		mc, err := DialMux(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, mc)
+	}
+	return p, nil
+}
+
+// Get returns the next connection in round-robin order.
+func (p *Pool) Get() *MuxClient {
+	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+}
+
+// Call issues the request on the next pooled connection.
+func (p *Pool) Call(method string, in, out any) error {
+	return p.Get().Call(method, in, out)
+}
+
+// Subscribe opens a stream on the next pooled connection.
+func (p *Pool) Subscribe(method string, in any, bufCap int) (*MuxStream, error) {
+	return p.Get().Subscribe(method, in, bufCap)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, mc := range p.clients {
+		if err := mc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

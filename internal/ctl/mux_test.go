@@ -1,0 +1,518 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// muxTestHandler exercises every response shape: plain echo, handler
+// error, computed result, delayed completion, streams, failing streams.
+func muxTestHandler(method string, payload json.RawMessage) (any, error) {
+	switch method {
+	case "echo":
+		return payload, nil
+	case "fail":
+		return nil, fmt.Errorf("nope: %s", payload)
+	case "double":
+		var n int
+		if err := json.Unmarshal(payload, &n); err != nil {
+			return nil, err
+		}
+		return 2 * n, nil
+	case "sleepecho":
+		var ms int
+		if err := json.Unmarshal(payload, &ms); err != nil {
+			return nil, err
+		}
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		return payload, nil
+	case "count":
+		var n int
+		if err := json.Unmarshal(payload, &n); err != nil {
+			return nil, err
+		}
+		return StreamFunc(func(push func(v any) error) error {
+			for i := 1; i <= n; i++ {
+				if err := push(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}), nil
+	case "fail-stream":
+		return StreamFunc(func(push func(v any) error) error {
+			if err := push("one"); err != nil {
+				return err
+			}
+			return fmt.Errorf("stream exploded")
+		}), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", method)
+}
+
+func startMuxServer(t *testing.T, inflight int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, muxTestHandler)
+	srv.SetPipelining(inflight)
+	t.Cleanup(func() { srv.Shutdown() })
+	return ln.Addr().String()
+}
+
+// muxCaller abstracts the two client kinds so the differential script can
+// drive both.
+type muxCaller interface {
+	Call(method string, in, out any) error
+}
+
+// runDifferentialScript executes a fixed operation sequence and returns
+// its observable outcomes as strings.
+func runDifferentialScript(t *testing.T, call muxCaller, recvStream func(method string, in any) ([]string, error)) []string {
+	t.Helper()
+	var results []string
+	add := func(format string, args ...any) {
+		results = append(results, fmt.Sprintf(format, args...))
+	}
+	var s string
+	err := call.Call("echo", "hello", &s)
+	add("echo: %q %v", s, err)
+	var n int
+	err = call.Call("double", 21, &n)
+	add("double: %d %v", n, err)
+	err = call.Call("fail", "reason", nil)
+	add("fail: %v", err)
+	err = call.Call("missing", nil, nil)
+	add("missing: %v", err)
+	items, err := recvStream("count", 3)
+	add("count: %v %v", items, err)
+	items, err = recvStream("fail-stream", nil)
+	add("fail-stream: %v %v", items, err)
+	err = call.Call("echo", "after-stream", &s)
+	add("echo2: %q %v", s, err)
+	return results
+}
+
+// TestMuxMatchesSequential is the differential pin required by the PR:
+// the pipelined/multiplexed path and the single-request reference produce
+// identical observable results for the same operation script, across all
+// four client x server combinations.
+func TestMuxMatchesSequential(t *testing.T) {
+	type combo struct {
+		name     string
+		inflight int
+		mux      bool
+	}
+	combos := []combo{
+		{"seqClient-seqServer", 1, false},
+		{"seqClient-pipeServer", 8, false},
+		{"muxClient-seqServer", 1, true},
+		{"muxClient-pipeServer", 8, true},
+	}
+	var reference []string
+	for _, cb := range combos {
+		addr := startMuxServer(t, cb.inflight)
+		var results []string
+		if cb.mux {
+			mc, err := DialMux(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv := func(method string, in any) ([]string, error) {
+				st, err := mc.Subscribe(method, in, 0)
+				if err != nil {
+					return nil, err
+				}
+				var items []string
+				for {
+					var raw json.RawMessage
+					err := st.Recv(&raw)
+					if err == io.EOF {
+						return items, nil
+					}
+					if err != nil {
+						return items, err
+					}
+					items = append(items, string(raw))
+				}
+			}
+			results = runDifferentialScript(t, mc, recv)
+			mc.Close()
+		} else {
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv := func(method string, in any) ([]string, error) {
+				st, err := cl.Subscribe(method, in)
+				if err != nil {
+					return nil, err
+				}
+				var items []string
+				for {
+					var raw json.RawMessage
+					err := st.Recv(&raw)
+					if err == io.EOF {
+						return items, nil
+					}
+					if err != nil {
+						return items, err
+					}
+					items = append(items, string(raw))
+				}
+			}
+			results = runDifferentialScript(t, cl, recv)
+			cl.Close()
+		}
+		if reference == nil {
+			reference = results
+			continue
+		}
+		if !reflect.DeepEqual(results, reference) {
+			t.Errorf("%s diverges from reference:\n got  %v\n want %v", cb.name, results, reference)
+		}
+	}
+}
+
+// TestMuxRoutesOutOfOrderResponses pins the core pipelining property:
+// the server completes requests out of order and every response still
+// lands on its own caller.
+func TestMuxRoutesOutOfOrderResponses(t *testing.T) {
+	addr := startMuxServer(t, 8)
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	delays := []int{50, 35, 20, 5} // first request finishes last
+	var wg sync.WaitGroup
+	for _, d := range delays {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			var got int
+			if err := mc.Call("sleepecho", d, &got); err != nil {
+				t.Errorf("sleepecho(%d): %v", d, err)
+				return
+			}
+			if got != d {
+				t.Errorf("sleepecho(%d) answered %d — response misrouted", d, got)
+			}
+		}(d)
+	}
+	wg.Wait()
+}
+
+// TestMuxManyConcurrentCallers hammers one connection from many
+// goroutines; every response must match its request.
+func TestMuxManyConcurrentCallers(t *testing.T) {
+	addr := startMuxServer(t, 16)
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	const goroutines, calls = 16, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := g*calls + i
+				var got int
+				if err := mc.Call("double", want, &got); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if got != 2*want {
+					t.Errorf("double(%d) = %d", want, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMuxInterleavedStreamsAndCalls runs two streams and a stream of
+// calls on one connection simultaneously — the sequential client's
+// "connection busy" restriction (pinned in stream_test.go) is exactly
+// what the mux path removes.
+func TestMuxInterleavedStreamsAndCalls(t *testing.T) {
+	addr := startMuxServer(t, 8)
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	var wg sync.WaitGroup
+	for _, n := range []int{17, 5} {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			st, err := mc.Subscribe("count", n, 0)
+			if err != nil {
+				t.Errorf("subscribe: %v", err)
+				return
+			}
+			for want := 1; ; want++ {
+				var got int
+				err := st.Recv(&got)
+				if err == io.EOF {
+					if want != n+1 {
+						t.Errorf("stream(%d) ended after %d items", n, want-1)
+					}
+					return
+				}
+				if err != nil {
+					t.Errorf("stream(%d) recv: %v", n, err)
+					return
+				}
+				if got != want {
+					t.Errorf("stream(%d) item %d = %d — stream frames misrouted", n, want, got)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var got int
+			if err := mc.Call("double", i, &got); err != nil || got != 2*i {
+				t.Errorf("call during streams: %d %v", got, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestMuxServerDeathFailsPending kills the server with calls and a stream
+// in flight: everything errors out promptly, nothing hangs, and the
+// client fails fast afterwards.
+func TestMuxServerDeathFailsPending(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, muxTestHandler)
+	srv.SetPipelining(8)
+	defer srv.Shutdown()
+	mc, err := DialMux(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	st, err := mc.Subscribe("count", 1000000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		// Slow enough that Shutdown severs the connection mid-flight.
+		go func() { errs <- mc.Call("sleepecho", 700, nil) }()
+	}
+	time.Sleep(50 * time.Millisecond) // let the calls reach the server
+	srv.Shutdown()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("pending call succeeded across server death")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pending call hung after server death")
+		}
+	}
+	// Drain the stream: it must terminate with a transport error, not EOF.
+	deadline := time.After(5 * time.Second)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			var v int
+			if err := st.Recv(&v); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if err == io.EOF {
+			t.Error("stream reported clean EOF across server death")
+		}
+	case <-deadline:
+		t.Fatal("stream hung after server death")
+	}
+	if err := mc.Call("echo", "x", nil); err == nil {
+		t.Error("call on dead client succeeded")
+	}
+}
+
+// TestMuxCallTimeout pins the per-call timeout: one slow call times out
+// without poisoning the connection for the others.
+func TestMuxCallTimeout(t *testing.T) {
+	addr := startMuxServer(t, 8)
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	mc.SetTimeout(30 * time.Millisecond)
+	if err := mc.Call("sleepecho", 500, nil); err == nil {
+		t.Error("slow call did not time out")
+	}
+	mc.SetTimeout(5 * time.Second)
+	var got int
+	if err := mc.Call("double", 4, &got); err != nil || got != 8 {
+		t.Errorf("connection unusable after timeout: %d %v", got, err)
+	}
+}
+
+// TestMuxStreamBackpressureDropsOldest pins the bounded-buffer rule: a
+// consumer that falls behind loses the oldest frames (counted), never
+// stalls the connection, and still sees the remaining frames in order.
+func TestMuxStreamBackpressureDropsOldest(t *testing.T) {
+	addr := startMuxServer(t, 8)
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	const total, buf = 500, 8
+	st, err := mc.Subscribe("count", total, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the stream floods, the connection must stay responsive.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var got int
+		if err := mc.Call("double", 7, &got); err != nil || got != 14 {
+			t.Fatalf("call during stream flood: %d %v", got, err)
+		}
+		if st.Dropped() > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Dropped() == 0 {
+		t.Fatal("no frames dropped — back-pressure untested")
+	}
+	last := 0
+	for {
+		var got int
+		err := st.Recv(&got)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= last {
+			t.Fatalf("frame order broken: %d after %d", got, last)
+		}
+		last = got
+	}
+	if last != total {
+		t.Errorf("final frame %d, want %d (drop-oldest keeps the newest)", last, total)
+	}
+}
+
+// TestPipelinedInflightBound pins the server-side back-pressure window:
+// with maxInflight=4 the server never runs more than 4 handlers at once
+// no matter how many requests the client floods in.
+func TestPipelinedInflightBound(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active, peak atomic.Int64
+	gate := make(chan struct{})
+	srv := NewServer(ln, func(method string, payload json.RawMessage) (any, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-gate
+		active.Add(-1)
+		return "ok", nil
+	})
+	srv.SetPipelining(4)
+	defer srv.Shutdown()
+	mc, err := DialMux(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	const flood = 32
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := mc.Call("x", nil, nil); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}()
+	}
+	// Wait for the window to fill, then hold: no 5th handler may start.
+	deadline := time.Now().Add(5 * time.Second)
+	for active.Load() != 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if active.Load() != 4 {
+		t.Fatalf("inflight window never filled: %d", active.Load())
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrent handlers %d, want <= 4", p)
+	}
+}
+
+// TestPoolStripesConnections verifies the pool actually opens distinct
+// connections and spreads calls across them.
+func TestPoolStripesConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, muxTestHandler)
+	srv.SetPipelining(8)
+	defer srv.Shutdown()
+	pool, err := DialMuxPool(ln.Addr().String(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i := 0; i < 9; i++ {
+		var got int
+		if err := pool.Call("double", i, &got); err != nil || got != 2*i {
+			t.Fatalf("pooled call %d: %d %v", i, got, err)
+		}
+	}
+	srv.mu.Lock()
+	conns := len(srv.conns)
+	srv.mu.Unlock()
+	if conns != 3 {
+		t.Errorf("server sees %d connections, want 3", conns)
+	}
+}

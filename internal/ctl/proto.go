@@ -4,7 +4,16 @@
 // satisfy the same interfaces as the in-process implementations. The same
 // control-plane code therefore runs in three configurations: in-process
 // (simulation experiments), over net.Pipe (protocol tests), and over TCP
-// loopback (the live demo and the F4/F5 protocol benchmarks).
+// loopback (the live demo, the multi-process deployment harness, and the
+// F4/F5 protocol benchmarks).
+//
+// Two request paths share the wire format. The sequential path (Client +
+// ServeConn) does one JSON request per round trip and is the compatibility
+// reference. The pipelined path (MuxClient + ServeConnPipelined) keeps
+// many requests in flight per connection, coalesces writes into batched
+// flushes, and multiplexes concurrent streams — the configuration the
+// deployment harness loads with thousands of concurrent users. The two
+// are pinned equivalent by differential tests (mux_test.go).
 package ctl
 
 import (
@@ -39,56 +48,166 @@ type StreamSeqer interface {
 	StreamSeq() uint64
 }
 
-// codec reads and writes envelopes on a connection.
+// codec reads and writes envelopes on a connection. The write side owns a
+// reusable encode buffer (the "pool" is per-connection: control-plane
+// connections are long-lived, so one scratch buffer per codec amortizes
+// to zero steady-state allocations); the read side borrows lines out of
+// the bufio buffer via ReadSlice, falling back to a reusable long-line
+// buffer only for messages larger than the 64 KiB read buffer.
 type codec struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	line []byte // long-line fallback, owned by the single reader
+	mc   methodCache
+
 	wmu  sync.Mutex
+	wbuf []byte // encode scratch, guarded by wmu
+
+	// Group-flush state. In async mode write() only appends to the bufio
+	// writer and signals the flusher goroutine, which flushes everything
+	// buffered since the last flush in one syscall — requests issued while
+	// a flush is in progress batch into the next one.
+	async    bool
+	dirty    bool
+	wclosed  bool
+	flushErr error
+	wcond    *sync.Cond
+	flusherD chan struct{}
 }
 
 func newCodec(conn net.Conn) *codec {
-	return &codec{
+	c := &codec{
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 64<<10),
 		w:    bufio.NewWriterSize(conn, 64<<10),
 	}
+	c.wcond = sync.NewCond(&c.wmu)
+	return c
 }
 
-// write sends one envelope (newline framed).
-func (c *codec) write(env *Envelope) error {
-	data, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("ctl: marshal: %w", err)
+// startFlusher switches the codec to coalesced (batched) writes.
+func (c *codec) startFlusher() {
+	c.wmu.Lock()
+	c.async = true
+	c.flusherD = make(chan struct{})
+	c.wmu.Unlock()
+	go c.flushLoop()
+}
+
+// stopFlusher ends async mode and waits for the flusher to exit.
+func (c *codec) stopFlusher() {
+	c.wmu.Lock()
+	c.wclosed = true
+	c.wcond.Signal()
+	done := c.flusherD
+	c.wmu.Unlock()
+	if done != nil {
+		<-done
 	}
-	if len(data) > MaxMessageBytes {
-		return fmt.Errorf("ctl: message of %d bytes exceeds limit", len(data))
-	}
+}
+
+func (c *codec) flushLoop() {
+	defer close(c.flusherD)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.w.Write(data); err != nil {
+	for {
+		for !c.dirty && !c.wclosed {
+			c.wcond.Wait()
+		}
+		if c.dirty && c.flushErr == nil {
+			c.dirty = false
+			// Flush holds wmu: writers queue into the next batch as soon
+			// as the buffer drains. On 64 KiB of queued envelopes this is
+			// one syscall instead of dozens.
+			if err := c.w.Flush(); err != nil {
+				c.flushErr = err
+			}
+			continue
+		}
+		if c.wclosed {
+			return
+		}
+	}
+}
+
+// write sends one envelope (newline framed). In async mode it buffers and
+// lets the flusher goroutine batch the syscall.
+func (c *codec) write(env *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.flushErr != nil {
+		return c.flushErr
+	}
+	c.wbuf = appendEnvelope(c.wbuf[:0], env)
+	if len(c.wbuf) > MaxMessageBytes {
+		return fmt.Errorf("ctl: message of %d bytes exceeds limit", len(c.wbuf))
+	}
+	c.wbuf = append(c.wbuf, '\n')
+	if _, err := c.w.Write(c.wbuf); err != nil {
 		return err
 	}
-	if err := c.w.WriteByte('\n'); err != nil {
-		return err
+	if c.async {
+		c.dirty = true
+		c.wcond.Signal()
+		return nil
 	}
 	return c.w.Flush()
 }
 
-// read receives one envelope.
-func (c *codec) read() (*Envelope, error) {
-	line, err := c.r.ReadBytes('\n')
+// readEnvelope receives one envelope into env. env.Payload borrows the
+// read buffer: it is valid only until the next readEnvelope call.
+func (c *codec) readEnvelope(env *Envelope) error {
+	line, err := c.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		c.line = append(c.line[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = c.r.ReadSlice('\n')
+			c.line = append(c.line, line...)
+			if len(c.line) > MaxMessageBytes {
+				return fmt.Errorf("ctl: message exceeds limit")
+			}
+		}
+		line = c.line
+	}
+	if err != nil {
+		return err
+	}
+	if len(line) > MaxMessageBytes {
+		return fmt.Errorf("ctl: message exceeds limit")
+	}
+	return decodeEnvelopeCached(line, env, &c.mc)
+}
+
+// marshalPayload encodes a request or response payload. Raw messages pass
+// through after a framing-integrity scan (a malformed raw payload must
+// fail the one request, not corrupt the connection's newline framing).
+func marshalPayload(v any) (json.RawMessage, error) {
+	if raw, ok := v.(json.RawMessage); ok {
+		if !validRaw(raw) {
+			return nil, fmt.Errorf("ctl: invalid raw payload")
+		}
+		return raw, nil
+	}
+	data, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
-	if len(line) > MaxMessageBytes {
-		return nil, fmt.Errorf("ctl: message exceeds limit")
+	return data, nil
+}
+
+// validRaw reports whether raw is exactly one well-formed JSON value.
+func validRaw(raw []byte) bool {
+	i := skipSpace(raw, 0)
+	if i >= len(raw) {
+		return false
 	}
-	var env Envelope
-	if err := json.Unmarshal(line, &env); err != nil {
-		return nil, fmt.Errorf("ctl: bad envelope: %w", err)
+	j, err := scanValue(raw, i)
+	if err != nil {
+		return false
 	}
-	return &env, nil
+	return skipSpace(raw, j) == len(raw)
 }
 
 // Handler dispatches one request method.
@@ -105,41 +224,85 @@ type StreamFunc func(push func(v any) error) error
 // Error field so it cannot collide with a stream payload.
 const endOfStream = "ctl: end of stream"
 
-// ServeConn answers requests on conn until it closes.
+// ServeConn answers requests on conn until it closes, strictly one at a
+// time — the compatibility reference the pipelined path is pinned against.
 func ServeConn(conn net.Conn, h Handler) error {
 	c := newCodec(conn)
+	var req Envelope
 	for {
-		req, err := c.read()
-		if err != nil {
+		if err := c.readEnvelope(&req); err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
-		resp := &Envelope{ID: req.ID}
-		out, herr := h(req.Method, req.Payload)
-		if herr == nil {
-			if fn, ok := out.(StreamFunc); ok {
-				if err := serveStream(c, req.ID, fn); err != nil {
-					return err
-				}
-				continue
-			}
-		}
-		if herr != nil {
-			resp.Error = herr.Error()
-		} else if out != nil {
-			data, err := json.Marshal(out)
-			if err != nil {
-				resp.Error = fmt.Sprintf("ctl: marshal response: %v", err)
-			} else {
-				resp.Payload = data
-			}
-		}
-		if err := c.write(resp); err != nil {
+		if err := serveOne(c, req.ID, req.Method, req.Payload, h); err != nil {
 			return err
 		}
 	}
+}
+
+// ServeConnPipelined answers requests on conn with up to maxInflight
+// handlers running concurrently; responses are written as each completes
+// (in any order — the envelope ID routes them) through the coalescing
+// flusher. A full inflight window stops the read loop, so back-pressure
+// propagates to the client through TCP instead of unbounded queueing.
+func ServeConnPipelined(conn net.Conn, h Handler, maxInflight int) error {
+	if maxInflight <= 1 {
+		return ServeConn(conn, h)
+	}
+	c := newCodec(conn)
+	c.startFlusher()
+	defer c.stopFlusher()
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var req Envelope
+	for {
+		if err := c.readEnvelope(&req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		// The worker outlives this loop iteration; the read buffer does not.
+		var payload json.RawMessage
+		if req.Payload != nil {
+			payload = append(payload, req.Payload...)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(id uint64, method string, payload json.RawMessage) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// A write error here means the client is gone; the read loop
+			// observes the same failure and ends the connection.
+			_ = serveOne(c, id, method, payload, h)
+		}(req.ID, req.Method, payload)
+	}
+}
+
+// serveOne runs one request through the handler and writes its response
+// (or serves its stream).
+func serveOne(c *codec, id uint64, method string, payload json.RawMessage, h Handler) error {
+	resp := Envelope{ID: id}
+	out, herr := h(method, payload)
+	if herr == nil {
+		if fn, ok := out.(StreamFunc); ok {
+			return serveStream(c, id, fn)
+		}
+	}
+	if herr != nil {
+		resp.Error = herr.Error()
+	} else if out != nil {
+		data, err := marshalPayload(out)
+		if err != nil {
+			resp.Error = fmt.Sprintf("ctl: marshal response: %v", err)
+		} else {
+			resp.Payload = data
+		}
+	}
+	return c.write(&resp)
 }
 
 // serveStream runs one StreamFunc, pushing payloads under the request ID
@@ -148,7 +311,7 @@ func serveStream(c *codec, id uint64, fn StreamFunc) error {
 	var pushErr error // first transport failure, reported to the caller
 	var seq uint64
 	push := func(v any) error {
-		data, err := json.Marshal(v)
+		data, err := marshalPayload(v)
 		if err != nil {
 			return fmt.Errorf("ctl: marshal stream payload: %w", err)
 		}
@@ -181,6 +344,9 @@ type Server struct {
 	mu      sync.Mutex
 	closed  bool
 	conns   map[net.Conn]struct{}
+	// inflight > 1 serves each connection through ServeConnPipelined with
+	// that per-connection concurrency bound; 0/1 keeps the sequential path.
+	inflight int
 }
 
 // NewServer starts serving h on ln in background goroutines.
@@ -189,6 +355,17 @@ func NewServer(ln net.Listener, h Handler) *Server {
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// SetPipelining allows up to n concurrent in-flight requests per
+// connection (with batched response writes) on connections accepted from
+// now on. n <= 1 restores the sequential reference behaviour. Sequential
+// clients are unaffected either way — they only ever have one request
+// outstanding.
+func (s *Server) SetPipelining(n int) {
+	s.mu.Lock()
+	s.inflight = n
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -205,6 +382,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		inflight := s.inflight
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -215,7 +393,11 @@ func (s *Server) acceptLoop() {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			_ = ServeConn(conn, s.handler) // connection errors end the session
+			if inflight > 1 {
+				_ = ServeConnPipelined(conn, s.handler, inflight)
+			} else {
+				_ = ServeConn(conn, s.handler) // connection errors end the session
+			}
 		}()
 	}
 }
@@ -287,7 +469,7 @@ func (cl *Client) SetTimeout(d time.Duration) {
 func (cl *Client) Call(method string, in, out any) error {
 	var payload json.RawMessage
 	if in != nil {
-		data, err := json.Marshal(in)
+		data, err := marshalPayload(in)
 		if err != nil {
 			return fmt.Errorf("ctl: marshal request: %w", err)
 		}
@@ -305,12 +487,12 @@ func (cl *Client) Call(method string, in, out any) error {
 		defer cl.c.conn.SetDeadline(time.Time{})
 	}
 	cl.nextID++
-	req := &Envelope{ID: cl.nextID, Method: method, Payload: payload}
-	if err := cl.c.write(req); err != nil {
+	req := Envelope{ID: cl.nextID, Method: method, Payload: payload}
+	if err := cl.c.write(&req); err != nil {
 		return err
 	}
-	resp, err := cl.c.read()
-	if err != nil {
+	var resp Envelope
+	if err := cl.c.readEnvelope(&resp); err != nil {
 		return err
 	}
 	if resp.ID != req.ID {
@@ -320,6 +502,8 @@ func (cl *Client) Call(method string, in, out any) error {
 		return fmt.Errorf("ctl: remote error: %s", resp.Error)
 	}
 	if out != nil && resp.Payload != nil {
+		// resp.Payload borrows the read buffer; it is consumed here,
+		// before the next read, while the connection lock is still held.
 		if err := json.Unmarshal(resp.Payload, out); err != nil {
 			return fmt.Errorf("ctl: decode response: %w", err)
 		}
@@ -346,7 +530,7 @@ func (s *Stream) Seq() uint64 { return s.seq }
 func (cl *Client) Subscribe(method string, in any) (*Stream, error) {
 	var payload json.RawMessage
 	if in != nil {
-		data, err := json.Marshal(in)
+		data, err := marshalPayload(in)
 		if err != nil {
 			return nil, fmt.Errorf("ctl: marshal request: %w", err)
 		}
@@ -358,8 +542,8 @@ func (cl *Client) Subscribe(method string, in any) (*Stream, error) {
 		return nil, fmt.Errorf("ctl: connection busy with an active stream")
 	}
 	cl.nextID++
-	req := &Envelope{ID: cl.nextID, Method: method, Payload: payload}
-	if err := cl.c.write(req); err != nil {
+	req := Envelope{ID: cl.nextID, Method: method, Payload: payload}
+	if err := cl.c.write(&req); err != nil {
 		return nil, err
 	}
 	cl.streaming = true
@@ -377,8 +561,8 @@ func (s *Stream) Recv(out any) error {
 	if err := s.cl.c.conn.SetDeadline(time.Time{}); err != nil {
 		return err
 	}
-	env, err := s.cl.c.read()
-	if err != nil {
+	var env Envelope
+	if err := s.cl.c.readEnvelope(&env); err != nil {
 		s.finish()
 		if err == io.EOF {
 			// A clean end arrives as the endOfStream sentinel below; a raw

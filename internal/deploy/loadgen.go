@@ -1,0 +1,206 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates per-operation-class latency samples from one or
+// more user agents. The user agents themselves are the control-plane load
+// generator: the harness merges every agent's recorder into one LoadResult
+// for the deployment.
+type Recorder struct {
+	mu    sync.Mutex
+	ops   map[string]*OpStats
+	start time.Time
+	end   time.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{ops: make(map[string]*OpStats)}
+}
+
+// Record adds one operation's latency (and error outcome) to class op.
+func (r *Recorder) Record(op string, d time.Duration, err error) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.start.IsZero() || now.Add(-d).Before(r.start) {
+		r.start = now.Add(-d)
+	}
+	if now.After(r.end) {
+		r.end = now
+	}
+	st := r.ops[op]
+	if st == nil {
+		st = &OpStats{}
+		r.ops[op] = st
+	}
+	st.Count++
+	if err != nil {
+		st.Errors++
+		return // failed calls don't pollute the latency distribution
+	}
+	st.SamplesUS = append(st.SamplesUS, float64(d.Microseconds()))
+}
+
+// Merge folds other's samples into r.
+func (r *Recorder) Merge(other *Recorder) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for op, st := range other.ops {
+		dst := r.ops[op]
+		if dst == nil {
+			dst = &OpStats{}
+			r.ops[op] = dst
+		}
+		dst.Count += st.Count
+		dst.Errors += st.Errors
+		dst.SamplesUS = append(dst.SamplesUS, st.SamplesUS...)
+	}
+	if !other.start.IsZero() && (r.start.IsZero() || other.start.Before(r.start)) {
+		r.start = other.start
+	}
+	if other.end.After(r.end) {
+		r.end = other.end
+	}
+}
+
+// Result snapshots the recorder into a serializable LoadResult.
+func (r *Recorder) Result() *LoadResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &LoadResult{Ops: make(map[string]*OpStats, len(r.ops))}
+	if !r.start.IsZero() {
+		out.StartUnixNano = r.start.UnixNano()
+		out.EndUnixNano = r.end.UnixNano()
+	}
+	for op, st := range r.ops {
+		cp := &OpStats{Count: st.Count, Errors: st.Errors,
+			SamplesUS: append([]float64(nil), st.SamplesUS...)}
+		out.Ops[op] = cp
+	}
+	return out
+}
+
+// OpStats is one operation class's outcome: counts plus the raw latency
+// samples (microseconds) of the successful calls — raw, not pre-binned, so
+// cross-process merging computes exact quantiles.
+type OpStats struct {
+	Count     int       `json:"count"`
+	Errors    int       `json:"errors"`
+	SamplesUS []float64 `json:"samples_us,omitempty"`
+}
+
+// LoadResult is the merged outcome of a control-plane load run.
+type LoadResult struct {
+	Agents        int                 `json:"agents"`
+	Failed        int                 `json:"failed"` // agents whose script errored
+	StartUnixNano int64               `json:"start_unix_nano,omitempty"`
+	EndUnixNano   int64               `json:"end_unix_nano,omitempty"`
+	Ops           map[string]*OpStats `json:"ops"`
+}
+
+// Merge folds other into r (cross-process aggregation).
+func (r *LoadResult) Merge(other *LoadResult) {
+	if r.Ops == nil {
+		r.Ops = make(map[string]*OpStats)
+	}
+	r.Agents += other.Agents
+	r.Failed += other.Failed
+	for op, st := range other.Ops {
+		dst := r.Ops[op]
+		if dst == nil {
+			dst = &OpStats{}
+			r.Ops[op] = dst
+		}
+		dst.Count += st.Count
+		dst.Errors += st.Errors
+		dst.SamplesUS = append(dst.SamplesUS, st.SamplesUS...)
+	}
+	if other.StartUnixNano != 0 &&
+		(r.StartUnixNano == 0 || other.StartUnixNano < r.StartUnixNano) {
+		r.StartUnixNano = other.StartUnixNano
+	}
+	if other.EndUnixNano > r.EndUnixNano {
+		r.EndUnixNano = other.EndUnixNano
+	}
+}
+
+// TotalOps counts every recorded operation across classes.
+func (r *LoadResult) TotalOps() int {
+	n := 0
+	for _, st := range r.Ops {
+		n += st.Count
+	}
+	return n
+}
+
+// Errors counts failed operations across classes.
+func (r *LoadResult) Errors() int {
+	n := 0
+	for _, st := range r.Ops {
+		n += st.Errors
+	}
+	return n
+}
+
+// Duration is the wall-clock span of the run.
+func (r *LoadResult) Duration() time.Duration {
+	if r.StartUnixNano == 0 || r.EndUnixNano <= r.StartUnixNano {
+		return 0
+	}
+	return time.Duration(r.EndUnixNano - r.StartUnixNano)
+}
+
+// OpsPerSec is aggregate control-plane throughput over the run.
+func (r *LoadResult) OpsPerSec() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.TotalOps()) / d
+}
+
+// Quantile returns the q-th (0..1) latency quantile of class op, or 0 when
+// the class has no samples.
+func (r *LoadResult) Quantile(op string, q float64) time.Duration {
+	st := r.Ops[op]
+	if st == nil || len(st.SamplesUS) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), st.SamplesUS...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return time.Duration(s[idx] * float64(time.Microsecond))
+}
+
+// String renders a per-class summary table.
+func (r *LoadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d agents (%d failed), %d ops in %v (%.0f ops/s)\n",
+		r.Agents, r.Failed, r.TotalOps(), r.Duration().Round(time.Millisecond), r.OpsPerSec())
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := r.Ops[op]
+		fmt.Fprintf(&b, "  %-10s n=%-6d err=%-4d p50=%-10v p99=%v\n",
+			op, st.Count, st.Errors, r.Quantile(op, 0.50), r.Quantile(op, 0.99))
+	}
+	return b.String()
+}
