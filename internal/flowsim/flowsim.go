@@ -195,7 +195,7 @@ func (m *Model) FateFrom(tr *routing.Tree, f *Flow, at, prev int) Result {
 		if next == routing.NoRoute || hop >= n-1 {
 			return Result{Delivered: false, DropHop: hop, ByteHops: byteRate * float64(hop)}
 		}
-		prev, at = at, next
+		prev, at = at, int(next)
 		hop++
 		if m.filterDrops(f, at, prev) {
 			return Result{Delivered: false, DropHop: hop, ByteHops: byteRate * float64(hop)}
@@ -332,7 +332,7 @@ func (m *Model) walkGroup(tr *routing.Tree, flows []Flow, idx []int32, res []Res
 		for j, fi := range alive {
 			f := &flows[fi]
 			prev := int(cur[j])
-			at := tr.Next[prev]
+			at := int(tr.Next[prev])
 			if m.filterDrops(f, at, prev) {
 				byteRate := f.Rate * float64(f.Size)
 				res[fi] = Result{Delivered: false, DropHop: hop, ByteHops: byteRate * float64(hop)}

@@ -43,11 +43,12 @@ type Injector struct {
 
 // arm seeds every member's phase from the boundary substream and
 // schedules the first emission. Members whose scaled rate is not positive
-// are left out. Called once by World.Start.
-func (in *Injector) arm(rng *sim.RNG, scale *[5]float64, start, stop sim.Time) {
+// are left out. Called once by World.Start, which carves buf (length
+// 2*len(members)) from one pool shared by all injectors.
+func (in *Injector) arm(rng *sim.RNG, scale *[5]float64, start, stop sim.Time, buf []sim.Time) {
 	in.stop = stop
-	in.next = make([]sim.Time, len(in.members))
-	in.ival = make([]sim.Time, len(in.members))
+	n := len(in.members)
+	in.next, in.ival = buf[:n:n], buf[n:]
 	in.heap = in.heap[:0]
 	for s, m := range in.members {
 		rate := float64(in.cl.rate[m]) * scale[in.cl.kind[m]]
@@ -247,7 +248,7 @@ func (w *World) applyResidual() error {
 		bits := f.Rate * float64(f.Size) * 8
 		at := f.From
 		for hop := 1; at != tr.Dst; hop++ {
-			next := tr.Next[at]
+			next := int(tr.Next[at])
 			if next == routing.NoRoute || (limit >= 0 && hop > limit) {
 				break
 			}

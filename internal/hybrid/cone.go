@@ -74,7 +74,7 @@ func ExtractCone(g *topology.Graph, routes routing.Source, victim, radius int, f
 				ok = true
 				break
 			}
-			if at = tr.Next[at]; at == routing.NoRoute {
+			if at = int(tr.Next[at]); at == routing.NoRoute {
 				break
 			}
 		}
@@ -93,7 +93,7 @@ func ExtractCone(g *topology.Graph, routes routing.Source, victim, radius int, f
 			if at == victim {
 				break
 			}
-			if at = tr.Next[at]; at == routing.NoRoute || hops > g.Len() {
+			if at = int(tr.Next[at]); at == routing.NoRoute || hops > g.Len() {
 				return nil, fmt.Errorf("hybrid: focus node %d cannot reach victim %d", f, victim)
 			}
 		}
@@ -155,7 +155,7 @@ func (c *Cone) EntryOf(tr *routing.Tree, src int) (node, from int, ok bool) {
 		if hops > len(tr.Next) {
 			return 0, 0, false
 		}
-		prev, at = at, tr.Next[at]
+		prev, at = at, int(tr.Next[at])
 	}
 	if entry == -1 {
 		return 0, 0, false

@@ -145,10 +145,43 @@ func NewWorld(cfg Config, clients *Clients) (*World, error) {
 		})
 	}
 
+	// Prebuild the destination trees the client loop is about to fault in
+	// one by one, in parallel when the routing source supports batch
+	// construction (routing.Shared): at 18k ASes this moves all Dijkstra
+	// runs up front onto every core.
+	if pb, ok := w.routes.(interface{ Prebuild([]int, int) error }); ok {
+		seen := map[int]bool{}
+		var dsts []int
+		add := func(d int) {
+			if !seen[d] {
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+		}
+		for i := 0; i < clients.Len(); i++ {
+			if d, ok := w.nodeOfAddr(clients.dst[i]); ok {
+				add(d)
+			}
+		}
+		for i := range cfg.Background {
+			add(cfg.Background[i].To)
+		}
+		if err := pb.Prebuild(dsts, 0); err != nil {
+			return nil, err
+		}
+	}
+
 	// In-cone clients become real hosts so replies terminate properly;
-	// one shared Recv per shard recycles delivered packets.
+	// one shared Recv per shard recycles delivered packets. Boundary
+	// membership is resolved in two passes so the injectors and their
+	// member lists come out of exact-size slabs instead of growing one
+	// append at a time per client: pass one attaches hosts and records
+	// each client's boundary key (cone entry node + predecessor), pass
+	// two fills the carved member slices in client order.
 	recv := map[*netsim.Network]func(sim.Time, *packet.Packet){}
-	boundaries := map[uint64]*Injector{}
+	keys := make([]uint64, clients.Len())
+	slotOf := map[uint64]int32{}
+	var counts []int32
 	for i := 0; i < clients.Len(); i++ {
 		node := clients.Node(i)
 		if cone.Contains(node) {
@@ -182,17 +215,49 @@ func NewWorld(cfg Config, clients *Clients) (*World, error) {
 			return nil, fmt.Errorf("hybrid: client %d path %d->%d never enters the cone", i, node, dstNode)
 		}
 		key := uint64(uint32(entry))<<32 | uint64(uint32(from+1))
-		inj := boundaries[key]
-		if inj == nil {
-			inj = &Injector{net: w.netOf(entry), cl: clients, node: entry, from: from}
-			boundaries[key] = inj
-			w.Injectors = append(w.Injectors, inj)
+		keys[i] = key
+		slot, seen := slotOf[key]
+		if !seen {
+			slot = int32(len(counts))
+			slotOf[key] = slot
+			counts = append(counts, 0)
 		}
+		counts[slot]++
+	}
+
+	// Carve the injectors (first-seen key order, matching the old
+	// append-per-client construction) and their member lists.
+	total := 0
+	for _, c := range counts {
+		total += int(c)
+	}
+	injSlab := make([]Injector, len(counts))
+	memberPool := make([]int32, total)
+	w.Injectors = make([]*Injector, len(counts))
+	orderedKeys := make([]uint64, len(counts))
+	for key, slot := range slotOf {
+		orderedKeys[slot] = key
+	}
+	off := 0
+	for slot, key := range orderedKeys {
+		entry := int(uint32(key >> 32))
+		from := int(uint32(key)) - 1
+		inj := &injSlab[slot]
+		*inj = Injector{net: w.netOf(entry), cl: clients, node: entry, from: from}
+		inj.members = memberPool[off : off : off+int(counts[slot])]
+		off += int(counts[slot])
+		w.Injectors[slot] = inj
+	}
+	for i := 0; i < clients.Len(); i++ {
+		inj := w.Injectors[slotOf[keys[i]]]
 		inj.members = append(inj.members, int32(i))
 	}
 
-	for _, s := range cone.Shell {
-		a := &Absorber{w: w, node: s}
+	aslab := make([]Absorber, len(cone.Shell))
+	w.Absorbers = make([]*Absorber, 0, len(cone.Shell))
+	for k, s := range cone.Shell {
+		a := &aslab[k]
+		*a = Absorber{w: w, node: s}
 		w.eng.AddHook(s, a)
 		w.Absorbers = append(w.Absorbers, a)
 	}
@@ -272,6 +337,13 @@ func (w *World) Start(start, stop sim.Time) error {
 		}
 	}
 	root := sim.NewRNG(w.Cfg.Seed ^ boundarySalt)
+	// One pool serves every injector's next/ival schedule arrays; the
+	// pre-filter member total is an upper bound on what arming needs.
+	total := 0
+	for _, inj := range w.Injectors {
+		total += len(inj.members)
+	}
+	pool := make([]sim.Time, 2*total)
 	var flow flowsim.Flow
 	for _, inj := range w.Injectors {
 		live := inj.members[:0]
@@ -300,7 +372,10 @@ func (w *World) Start(start, stop sim.Time) error {
 		}
 		inj.members = live
 		key := uint64(uint32(inj.node))<<32 | uint64(uint32(inj.from+1))
-		inj.arm(root.Substream(key), &scale, start, stop)
+		sub := root.SubstreamValue(key)
+		buf := pool[:2*len(live)]
+		pool = pool[2*len(live):]
+		inj.arm(&sub, &scale, start, stop, buf)
 	}
 	return nil
 }

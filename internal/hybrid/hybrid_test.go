@@ -39,13 +39,13 @@ func TestConeExtraction(t *testing.T) {
 	// Closure under forwarding toward the victim: an in-cone node's next
 	// hop to the victim is in the cone.
 	for _, v := range c.Nodes {
-		if v != victim && !c.Contains(tr.Next[v]) {
+		if v != victim && !c.Contains(int(tr.Next[v])) {
 			t.Errorf("cone not closed: %d in, next hop %d out", v, tr.Next[v])
 		}
 	}
 	// Focus paths are fully in.
 	for _, f := range focus {
-		for at := f; at != victim; at = tr.Next[at] {
+		for at := f; at != victim; at = int(tr.Next[at]) {
 			if !c.Contains(at) {
 				t.Errorf("focus path node %d not in cone", at)
 			}

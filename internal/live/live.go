@@ -663,6 +663,10 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP dtc_telemetry_reports_total ISP snapshot reports ingested.\n# TYPE dtc_telemetry_reports_total counter\ndtc_telemetry_reports_total %d\n", s.reports.Value())
 	fmt.Fprintf(w, "# HELP dtc_selfheal_reinstalls_total Service instances re-deployed by the self-healing loop.\n# TYPE dtc_selfheal_reinstalls_total counter\ndtc_selfheal_reinstalls_total %d\n", s.heals.Value())
 	fmt.Fprintf(w, "# HELP dtc_metrics_scrapes_total Scrapes of this endpoint.\n# TYPE dtc_metrics_scrapes_total counter\ndtc_metrics_scrapes_total %d\n", s.scrapes.Value())
+	rt := s.network.Table.Stats()
+	fmt.Fprintf(w, "# HELP dtc_routing_tree_builds_total Shortest-path trees built (routing cache misses).\n# TYPE dtc_routing_tree_builds_total counter\ndtc_routing_tree_builds_total %d\n", rt.Builds)
+	fmt.Fprintf(w, "# HELP dtc_routing_tree_repairs_total Trees incrementally repaired after link failures.\n# TYPE dtc_routing_tree_repairs_total counter\ndtc_routing_tree_repairs_total %d\n", rt.Repairs)
+	fmt.Fprintf(w, "# HELP dtc_routing_tree_hits_total Routing lookups served from cached trees.\n# TYPE dtc_routing_tree_hits_total counter\ndtc_routing_tree_hits_total %d\n", rt.Hits)
 }
 
 // serveHealthz reports liveness and basic progress indicators.

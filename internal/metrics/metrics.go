@@ -44,6 +44,36 @@ func (c *AtomicCounter) Inc() { c.n.Add(1) }
 // Value returns the current count.
 func (c *AtomicCounter) Value() uint64 { return c.n.Load() }
 
+// StripedCounter is a monotonically increasing counter for heavily
+// contended hot paths: increments land on one of several cache-line-padded
+// stripes chosen by the caller-supplied key, so concurrent writers (e.g.
+// sweep workers counting routing-cache hits) do not serialize on a single
+// cache line the way AtomicCounter's do. Value folds the stripes.
+type StripedCounter struct {
+	stripes [8]struct {
+		n atomic.Uint64
+		_ [56]byte // pad to a cache line
+	}
+}
+
+// Add increments the counter by d on the stripe selected by key (any
+// value with reasonable spread, e.g. a destination node ID).
+func (c *StripedCounter) Add(key int, d uint64) {
+	c.stripes[uint(key)%uint(len(c.stripes))].n.Add(d)
+}
+
+// Inc increments the counter by one on the stripe selected by key.
+func (c *StripedCounter) Inc(key int) { c.Add(key, 1) }
+
+// Value returns the current count (sum over stripes).
+func (c *StripedCounter) Value() uint64 {
+	var t uint64
+	for i := range c.stripes {
+		t += c.stripes[i].n.Load()
+	}
+	return t
+}
+
 // Series accumulates scalar samples and answers summary-statistics queries.
 type Series struct {
 	vals   []float64

@@ -28,10 +28,6 @@ type link struct {
 	stats     LinkStats
 }
 
-func newLink(n *Network, from, to int, cfg LinkConfig) *link {
-	return &link{net: n, from: from, to: to, cfg: cfg}
-}
-
 // dequeueEvent marks the end of a packet's serialization: the packet
 // leaves the drop-tail queue and begins propagation. Instances are
 // recycled through Network.dqPool so steady-state forwarding allocates

@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"slices"
 
 	"dtc/internal/ownership"
 	"dtc/internal/packet"
@@ -127,6 +128,12 @@ type Network struct {
 	// final delivery make steady-state forwarding fully allocation-free.
 	pktPool []*packet.Packet
 
+	// hostSlab is the current block hosts are carved from: AttachHost
+	// hands out &hostSlab[0] and reslices, so attaching thousands of
+	// hosts (the hybrid cone does) costs one allocation per block, and
+	// host pointers stay stable because blocks are never moved or reused.
+	hostSlab []Host
+
 	// Sharded execution state (zero/nil on a plain network). assign maps
 	// node -> shard, shardID names this network's shard, outbox[d] chains
 	// fixed-size blocks of packets bound for shard d until the
@@ -175,6 +182,25 @@ func newNetwork(s *sim.Simulation, g *topology.Graph, cfg LinkConfig, routes rou
 	if assign != nil && (routes == nil || owners == nil) {
 		return nil, fmt.Errorf("netsim: sharded networks need shared routes and compiled owners")
 	}
+	// Count owned routers and directed links up front so both come out of
+	// one contiguous slab each: a 7000-link network costs two allocations
+	// instead of 14000, and the per-link state the forwarding loop touches
+	// is packed instead of scattered across the heap.
+	edges := g.Edges()
+	nLinks, nRouters := 0, 0
+	for i := 0; i < g.Len(); i++ {
+		if assign == nil || assign[i] == shardID {
+			nRouters++
+		}
+	}
+	for _, e := range edges {
+		if assign == nil || assign[e.A] == shardID {
+			nLinks++
+		}
+		if assign == nil || assign[e.B] == shardID {
+			nLinks++
+		}
+	}
 	n := &Network{
 		Sim:      s,
 		Graph:    g,
@@ -182,7 +208,7 @@ func newNetwork(s *sim.Simulation, g *topology.Graph, cfg LinkConfig, routes rou
 		Stats:    NewStats(),
 		owners:   owners,
 		shared:   routes != nil || owners != nil,
-		links:    make(map[[2]int]*link),
+		links:    make(map[[2]int]*link, nLinks),
 		hosts:    make(map[packet.Addr]*Host),
 		byNode:   make(map[int][]*Host),
 		assign:   assign,
@@ -192,26 +218,53 @@ func newNetwork(s *sim.Simulation, g *topology.Graph, cfg LinkConfig, routes rou
 	if n.Table == nil {
 		n.Table = routing.NewTable(g, nil)
 	}
+	rslab := make([]router, nRouters)
+	lslab := make([]link, nLinks)
+	newLink := func(from, to int) *link {
+		l := &lslab[0]
+		lslab = lslab[1:]
+		*l = link{net: n, from: from, to: to, cfg: cfg}
+		return l
+	}
+	// Owned routers' next-hop rows come out of two shared slabs sized by
+	// total owned degree (the CSR view gives each degree for free).
+	csr := g.CSR()
+	totDeg := 0
+	for i := 0; i < g.Len(); i++ {
+		if assign == nil || assign[i] == shardID {
+			totDeg += len(csr.Row(i))
+		}
+	}
+	nbrSlab := make([]int32, 0, totDeg)
+	outSlab := make([]*link, totDeg)
 	n.routers = make([]*router, g.Len())
 	for i := range n.routers {
 		if assign != nil && assign[i] != shardID {
 			continue // foreign node: its shard owns the router
 		}
-		n.routers[i] = &router{net: n, node: i, out: make(map[int]*link)}
+		r := &rslab[0]
+		rslab = rslab[1:]
+		row := csr.Row(i)
+		base := len(nbrSlab)
+		nbrSlab = append(nbrSlab, row...)
+		nbr := nbrSlab[base : base+len(row) : base+len(row)]
+		slices.Sort(nbr)
+		*r = router{net: n, node: i, nbr: nbr, out: outSlab[base : base+len(row) : base+len(row)], lastB: -1}
+		n.routers[i] = r
 		if owners == nil {
 			n.addrMap.Insert(NodePrefix(i), i)
 		}
 	}
-	for _, e := range g.Edges() {
+	for _, e := range edges {
 		if assign == nil || assign[e.A] == shardID {
-			ab := newLink(n, e.A, e.B, cfg)
+			ab := newLink(e.A, e.B)
 			n.links[[2]int{e.A, e.B}] = ab
-			n.routers[e.A].out[e.B] = ab
+			n.routers[e.A].setLink(e.B, ab)
 		}
 		if assign == nil || assign[e.B] == shardID {
-			ba := newLink(n, e.B, e.A, cfg)
+			ba := newLink(e.B, e.A)
 			n.links[[2]int{e.B, e.A}] = ba
-			n.routers[e.B].out[e.A] = ba
+			n.routers[e.B].setLink(e.A, ba)
 		}
 	}
 	return n, nil
@@ -317,7 +370,12 @@ func (n *Network) AttachHost(node int) (*Host, error) {
 	if idx >= p.NumAddrs() {
 		return nil, fmt.Errorf("netsim: node %d address block exhausted", node)
 	}
-	h := &Host{net: n, Node: node, Addr: p.Nth(idx)}
+	if len(n.hostSlab) == 0 {
+		n.hostSlab = make([]Host, 256)
+	}
+	h := &n.hostSlab[0]
+	n.hostSlab = n.hostSlab[1:]
+	*h = Host{net: n, Node: node, Addr: p.Nth(idx)}
 	n.hosts[h.Addr] = h
 	n.byNode[node] = append(n.byNode[node], h)
 	return h, nil
@@ -425,10 +483,13 @@ func (n *Network) drop(now sim.Time, pkt *packet.Packet, reason DropReason, node
 }
 
 // FailLink removes the edge (a, b) from the topology, drops both directed
-// links, recomputes routing, and notifies routing-update observers —
-// modelling the routing updates of paper §4.2, on which topology-dependent
-// device configuration must adapt. Packets already in flight on the link
-// still arrive (signal propagation), but nothing new is transmitted.
+// links, repairs routing incrementally, and notifies routing-update
+// observers — modelling the routing updates of paper §4.2, on which
+// topology-dependent device configuration must adapt. Packets already in
+// flight on the link still arrive (signal propagation), but nothing new is
+// transmitted. Only cached trees whose shortest paths traversed (a, b)
+// are recomputed, and only their orphaned subtrees — the rest of the
+// routing state is untouched (DESIGN.md §14).
 func (n *Network) FailLink(a, b int) error {
 	if n.shared {
 		return fmt.Errorf("netsim: FailLink on a network sharing substrate state (topology is immutable)")
@@ -438,9 +499,9 @@ func (n *Network) FailLink(a, b int) error {
 	}
 	delete(n.links, [2]int{a, b})
 	delete(n.links, [2]int{b, a})
-	delete(n.routers[a].out, b)
-	delete(n.routers[b].out, a)
-	n.Table.Invalidate()
+	n.routers[a].setLink(b, nil)
+	n.routers[b].setLink(a, nil)
+	n.Table.LinkDown(a, b)
 	for _, fn := range n.routeObs {
 		fn()
 	}

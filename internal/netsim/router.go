@@ -7,11 +7,66 @@ import (
 
 // router forwards packets hop by hop. It is internal: all external
 // interaction happens through Network and Host.
+//
+// The next-hop table is two parallel arrays carved from per-network
+// slabs — sorted neighbor ids and the matching links — rather than a
+// per-router map: lookups are a short binary search over an int32 row
+// (most nodes have single-digit degree), construction costs two
+// allocations per network instead of one map per router, and FailLink
+// nils the slot in place. Links are only ever removed, never re-added,
+// so the sorted row never changes shape after construction.
 type router struct {
 	net   *Network
 	node  int
 	hooks []Hook
-	out   map[int]*link // neighbor -> outgoing link, kept in sync by FailLink
+	nbr   []int32 // sorted neighbor node ids
+	out   []*link // out[k] = live link to nbr[k], nil once failed
+	lastB int32   // last neighbor looked up (-1 = none cached)
+	lastL *link   // linkTo result for lastB
+}
+
+// linkTo returns the live outgoing link to neighbor b, or nil if no such
+// link exists (never built, or failed). Consecutive packets from one
+// router overwhelmingly share a next hop (everything downstream of a
+// flow funnels the same way), so a one-entry cache short-circuits the
+// search; setLink invalidates it.
+func (r *router) linkTo(b int) *link {
+	if int32(b) == r.lastB {
+		return r.lastL
+	}
+	lo, hi := 0, len(r.nbr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(r.nbr[mid]) < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var l *link
+	if lo < len(r.nbr) && int(r.nbr[lo]) == b {
+		l = r.out[lo]
+	}
+	r.lastB, r.lastL = int32(b), l
+	return l
+}
+
+// setLink binds (or, with nil, severs) the outgoing link to neighbor b.
+// b must be a neighbor present in the sorted row.
+func (r *router) setLink(b int, l *link) {
+	r.lastB, r.lastL = -1, nil
+	lo, hi := 0, len(r.nbr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(r.nbr[mid]) < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.nbr) && int(r.nbr[lo]) == b {
+		r.out[lo] = l
+	}
 }
 
 // receive processes a packet entering this router from neighbor `from`
@@ -61,7 +116,7 @@ func (r *router) forward(now sim.Time, pkt *packet.Packet) {
 		r.net.drop(now, pkt, DropNoRoute, r.node)
 		return
 	}
-	l := r.out[next]
+	l := r.linkTo(next)
 	if l == nil {
 		// Routing said "next hop" but no link exists: treat as no route.
 		r.net.drop(now, pkt, DropNoRoute, r.node)

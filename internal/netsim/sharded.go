@@ -342,10 +342,11 @@ func (sn *ShardedNetwork) SetLinkConfig(a, b int, cfg LinkConfig) error {
 
 // FailLink removes the duplex edge (a, b) from the topology: both
 // directed links disappear from their owning shards, the engine-owned
-// routing source is invalidated (every shard rebuilds its trees lazily on
-// next lookup), routing observers fire on all shards, and the conservative
-// lookahead window is re-derived — failing the narrowest cut link widens
-// the window, failing the last one removes the barrier entirely.
+// routing source incrementally repairs the trees whose paths crossed the
+// cut (the rest stay untouched), routing observers fire on all shards, and
+// the conservative lookahead window is re-derived — failing the narrowest
+// cut link widens the window, failing the last one removes the barrier
+// entirely.
 //
 // Only available when NewSharded built the routing source itself (routes
 // was nil): with a caller-provided substrate the topology is shared state
@@ -367,12 +368,12 @@ func (sn *ShardedNetwork) FailLink(a, b int) error {
 	delete(na.links, [2]int{a, b})
 	delete(nb.links, [2]int{b, a})
 	if r := na.routers[a]; r != nil {
-		delete(r.out, b)
+		r.setLink(b, nil)
 	}
 	if r := nb.routers[b]; r != nil {
-		delete(r.out, a)
+		r.setLink(a, nil)
 	}
-	sn.routes.Invalidate()
+	sn.routes.LinkDown(a, b)
 	for _, n := range sn.nets {
 		for _, fn := range n.routeObs {
 			fn()

@@ -66,20 +66,31 @@ func TestShardedSteadyStateZeroAlloc(t *testing.T) {
 				}
 			}
 
-			// Warm to the high-water marks, then measure an identical window.
+			// Warm to the high-water marks, then measure identical windows.
+			// Mallocs is process-global, so a stray background runtime
+			// allocation can land in any single window; a real steady-state
+			// leak allocates in every window, so require one clean window
+			// out of three before declaring the invariant broken.
 			warm := sim.Time(200) * sim.Millisecond
 			if _, err := sn.Run(warm); err != nil {
 				t.Fatal(err)
 			}
-			var before, after runtime.MemStats
-			runtime.GC()
-			runtime.ReadMemStats(&before)
-			if _, err := sn.Run(warm + 100*sim.Millisecond); err != nil {
-				t.Fatal(err)
+			var n uint64
+			for attempt, until := 0, warm; attempt < 3; attempt++ {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				until += 100 * sim.Millisecond
+				if _, err := sn.Run(until); err != nil {
+					t.Fatal(err)
+				}
+				runtime.ReadMemStats(&after)
+				if n = after.Mallocs - before.Mallocs; n == 0 {
+					break
+				}
 			}
-			runtime.ReadMemStats(&after)
-			if n := after.Mallocs - before.Mallocs; n > 0 {
-				t.Errorf("shards=%d: %d allocations in steady state, want 0", shards, n)
+			if n > 0 {
+				t.Errorf("shards=%d: %d allocations in steady state across 3 windows, want a clean window", shards, n)
 			}
 		})
 	}

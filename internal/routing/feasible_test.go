@@ -35,12 +35,12 @@ func TestPropertyForwardingPathsAreFeasible(t *testing.T) {
 			// dst; at every intermediate node `cur`, it arrived from
 			// `prev`, and FeasibleIngress(cur, prev, src) must hold.
 			prev := src
-			cur := tr.Next[src]
+			cur := int(tr.Next[src])
 			for cur != dst {
 				if !tbl.FeasibleIngress(cur, prev, src) {
 					return false
 				}
-				prev, cur = cur, tr.Next[cur]
+				prev, cur = cur, int(tr.Next[cur])
 			}
 			if prev != src && !tbl.FeasibleIngress(dst, prev, src) {
 				return false

@@ -1,0 +1,108 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"dtc/internal/topology"
+)
+
+// This file keeps the original slice-of-slices Dijkstra as the reference
+// oracle for the differential tests pinning the fast builder. It differs
+// from the seed implementation in exactly one way: the priority queue is a
+// concrete-typed binary heap instead of container/heap, so pushes no
+// longer box through `any` (16 B heap allocation per relaxation). The heap
+// algorithm — and therefore the equal-cost pop order — is unchanged.
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+// pq is a binary min-heap of pqItem ordered by dist, with container/heap's
+// exact sift semantics on concrete types.
+type pq []pqItem
+
+func (q *pq) push(x pqItem) {
+	h := append(*q, x)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	*q = h
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].dist < h[j].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
+	return it
+}
+
+// referenceBuildTree is the original BuildTree: adjacency-slice iteration,
+// per-edge WeightFunc calls with lazy positivity checks, fresh arrays per
+// call. The differential tests hold the fast Builder to exact Next/Dist
+// equality against it.
+func referenceBuildTree(g *topology.Graph, dst int, w WeightFunc) (*Tree, error) {
+	n := g.Len()
+	if dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: destination %d out of range [0,%d)", dst, n)
+	}
+	if w == nil {
+		w = UniformWeight
+	}
+	t := &Tree{Dst: dst, Next: make([]int32, n), Dist: make([]float64, n)}
+	for i := range t.Next {
+		t.Next[i] = NoRoute
+		t.Dist[i] = math.Inf(1)
+	}
+	t.Next[dst] = int32(dst)
+	t.Dist[dst] = 0
+
+	q := pq{{node: dst, dist: 0}}
+	done := make([]bool, n)
+	for len(q) > 0 {
+		it := q.pop()
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, u := range g.Neighbors(v) {
+			c := w(v, u)
+			if c <= 0 {
+				return nil, fmt.Errorf("routing: non-positive weight %v on edge (%d,%d)", c, v, u)
+			}
+			if nd := t.Dist[v] + c; nd < t.Dist[u] {
+				t.Dist[u] = nd
+				// Traffic from u toward dst goes via v.
+				t.Next[u] = int32(v)
+				q.push(pqItem{node: u, dist: nd})
+			}
+		}
+	}
+	return t, nil
+}

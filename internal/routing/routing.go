@@ -8,18 +8,33 @@
 // both the cheapest and the most natural representation. For symmetric
 // metrics the reverse paths coincide with forward paths, matching the
 // paper's assumption that devices on the path see both directions.
+//
+// The implementation is built for the hot paths the big experiments hit
+// (DESIGN.md §14): Dijkstra iterates the graph's compiled CSR view with
+// pre-compiled per-half-edge weights and a value-type binary heap, tree
+// arrays are int32/float64 carved from a grow-only arena, caches index
+// trees by destination in flat slot tables, and link failures repair only
+// the trees whose paths crossed the cut edge instead of invalidating the
+// world.
+//
+// Equal-cost tie-breaking contract: when several shortest paths exist, the
+// parent chosen for a node is decided by heap pop order among equal
+// distances. The fast builder replicates the binary-heap semantics of the
+// original container/heap implementation exactly (see builder.go), so the
+// chosen paths — and every experiment output downstream of them — are
+// byte-identical to the seed implementation. A differential test pins this.
 package routing
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 
+	"dtc/internal/metrics"
 	"dtc/internal/topology"
 )
 
 // WeightFunc returns the cost of the edge between adjacent nodes a and b.
-// It must be positive and symmetric.
+// It must be positive, symmetric, and pure: weights are compiled once per
+// topology snapshot, so a WeightFunc must depend only on its arguments.
 type WeightFunc func(a, b int) float64
 
 // UniformWeight assigns cost 1 to every edge (hop-count routing).
@@ -30,66 +45,29 @@ const NoRoute = -1
 
 // Tree is a shortest-path tree rooted at Dst: Next[v] is v's next hop
 // toward Dst (NoRoute if unreachable, Dst's own entry is Dst), and Dist[v]
-// is the total path cost.
+// is the total path cost. Next is int32 — graphs are bounded well below
+// 2^31 nodes and halving the index width keeps a full 18k-node tree in
+// ~70 KB of next-hop array.
+//
+// Trees handed out by Table or Shared are arena-backed: they stay valid
+// until the owning cache is dropped and are never freed individually, so
+// holding a *Tree across cache operations is always safe (after LinkDown
+// the contents are repaired in place; after Invalidate they are stale but
+// still readable).
 type Tree struct {
 	Dst  int
-	Next []int
+	Next []int32
 	Dist []float64
 }
 
-// pqItem is a priority-queue element for Dijkstra.
-type pqItem struct {
-	node int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-
 // BuildTree runs Dijkstra from dst and returns the shortest-path tree
-// toward dst. Edge weights must be positive.
+// toward dst. Edge weights must be positive. One-shot convenience; callers
+// building many trees should reuse a Builder (or a Table/Shared cache).
 func BuildTree(g *topology.Graph, dst int, w WeightFunc) (*Tree, error) {
-	n := g.Len()
-	if dst < 0 || dst >= n {
-		return nil, fmt.Errorf("routing: destination %d out of range [0,%d)", dst, n)
-	}
-	if w == nil {
-		w = UniformWeight
-	}
-	t := &Tree{Dst: dst, Next: make([]int, n), Dist: make([]float64, n)}
-	for i := range t.Next {
-		t.Next[i] = NoRoute
-		t.Dist[i] = math.Inf(1)
-	}
-	t.Next[dst] = dst
-	t.Dist[dst] = 0
-
-	q := pq{{node: dst, dist: 0}}
-	done := make([]bool, n)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := it.node
-		if done[v] {
-			continue
-		}
-		done[v] = true
-		for _, u := range g.Neighbors(v) {
-			c := w(v, u)
-			if c <= 0 {
-				return nil, fmt.Errorf("routing: non-positive weight %v on edge (%d,%d)", c, v, u)
-			}
-			if nd := t.Dist[v] + c; nd < t.Dist[u] {
-				t.Dist[u] = nd
-				// Traffic from u toward dst goes via v.
-				t.Next[u] = v
-				heap.Push(&q, pqItem{node: u, dist: nd})
-			}
-		}
+	b := NewBuilder(g, w)
+	t := &Tree{}
+	if err := b.BuildInto(t, dst); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -102,7 +80,7 @@ func (t *Tree) Path(src int) []int {
 	}
 	path := []int{src}
 	for v := src; v != t.Dst; {
-		v = t.Next[v]
+		v = int(t.Next[v])
 		path = append(path, v)
 		if len(path) > len(t.Next) {
 			// Defensive: a corrupted tree would loop forever otherwise.
@@ -121,44 +99,73 @@ func (t *Tree) Hops(src int) int {
 	return len(p) - 1
 }
 
+// CacheStats is a snapshot of a routing cache's behaviour counters.
+type CacheStats struct {
+	Hits          uint64 // TreeTo/NextHop served from cache
+	Builds        uint64 // full Dijkstra runs (cache misses)
+	Repairs       uint64 // trees incrementally repaired by LinkDown
+	Invalidations uint64 // whole-cache invalidations
+}
+
 // Source is the routing state consumers depend on: next-hop lookup,
-// per-destination trees, and the reverse-path feasibility check. Table
-// implements it for single-simulation use; Shared implements it for
-// concurrent sweeps where many simulations read one table.
+// per-destination trees, the reverse-path feasibility check, and topology
+// change notifications. Table implements it for single-simulation use;
+// Shared implements it for concurrent sweeps where many simulations read
+// one table.
 type Source interface {
 	TreeTo(dst int) (*Tree, error)
 	NextHop(cur, dst int) (next int, ok bool)
 	FeasibleIngress(at, from, src int) bool
+	// LinkDown incrementally repairs cached trees after edge (a, b) was
+	// removed from the graph. Quiescent-only: no concurrent readers.
+	LinkDown(a, b int)
 	Invalidate()
 	Builds() int
+	Stats() CacheStats
 }
 
 // feasible reports whether `from` lies on some shortest path from tr.Dst's
 // root toward `at` — the reverse-path check shared by Table and Shared.
-func feasible(g *topology.Graph, w WeightFunc, tr *Tree, at, from int) bool {
+// One scan of from's CSR row replaces the old HasEdge probe + WeightFunc
+// call pair.
+func feasible(cw *compiled, tr *Tree, at, from int) bool {
 	if at < 0 || at >= len(tr.Next) || from < 0 || from >= len(tr.Next) {
 		return false
 	}
 	if tr.Next[at] == NoRoute || tr.Next[from] == NoRoute {
 		return false
 	}
-	if !g.HasEdge(from, at) {
-		return false
+	row := cw.csr.Row(from)
+	base := cw.csr.Off[from]
+	for k, u := range row {
+		if int(u) == at {
+			const eps = 1e-9
+			d := tr.Dist[from] + cw.wadj[int(base)+k] - tr.Dist[at]
+			return d > -eps && d < eps
+		}
 	}
-	const eps = 1e-9
-	d := tr.Dist[from] + w(from, at) - tr.Dist[at]
-	return d > -eps && d < eps
+	return false
 }
 
 // Table provides next-hop lookup toward any destination, building and
-// caching one tree per destination on demand. It is not safe for concurrent
-// use; each simulation owns one.
+// caching one tree per destination on demand, with incremental repair on
+// link failure. Lookup state is single-goroutine (each simulation owns one
+// Table); the behaviour counters are atomic so observability endpoints may
+// scrape them from another goroutine.
 type Table struct {
-	g      *topology.Graph
-	w      WeightFunc
-	trees  map[int]*Tree
-	builds int
+	g     *topology.Graph
+	w     WeightFunc
+	slots []*Tree // indexed by destination
+	b     Builder
+	arena arena
+
+	hits    metrics.AtomicCounter
+	builds  metrics.AtomicCounter
+	repairs metrics.AtomicCounter
+	invals  metrics.AtomicCounter
 }
+
+var _ Source = (*Table)(nil)
 
 // NewTable returns a routing table over g with edge weights w (nil means
 // hop count).
@@ -166,20 +173,32 @@ func NewTable(g *topology.Graph, w WeightFunc) *Table {
 	if w == nil {
 		w = UniformWeight
 	}
-	return &Table{g: g, w: w, trees: make(map[int]*Tree)}
+	t := &Table{g: g, w: w, slots: make([]*Tree, g.Len())}
+	t.b.init(g, w, &t.arena)
+	return t
 }
 
 // TreeTo returns the (cached) shortest-path tree toward dst.
 func (t *Table) TreeTo(dst int) (*Tree, error) {
-	if tr, ok := t.trees[dst]; ok {
-		return tr, nil
+	if dst >= 0 && dst < len(t.slots) {
+		if tr := t.slots[dst]; tr != nil {
+			t.hits.Inc()
+			return tr, nil
+		}
 	}
-	tr, err := BuildTree(t.g, dst, t.w)
-	if err != nil {
+	return t.buildSlot(dst)
+}
+
+func (t *Table) buildSlot(dst int) (*Tree, error) {
+	if dst < 0 || dst >= t.g.Len() {
+		return nil, fmt.Errorf("routing: destination %d out of range [0,%d)", dst, t.g.Len())
+	}
+	tr := &Tree{}
+	if err := t.b.BuildInto(tr, dst); err != nil {
 		return nil, err
 	}
-	t.trees[dst] = tr
-	t.builds++
+	t.builds.Inc()
+	t.slots[dst] = tr
 	return tr, nil
 }
 
@@ -193,7 +212,7 @@ func (t *Table) NextHop(cur, dst int) (next int, ok bool) {
 	if cur < 0 || cur >= len(tr.Next) {
 		return NoRoute, false
 	}
-	n := tr.Next[cur]
+	n := int(tr.Next[cur])
 	return n, n != NoRoute
 }
 
@@ -208,13 +227,50 @@ func (t *Table) FeasibleIngress(at, from, src int) bool {
 	if err != nil {
 		return false
 	}
-	return feasible(t.g, t.w, tr, at, from)
+	return feasible(&t.b.cw, tr, at, from)
 }
 
-// Invalidate drops all cached trees; callers must invoke it after topology
-// or weight changes (the paper's adaptive devices may be reconfigured on
-// routing updates).
-func (t *Table) Invalidate() { t.trees = make(map[int]*Tree) }
+// LinkDown repairs the cached trees after edge (a, b) was removed from the
+// graph: only trees whose shortest paths traversed the cut edge are
+// touched, and within those only the orphaned subtree is re-run through a
+// partial Dijkstra (builder.go). Callers must remove the edge from the
+// graph first, as Network.FailLink does.
+func (t *Table) LinkDown(a, b int) {
+	for _, tr := range t.slots {
+		if tr == nil {
+			continue
+		}
+		if repaired, err := t.b.Repair(tr, a, b); err != nil {
+			// Weight compilation failed mid-repair; drop to a full rebuild
+			// on next lookup rather than serve a half-repaired tree.
+			t.slots[tr.Dst] = nil
+		} else if repaired {
+			t.repairs.Inc()
+		}
+	}
+}
+
+// Invalidate drops all cached trees; callers must invoke it after weight
+// changes or wholesale topology edits (single link failures should use
+// LinkDown instead). Outstanding *Tree pointers remain readable but stale:
+// the arena is never reset.
+func (t *Table) Invalidate() {
+	for i := range t.slots {
+		t.slots[i] = nil
+	}
+	t.invals.Inc()
+}
 
 // Builds reports how many trees have been computed (cache-miss count).
-func (t *Table) Builds() int { return t.builds }
+func (t *Table) Builds() int { return int(t.builds.Value()) }
+
+// Stats returns a snapshot of the cache behaviour counters. Safe to call
+// from any goroutine.
+func (t *Table) Stats() CacheStats {
+	return CacheStats{
+		Hits:          t.hits.Value(),
+		Builds:        t.builds.Value(),
+		Repairs:       t.repairs.Value(),
+		Invalidations: t.invals.Value(),
+	}
+}

@@ -1,29 +1,54 @@
 package routing
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"dtc/internal/metrics"
 	"dtc/internal/topology"
 )
 
 // Shared is a routing table safe for concurrent readers, used by the sweep
-// runner to let every sweep point share one set of shortest-path trees
-// instead of re-running Dijkstra per point. Trees are built outside the
-// lock; two goroutines racing on the same destination both build the same
-// (deterministic) tree and one build is discarded, so no reader ever blocks
-// on a Dijkstra run it did not ask for.
+// runner and the hybrid substrate to let every worker share one set of
+// shortest-path trees instead of re-running Dijkstra per point.
 //
-// The topology graph must not be mutated while a Shared table over it is in
-// use: sweeps read fixed topologies, so Invalidate exists only to satisfy
-// Source and panics if called concurrently with readers' assumptions —
-// callers that need link failures must use a per-simulation Table.
+// The cache is a fixed-size slot table indexed by destination — topologies
+// are static while shared, so the destination space is known up front — and
+// reads are a single atomic pointer load: no lock, no map hashing, no
+// contention between sweep workers. Builds happen outside any lock on
+// pooled Builders; two goroutines racing on the same destination both build
+// the same (deterministic) tree and the CAS loser is discarded, so no
+// reader ever blocks on a Dijkstra run it did not ask for. Tree arrays are
+// carved from a shared grow-only arena and stay valid until the Shared is
+// dropped; they are never freed or recycled individually.
+//
+// The topology graph must not be mutated while readers are active.
+// Quiescent-point mutations are supported: LinkDown (after a RemoveEdge)
+// repairs affected trees in place, Invalidate drops every slot. Both
+// require the caller to guarantee no concurrent readers, exactly like the
+// sharded engine's FailLink contract.
 type Shared struct {
-	g      *topology.Graph
-	w      WeightFunc
-	mu     sync.RWMutex
-	trees  map[int]*Tree
-	builds atomic.Int64
+	g     *topology.Graph
+	w     WeightFunc
+	slots []atomic.Pointer[Tree]
+
+	// cw is the weight-compiled CSR snapshot readers use for feasibility
+	// checks; rebuilt only at quiescent points (construction, LinkDown,
+	// Invalidate), read concurrently otherwise.
+	cw compiled
+
+	// Builder pool + arena, serialized by mu: builds and repairs are rare
+	// next to reads, so one mutex around scratch acquisition is invisible.
+	mu       sync.Mutex
+	builders []*Builder
+	arena    arena
+
+	hits    metrics.StripedCounter
+	builds  metrics.AtomicCounter
+	repairs metrics.AtomicCounter
+	invals  metrics.AtomicCounter
 }
 
 var _ Source = (*Shared)(nil)
@@ -34,32 +59,119 @@ func NewShared(g *topology.Graph, w WeightFunc) *Shared {
 	if w == nil {
 		w = UniformWeight
 	}
-	return &Shared{g: g, w: w, trees: make(map[int]*Tree)}
+	s := &Shared{g: g, w: w, slots: make([]atomic.Pointer[Tree], g.Len())}
+	// Compile weights eagerly so concurrent FeasibleIngress readers never
+	// race on the snapshot; a weight error surfaces from the first TreeTo.
+	_ = s.cw.refresh(g, w)
+	return s
 }
 
 // TreeTo returns the (cached) shortest-path tree toward dst.
 func (s *Shared) TreeTo(dst int) (*Tree, error) {
-	s.mu.RLock()
-	tr, ok := s.trees[dst]
-	s.mu.RUnlock()
-	if ok {
+	if dst < 0 || dst >= len(s.slots) {
+		return nil, fmt.Errorf("routing: destination %d out of range [0,%d)", dst, len(s.slots))
+	}
+	if tr := s.slots[dst].Load(); tr != nil {
+		s.hits.Inc(dst)
 		return tr, nil
 	}
-	tr, err := BuildTree(s.g, dst, s.w)
+	return s.buildSlot(dst)
+}
+
+func (s *Shared) buildSlot(dst int) (*Tree, error) {
+	// Carve the tree's arrays from the arena under the mutex, then run the
+	// actual Dijkstra outside it: BuildInto reuses pre-sized arrays without
+	// touching the arena, so concurrent builds only serialize on the cheap
+	// scratch handoff, never on the O(n log n) build.
+	tr := &Tree{}
+	s.mu.Lock()
+	tr.Next, tr.Dist = s.arena.alloc(s.g.Len())
+	s.mu.Unlock()
+	b := s.getBuilder()
+	err := b.BuildInto(tr, dst)
+	s.putBuilder(b)
 	if err != nil {
 		return nil, err
 	}
-	s.builds.Add(1)
-	s.mu.Lock()
-	if prev, ok := s.trees[dst]; ok {
-		// Another goroutine built the same tree first; keep theirs so every
-		// reader sees one canonical *Tree per destination.
-		tr = prev
-	} else {
-		s.trees[dst] = tr
+	s.builds.Inc()
+	if !s.slots[dst].CompareAndSwap(nil, tr) {
+		// Another goroutine published first; keep theirs so every reader
+		// sees one canonical *Tree per destination.
+		tr = s.slots[dst].Load()
 	}
-	s.mu.Unlock()
 	return tr, nil
+}
+
+// getBuilder pops a pooled builder. Builders never touch the arena
+// themselves (ar == nil): buildSlot pre-carves tree arrays under the
+// mutex, so a checked-out builder shares nothing mutable.
+func (s *Shared) getBuilder() *Builder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.builders); n > 0 {
+		b := s.builders[n-1]
+		s.builders = s.builders[:n-1]
+		return b
+	}
+	b := &Builder{}
+	b.init(s.g, s.w, nil)
+	return b
+}
+
+func (s *Shared) putBuilder(b *Builder) {
+	s.mu.Lock()
+	s.builders = append(s.builders, b)
+	s.mu.Unlock()
+}
+
+// Prebuild constructs the trees for dsts in parallel on up to `workers`
+// goroutines (0 means GOMAXPROCS), so sweeps and the hybrid cone pay tree
+// construction once, up front, on all cores instead of faulting trees in
+// one by one. Destinations already cached are skipped; the first error
+// aborts the batch.
+func (s *Shared) Prebuild(dsts []int, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dsts) {
+		workers = len(dsts)
+	}
+	if workers <= 1 {
+		for _, d := range dsts {
+			if _, err := s.TreeTo(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		ferr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(dsts) {
+					return
+				}
+				if _, err := s.TreeTo(dsts[i]); err != nil {
+					emu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					emu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ferr
 }
 
 // NextHop returns the next hop from cur toward dst. ok is false if dst is
@@ -72,7 +184,7 @@ func (s *Shared) NextHop(cur, dst int) (next int, ok bool) {
 	if cur < 0 || cur >= len(tr.Next) {
 		return NoRoute, false
 	}
-	n := tr.Next[cur]
+	n := int(tr.Next[cur])
 	return n, n != NoRoute
 }
 
@@ -84,17 +196,62 @@ func (s *Shared) FeasibleIngress(at, from, src int) bool {
 	if err != nil {
 		return false
 	}
-	return feasible(s.g, s.w, tr, at, from)
+	return feasible(&s.cw, tr, at, from)
+}
+
+// LinkDown repairs every cached tree after edge (a, b) was removed from
+// the graph (see Table.LinkDown). Quiescent-only: callers must guarantee
+// no concurrent readers, exactly like Invalidate — the sharded engine
+// calls it between Run calls.
+func (s *Shared) LinkDown(a, b int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.cw.refresh(s.g, s.w)
+	var b0 *Builder
+	if n := len(s.builders); n > 0 {
+		b0 = s.builders[n-1]
+	} else {
+		b0 = &Builder{}
+		b0.init(s.g, s.w, nil)
+		s.builders = append(s.builders, b0)
+	}
+	for i := range s.slots {
+		tr := s.slots[i].Load()
+		if tr == nil {
+			continue
+		}
+		if repaired, err := b0.Repair(tr, a, b); err != nil {
+			s.slots[i].Store(nil)
+		} else if repaired {
+			s.repairs.Inc()
+		}
+	}
 }
 
 // Invalidate drops all cached trees. Callers must guarantee no concurrent
-// readers (sweeps never mutate topology, so this is unused in practice).
+// readers. Outstanding *Tree pointers remain readable but stale: the arena
+// is never reset.
 func (s *Shared) Invalidate() {
+	for i := range s.slots {
+		s.slots[i].Store(nil)
+	}
 	s.mu.Lock()
-	s.trees = make(map[int]*Tree)
+	_ = s.cw.refresh(s.g, s.w)
 	s.mu.Unlock()
+	s.invals.Inc()
 }
 
 // Builds reports how many trees have been computed, including discarded
 // duplicate builds from racing goroutines.
-func (s *Shared) Builds() int { return int(s.builds.Load()) }
+func (s *Shared) Builds() int { return int(s.builds.Value()) }
+
+// Stats returns a snapshot of the cache behaviour counters. Safe to call
+// from any goroutine.
+func (s *Shared) Stats() CacheStats {
+	return CacheStats{
+		Hits:          s.hits.Value(),
+		Builds:        s.builds.Value(),
+		Repairs:       s.repairs.Value(),
+		Invalidations: s.invals.Value(),
+	}
+}

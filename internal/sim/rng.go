@@ -48,7 +48,21 @@ func splitmix64(x uint64) uint64 {
 // point i Substream(i), which is what makes sweep results byte-identical
 // at any worker count and any execution order.
 func (r *RNG) Substream(i uint64) *RNG {
-	return NewRNG(splitmix64(r.seed ^ splitmix64(i)))
+	v := r.SubstreamValue(i)
+	return &v
+}
+
+// SubstreamValue is Substream returning the generator by value, for
+// callers that derive many short-lived substreams (the hybrid boundary
+// arming loop derives one per injector) and want them stack-allocated.
+// The stream is identical to Substream(i)'s.
+func (r *RNG) SubstreamValue(i uint64) RNG {
+	seed := splitmix64(r.seed ^ splitmix64(i))
+	v := RNG{inc: (seed << 1) | 1, seed: seed}
+	v.Uint32()
+	v.state += seed
+	v.Uint32()
+	return v
 }
 
 // Uint32 returns the next 32 random bits.

@@ -48,6 +48,14 @@ func (s *Substrate) Partition(shards int) ([]int, error) {
 	return a, nil
 }
 
+// Prebuild constructs the routing trees for dsts up front on all cores
+// (routing.Shared.Prebuild), so the first sweep points don't fault them in
+// serially. Call it from the substrate build function, where the
+// experiment knows its destination set.
+func (s *Substrate) Prebuild(dsts []int) error {
+	return s.Routes.Prebuild(dsts, 0)
+}
+
 // Key identifies a substrate: an experiment-chosen name (encode topology
 // family and size in it) plus the seed the substrate was derived from.
 type Key struct {

@@ -1,0 +1,68 @@
+package topology
+
+// CSR is a compiled compressed-sparse-row view of a Graph's adjacency:
+// node v's neighbors are Adj[Off[v]:Off[v+1]], in exactly the order
+// Neighbors(v) returns them. Flattening the slice-of-slices adjacency into
+// two int32 arrays keeps Dijkstra's relaxation loop on one or two cache
+// lines per node and halves the index width; preserving the per-node
+// neighbor order keeps every equal-cost routing choice — and therefore
+// every experiment output — byte-identical to iteration over the slices.
+//
+// A CSR is an immutable snapshot: Graph.CSR() rebuilds it after any edge
+// mutation (tracked by a generation counter) and callers may hold and read
+// a returned view concurrently, even across graph mutations, since stale
+// views are simply abandoned.
+type CSR struct {
+	Off []int32 // len n+1; row v spans Off[v]..Off[v+1]
+	Adj []int32 // len 2*edges; concatenated neighbor lists
+}
+
+// NumNodes returns the number of nodes the view was compiled over.
+func (c *CSR) NumNodes() int { return len(c.Off) - 1 }
+
+// Row returns node v's neighbor list (shared; callers must not mutate).
+func (c *CSR) Row(v int) []int32 { return c.Adj[c.Off[v]:c.Off[v+1]] }
+
+// HasEdge reports whether a and b are adjacent in the snapshot.
+func (c *CSR) HasEdge(a, b int) bool {
+	if a < 0 || b < 0 || a >= c.NumNodes() || b >= c.NumNodes() {
+		return false
+	}
+	for _, n := range c.Row(a) {
+		if int(n) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// CSR returns the compiled adjacency view for the graph's current edge
+// set, rebuilding it only when the topology has changed since the last
+// call. Safe for concurrent callers; the graph itself must be quiescent
+// (no concurrent AddEdge/RemoveEdge), which every consumer already
+// guarantees — sweeps read fixed topologies and link failures happen at
+// quiescent points.
+func (g *Graph) CSR() *CSR {
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if g.csr != nil && g.csrGen == g.gen {
+		return g.csr
+	}
+	n := g.Len()
+	c := &CSR{Off: make([]int32, n+1)}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(g.adj[v])
+		c.Off[v+1] = int32(total)
+	}
+	c.Adj = make([]int32, total)
+	k := 0
+	for v := 0; v < n; v++ {
+		for _, u := range g.adj[v] {
+			c.Adj[k] = int32(u)
+			k++
+		}
+	}
+	g.csr, g.csrGen = c, g.gen
+	return c
+}

@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtc/internal/sim"
+)
+
+// checkCSRMatchesAdjacency asserts the CSR view visits every node's
+// neighbors in exactly the order Neighbors returns them — the property
+// the byte-identical-experiments guarantee rests on (equal-cost Dijkstra
+// choices depend on relaxation order).
+func checkCSRMatchesAdjacency(t *testing.T, g *Graph) {
+	t.Helper()
+	c := g.CSR()
+	if c.NumNodes() != g.Len() {
+		t.Fatalf("CSR has %d nodes, graph %d", c.NumNodes(), g.Len())
+	}
+	total := 0
+	for v := 0; v < g.Len(); v++ {
+		adj := g.Neighbors(v)
+		row := c.Row(v)
+		if len(row) != len(adj) {
+			t.Fatalf("node %d: CSR row len %d, adjacency len %d", v, len(row), len(adj))
+		}
+		for k := range adj {
+			if int(row[k]) != adj[k] {
+				t.Fatalf("node %d neighbor %d: CSR %d, adjacency %d", v, k, row[k], adj[k])
+			}
+		}
+		total += len(adj)
+	}
+	if len(c.Adj) != total || int(c.Off[g.Len()]) != total {
+		t.Fatalf("CSR size %d/%d, want %d", len(c.Adj), c.Off[g.Len()], total)
+	}
+}
+
+func TestPropertyCSROrderMatchesAdjacency(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, cuts uint8) bool {
+		n := 5 + int(nRaw)%120
+		g, err := BarabasiAlbert(n, 2, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		checkCSRMatchesAdjacency(t, g)
+		// Mutations must invalidate the cached view: remove random edges
+		// (and re-add one) and re-check order equivalence each time.
+		rng := sim.NewRNG(seed + 7)
+		for i := 0; i < int(cuts)%5; i++ {
+			edges := g.Edges()
+			if len(edges) == 0 {
+				break
+			}
+			e := edges[rng.Intn(len(edges))]
+			g.RemoveEdge(e.A, e.B)
+			checkCSRMatchesAdjacency(t, g)
+			if err := g.AddEdge(e.A, e.B); err != nil {
+				return false
+			}
+			checkCSRMatchesAdjacency(t, g)
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRCachingAndHasEdge(t *testing.T) {
+	g := Line(5)
+	c1 := g.CSR()
+	if c2 := g.CSR(); c1 != c2 {
+		t.Error("CSR rebuilt without a topology change")
+	}
+	if !c1.HasEdge(1, 2) || c1.HasEdge(0, 2) || c1.HasEdge(-1, 0) || c1.HasEdge(0, 99) {
+		t.Error("CSR.HasEdge wrong")
+	}
+	g.RemoveEdge(1, 2)
+	c3 := g.CSR()
+	if c3 == c1 {
+		t.Error("CSR not rebuilt after RemoveEdge")
+	}
+	if c3.HasEdge(1, 2) {
+		t.Error("removed edge still present in new view")
+	}
+	// The old snapshot stays readable (immutable).
+	if !c1.HasEdge(1, 2) {
+		t.Error("old CSR snapshot mutated")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dtc/internal/sim"
 )
@@ -53,6 +54,13 @@ type Graph struct {
 	Nodes []Node
 	adj   [][]int
 	edges []Edge
+
+	// Compiled CSR view cache: gen counts edge mutations, csr/csrGen
+	// remember the last compiled snapshot (see CSR()).
+	gen    uint64
+	csrGen uint64
+	csr    *CSR
+	csrMu  sync.Mutex
 }
 
 // NewGraph returns a graph with n isolated nodes, all stubs.
@@ -90,6 +98,7 @@ func (g *Graph) AddEdge(a, b int) error {
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 	g.edges = append(g.edges, Edge{A: a, B: b})
+	g.gen++
 	return nil
 }
 
@@ -115,6 +124,7 @@ func (g *Graph) RemoveEdge(a, b int) bool {
 			break
 		}
 	}
+	g.gen++
 	return true
 }
 

@@ -59,13 +59,17 @@ func PartitionGreedy(g *Graph, shards int, w func(a, b int) float64) ([]int, err
 	size := make([]int, shards)
 	gain := make([]float64, shards)
 
+	// Iterate the compiled CSR view: same neighbor order as the adjacency
+	// slices (so the partition is unchanged), better locality on the 18k-AS
+	// graphs where this runs once per (topology, shards) pair.
+	csr := g.CSR()
 	place := func(v int) {
 		for s := range gain {
 			gain[s] = 0
 		}
-		for _, u := range g.Neighbors(v) {
+		for _, u := range csr.Row(v) {
 			if s := assign[u]; s >= 0 {
-				gain[s] += w(v, u)
+				gain[s] += w(v, int(u))
 			}
 		}
 		best, bestScore := -1, 0.0
@@ -97,10 +101,10 @@ func PartitionGreedy(g *Graph, shards int, w func(a, b int) float64) ([]int, err
 		for head := len(queue) - 1; head < len(queue); head++ {
 			v := queue[head]
 			place(v)
-			for _, u := range g.Neighbors(v) {
+			for _, u := range csr.Row(v) {
 				if !seen[u] {
 					seen[u] = true
-					queue = append(queue, u)
+					queue = append(queue, int(u))
 				}
 			}
 		}
